@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/roofline.hpp"
+#include "models/fusion_cases.hpp"
+#include "planner/fuse_planner.hpp"
+
+namespace fcm::bench {
+
+/// Paper device order and short labels.
+inline std::vector<std::pair<std::string, gpusim::DeviceSpec>> devices() {
+  return {{"GTX", gpusim::gtx1660()},
+          {"RTX", gpusim::rtx_a4000()},
+          {"Orin", gpusim::jetson_orin()}};
+}
+
+/// Roofline time of a kernel-stats profile.
+inline double time_of(const gpusim::DeviceSpec& dev,
+                      const gpusim::KernelStats& st) {
+  return gpusim::estimate_time(dev, st).total_s;
+}
+
+/// Pair decision + the FCM/LBL speedup (1.0 when the planner declines to
+/// fuse — the paper reports what its suggested implementation achieves, and
+/// a declined fusion runs LBL).
+struct CaseResult {
+  planner::PairDecision decision;
+  double lbl_time = 0.0;
+  double impl_time = 0.0;  ///< time of the planner-suggested implementation
+  bool fused = false;
+  double speedup() const { return lbl_time / impl_time; }
+};
+
+inline CaseResult eval_case(const gpusim::DeviceSpec& dev,
+                            const models::FusionCase& c, DType dt) {
+  CaseResult r;
+  r.decision = planner::plan_pair(dev, c.first, c.second, dt);
+  r.lbl_time = time_of(dev, r.decision.lbl_first.stats) +
+               time_of(dev, r.decision.lbl_second.stats);
+  r.fused = r.decision.fuse();
+  r.impl_time = r.fused ? time_of(dev, r.decision.fcm->stats) : r.lbl_time;
+  return r;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace fcm::bench

@@ -1,0 +1,29 @@
+// Fig. 6 — speedup of FCMs over the custom LBL kernels, FP32, for the twelve
+// fusion cases on the three GPUs.
+#include "bench_util.hpp"
+
+using namespace fcm;
+
+int main() {
+  bench::print_header("Fig. 6: FCM speedup over LBL (FP32)");
+  Table t({"case", "GTX", "RTX", "Orin"});
+  double sum = 0.0, maxv = 0.0;
+  int n = 0;
+  for (const auto& c : models::fp32_cases()) {
+    std::vector<std::string> row{c.id};
+    for (const auto& [name, dev] : bench::devices()) {
+      const auto r = bench::eval_case(dev, c, DType::kF32);
+      const double sp = r.speedup();
+      row.push_back(fmt_f(sp, 2) + (r.fused ? "" : "*"));
+      sum += sp;
+      maxv = std::max(maxv, sp);
+      ++n;
+    }
+    t.add_row(row);
+  }
+  std::cout << t.str();
+  std::cout << "(* planner declined to fuse: runs LBL, speedup 1.00)\n";
+  std::cout << "average " << fmt_f(sum / n, 2) << "x, max " << fmt_f(maxv, 2)
+            << "x   [paper: average 1.3x, max 1.6x]\n";
+  return 0;
+}

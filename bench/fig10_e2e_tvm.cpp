@@ -1,0 +1,49 @@
+// Fig. 10a/b — end-to-end speedup of the FCM + FusePlanner-suggested-LBL
+// implementations of the four CNNs over the TVM-like compiler (cuDNN
+// backend, conv+elementwise fusion, 20 auto-tuning trials), FP32 and INT8.
+#include "baselines/tvm_like.hpp"
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/executor.hpp"
+
+using namespace fcm;
+
+namespace {
+
+void run_for(DType dt) {
+  bench::print_header(std::string("Fig. 10: end-to-end speedup over TVM (") +
+                      dtype_name(dt) + ")");
+  Table t({"model", "GTX", "RTX", "Orin", "fused layers"});
+  double sum = 0.0, maxv = 0.0;
+  int n = 0;
+  for (const auto& model : models::e2e_cnns()) {
+    std::vector<std::string> row{model.name};
+    std::string fused;
+    for (const auto& [name, dev] : bench::devices()) {
+      const auto plan = planner::plan_model(dev, model, dt);
+      const auto ours = runtime::evaluate_plan(dev, model, plan);
+      const auto tvm = baselines::tvm_compile(dev, model, dt);
+      const auto tvm_rep = runtime::evaluate_tvm(dev, model, tvm);
+      const double sp = tvm_rep.total_time_s() / ours.total_time_s();
+      row.push_back(fmt_f(sp, 2));
+      sum += sp;
+      maxv = std::max(maxv, sp);
+      ++n;
+      fused = std::to_string(plan.fused_layer_count()) + "/" +
+              std::to_string(plan.total_layer_count());
+    }
+    row.push_back(fused);
+    t.add_row(row);
+  }
+  std::cout << t.str();
+  std::cout << "average " << fmt_f(sum / n, 2) << "x, max " << fmt_f(maxv, 2)
+            << "x   [paper: avg 1.4x/1.5x (fp32/int8), max 1.6x/1.8x]\n";
+}
+
+}  // namespace
+
+int main() {
+  run_for(DType::kF32);
+  run_for(DType::kI8);
+  return 0;
+}

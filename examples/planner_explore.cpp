@@ -1,0 +1,63 @@
+// Exploring FusePlanner's cost-model landscape for one layer pair.
+//
+// Prints the global-memory-access estimate for every feasible fused tiling
+// of a CeiT LeFF pair (PW 192->768 then DW 3x3 at 14x14 tokens) on the
+// RTX-A4000, marks infeasible points with the constraint that killed them,
+// and shows the planner's pick. Useful for understanding *why* the planner
+// chooses what it chooses.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/device_spec.hpp"
+#include "planner/cost_model.hpp"
+#include "planner/fuse_planner.hpp"
+
+using namespace fcm;
+
+int main() {
+  const auto dev = gpusim::rtx_a4000();
+  const auto pw = LayerSpec::pointwise("leff_exp", 192, 14, 14, 768,
+                                       ActKind::kGELU);
+  const auto dw =
+      LayerSpec::depthwise("leff_dw", 768, 14, 14, 3, 1, ActKind::kGELU);
+
+  std::cout << "PWDW fusion landscape for " << pw.name << " + " << dw.name
+            << " on " << dev.name << " (FP32)\n\n";
+
+  Table t({"tile_h x tile_w", "tile_c", "blocks", "shared KB", "GMA MB",
+           "redundant", "status"});
+  for (int tile : planner::spatial_tile_candidates(14)) {
+    for (int tc : planner::channel_tile_candidates(768, false)) {
+      const FcmTiling ft{tile, tile, tc, 0};
+      const FcmKind kind =
+          tile == 14 ? FcmKind::kPwDw : FcmKind::kPwDwR;
+      const auto st = planner::fcm_stats(kind, pw, dw, ft, DType::kF32);
+      std::string status = "ok";
+      if (fcm_l1_bytes(kind, pw, dw, ft, DType::kF32) > dev.l1_bytes) {
+        status = "L1 overflow";
+      } else if (st.shared_bytes_per_block > dev.max_shared_bytes) {
+        status = "shared overflow";
+      } else if (st.num_blocks < dev.num_sms) {
+        status = "under-occupied";
+      }
+      const double red = static_cast<double>(st.redundant_flops) /
+                         static_cast<double>(st.flops + 1);
+      t.add_row({std::to_string(tile) + "x" + std::to_string(tile),
+                 std::to_string(tc), std::to_string(st.num_blocks),
+                 fmt_f(st.shared_bytes_per_block / 1024.0, 1),
+                 fmt_f(st.gma_bytes() / 1e6, 2), fmt_pct(red), status});
+    }
+  }
+  std::cout << t.str() << "\n";
+
+  const auto d = planner::plan_pair(dev, pw, dw, DType::kF32);
+  std::cout << "LBL floor: " << d.lbl_gma() / 1e6 << " MB\n";
+  if (d.fcm.has_value()) {
+    std::cout << "planner pick: " << fcm_kind_name(d.fcm->kind) << " tile "
+              << d.fcm->tiling.tile_h << "x" << d.fcm->tiling.tile_w
+              << " tc=" << d.fcm->tiling.tile_c << " → "
+              << d.fcm->stats.gma_bytes() / 1e6 << " MB ("
+              << (d.fuse() ? "fuse" : "stay LBL") << ")\n";
+  }
+  return 0;
+}

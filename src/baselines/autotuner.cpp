@@ -1,0 +1,56 @@
+#include "baselines/autotuner.hpp"
+
+#include <algorithm>
+
+#include "gpusim/roofline.hpp"
+#include "planner/cost_model.hpp"
+#include "planner/tile_search.hpp"
+
+namespace fcm::baselines {
+
+namespace {
+struct Xorshift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  int pick(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)); }
+};
+}  // namespace
+
+std::optional<TuneResult> autotune_direct(const gpusim::DeviceSpec& dev,
+                                          const LayerSpec& spec, DType dt,
+                                          int trials, std::uint64_t seed) {
+  Xorshift rng{seed * 0x9e3779b97f4a7c15ull + 0x1234567ull};
+  const auto h_cands = planner::spatial_tile_candidates(spec.out_h());
+  const auto w_cands = planner::spatial_tile_candidates(spec.out_w());
+  const auto f_cands = planner::channel_tile_candidates(
+      spec.out_c, spec.kind != ConvKind::kDepthwise);
+
+  std::optional<TuneResult> best;
+  for (int i = 0; i < trials; ++i) {
+    const ConvTiling t{h_cands[static_cast<std::size_t>(rng.pick(
+                           static_cast<int>(h_cands.size())))],
+                       w_cands[static_cast<std::size_t>(rng.pick(
+                           static_cast<int>(w_cands.size())))],
+                       f_cands[static_cast<std::size_t>(rng.pick(
+                           static_cast<int>(f_cands.size())))]};
+    std::int64_t l1 = 0;
+    switch (spec.kind) {
+      case ConvKind::kPointwise: l1 = pw_l1_bytes(spec, t, dt); break;
+      case ConvKind::kDepthwise: l1 = dw_l1_bytes(spec, t, dt); break;
+      case ConvKind::kStandard: l1 = std_l1_bytes(spec, t, dt); break;
+    }
+    if (l1 > dev.l1_bytes) continue;
+    const auto st = planner::lbl_stats(spec, t, dt);
+    if (st.shared_bytes_per_block > dev.max_shared_bytes) continue;
+    const double time = gpusim::estimate_time(dev, st).total_s;
+    if (!best || time < best->time_s) best = TuneResult{t, st, time};
+  }
+  return best;
+}
+
+}  // namespace fcm::baselines

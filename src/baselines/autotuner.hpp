@@ -1,0 +1,32 @@
+// Auto-tuner in the style of TVM's hardware-in-the-loop tuning (paper §V-C:
+// "we ran auto-tuning for 20 iterations with the hardware in the loop").
+//
+// Candidates are random tilings of the direct LBL kernel; each trial is
+// "measured" on the simulated hardware via the roofline model, and the
+// fastest is kept. Unlike FusePlanner this optimises *time* (as TVM does),
+// not global memory accesses.
+#pragma once
+
+#include <optional>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm::baselines {
+
+struct TuneResult {
+  ConvTiling tiling;
+  gpusim::KernelStats stats;
+  double time_s = 0.0;
+};
+
+/// Tune the direct conv kernel for `spec` with `trials` random candidates.
+/// Returns nullopt when no candidate fits the device (tiny degenerate
+/// layers); deterministic for a fixed seed.
+std::optional<TuneResult> autotune_direct(const gpusim::DeviceSpec& dev,
+                                          const LayerSpec& spec, DType dt,
+                                          int trials, std::uint64_t seed);
+
+}  // namespace fcm::baselines

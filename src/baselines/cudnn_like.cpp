@@ -1,0 +1,259 @@
+#include "baselines/cudnn_like.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/im2col.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/launch.hpp"
+#include "planner/cost_model.hpp"
+
+namespace fcm::baselines {
+
+const char* cudnn_algo_name(CudnnAlgo a) {
+  switch (a) {
+    case CudnnAlgo::kGemm: return "GEMM";
+    case CudnnAlgo::kImplicitGemm: return "IMPL_GEMM";
+    case CudnnAlgo::kImplicitPrecompGemm: return "IMPL_PRECOMP_GEMM";
+  }
+  return "?";
+}
+
+namespace {
+
+GemmTiling pick_tiling(const GemmDims& d) {
+  GemmTiling t;
+  t.tm = static_cast<int>(std::min<std::int64_t>(64, d.m));
+  t.tn = static_cast<int>(std::min<std::int64_t>(64, d.n));
+  return t;
+}
+
+/// Grouped (depthwise) GEMM column-tile width.
+constexpr int kDwTn = 128;
+
+/// Offset-table entry size: one precomputed (channel, dy, dx) offset per
+/// virtual-matrix row, 4 bytes.
+constexpr std::int64_t kOffsetEntryBytes = 4;
+
+std::int64_t index_overhead_ops(std::int64_t macs) {
+  return static_cast<std::int64_t>(kImplicitIndexOpsPerMac *
+                                   static_cast<double>(macs));
+}
+
+/// Analytic profile of the grouped depthwise GEMM stage.
+gpusim::KernelStats dw_gemm_stage_stats(const LayerSpec& spec, DType dt) {
+  const Im2colDims d = im2col_dims(spec);
+  const std::int64_t esz = static_cast<std::int64_t>(dtype_size(dt));
+  const std::int64_t blocks_per_group = ceil_div(d.n, kDwTn);
+  gpusim::KernelStats st;
+  st.global_load_bytes =
+      d.groups * (blocks_per_group * d.k + d.k * d.n) * esz;
+  st.weight_load_bytes = d.groups * blocks_per_group * d.k * esz;
+  st.ifm_load_bytes = d.groups * d.k * d.n * esz;
+  st.global_store_bytes = d.groups * d.n * esz;
+  const std::int64_t macs = d.groups * d.k * d.n;
+  st.flops = 2 * macs;
+  st.num_blocks = d.groups * blocks_per_group;
+  st.threads_per_block = 256;
+  st.shared_bytes_per_block = (1 + kDwTn) * 32 * esz;
+  st.launches = 1;
+  return st;
+}
+
+}  // namespace
+
+gpusim::KernelStats cudnn_stats(const gpusim::DeviceSpec& dev, CudnnAlgo algo,
+                                const LayerSpec& spec, DType dt) {
+  (void)dev;
+  spec.validate();
+  const std::int64_t esz = static_cast<std::int64_t>(dtype_size(dt));
+  gpusim::KernelStats st;
+  std::int64_t macs = 0;
+
+  if (spec.kind == ConvKind::kDepthwise) {
+    st = dw_gemm_stage_stats(spec, dt);
+    const Im2colDims d = im2col_dims(spec);
+    macs = d.groups * d.k * d.n;
+  } else {
+    const Im2colDims d = im2col_dims(spec);
+    const GemmDims dims{spec.out_c, d.n, d.k};
+    st = gemm_stats(dims, pick_tiling(dims), static_cast<int>(esz));
+    macs = dims.m * dims.n * dims.k;
+  }
+
+  switch (algo) {
+    case CudnnAlgo::kGemm: {
+      st += im2col_stats(spec, dt);
+      break;
+    }
+    case CudnnAlgo::kImplicitGemm: {
+      st.flops += index_overhead_ops(macs);
+      break;
+    }
+    case CudnnAlgo::kImplicitPrecompGemm: {
+      const Im2colDims d = im2col_dims(spec);
+      st.global_load_bytes += st.num_blocks * d.k * kOffsetEntryBytes;
+      break;
+    }
+  }
+
+  // cuDNN fuses the elementwise norm/activation into the conv epilogue.
+  st.flops += spec.ofm_count() * planner::epilogue_ops_per_element(spec, dt);
+  return st;
+}
+
+namespace {
+
+/// Functional grouped depthwise GEMM (one launch over all groups).
+gpusim::KernelStats run_dw_gemm(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& spec, const TensorF& ifm,
+                                const WeightsF& w, const EpilogueF32& ep,
+                                TensorF& ofm,
+                                const std::vector<float>* matrix) {
+  const Im2colDims d = im2col_dims(spec);
+  const std::int64_t blocks_per_group = ceil_div(d.n, kDwTn);
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = d.groups * blocks_per_group;
+  cfg.threads_per_block = 256;
+  cfg.shared_bytes = (1 + kDwTn) * 32 * 4;
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t bid = ctx.block_id();
+    const int g = static_cast<int>(bid / blocks_per_group);
+    const std::int64_t n0 = (bid % blocks_per_group) * kDwTn;
+    const std::int64_t n1 = std::min<std::int64_t>(n0 + kDwTn, d.n);
+
+    ctx.load_weights(d.k * 4);
+    ctx.load_ifm(d.k * (n1 - n0) * 4);
+    const int W = spec.out_w();
+    for (std::int64_t n = n0; n < n1; ++n) {
+      float acc = 0.0f;
+      for (std::int64_t r = 0; r < d.k; ++r) {
+        const float b = matrix != nullptr
+                            ? (*matrix)[static_cast<std::size_t>(
+                                  (g * d.k + r) * d.n + n)]
+                            : im2col_at(spec, ifm, g, r, n);
+        acc += w.at(g, 0, static_cast<int>(r / spec.kw),
+                    static_cast<int>(r % spec.kw)) *
+               b;
+      }
+      ofm.at(g, static_cast<int>(n / W), static_cast<int>(n % W)) =
+          ep.apply(g, acc);
+    }
+    ctx.add_flops(2 * d.k * (n1 - n0));
+    ctx.global_store((n1 - n0) * 4);
+  };
+
+  return launch_kernel(dev, "cudnn_dw_gemm/" + spec.name, cfg, body);
+}
+
+/// Functional im2col over every group into one [g][r][n] matrix.
+gpusim::KernelStats run_im2col_all(const gpusim::DeviceSpec& dev,
+                                   const LayerSpec& spec, const TensorF& ifm,
+                                   std::vector<float>& matrix) {
+  const Im2colDims d = im2col_dims(spec);
+  matrix.assign(static_cast<std::size_t>(d.groups * d.k * d.n), 0.0f);
+  const std::int64_t blocks_per_group = ceil_div(d.n, 256);
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = d.groups * blocks_per_group;
+  cfg.threads_per_block = 256;
+  cfg.shared_bytes = 0;
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t bid = ctx.block_id();
+    const int g = static_cast<int>(bid / blocks_per_group);
+    const std::int64_t n0 = (bid % blocks_per_group) * 256;
+    const std::int64_t n1 = std::min<std::int64_t>(n0 + 256, d.n);
+    std::int64_t valid = 0;
+    for (std::int64_t r = 0; r < d.k; ++r) {
+      for (std::int64_t n = n0; n < n1; ++n) {
+        matrix[static_cast<std::size_t>((g * d.k + r) * d.n + n)] =
+            im2col_at(spec, ifm, g, r, n);
+        const int W = spec.out_w();
+        const int oh = static_cast<int>(n / W);
+        const int ow = static_cast<int>(n % W);
+        int kh, kw;
+        if (spec.kind == ConvKind::kDepthwise) {
+          kh = static_cast<int>(r / spec.kw);
+          kw = static_cast<int>(r % spec.kw);
+        } else {
+          const int rem = static_cast<int>(r % (spec.kh * spec.kw));
+          kh = rem / spec.kw;
+          kw = rem % spec.kw;
+        }
+        const int ih = oh * spec.stride - spec.pad + kh;
+        const int iw = ow * spec.stride - spec.pad + kw;
+        if (ih >= 0 && ih < spec.in_h && iw >= 0 && iw < spec.in_w) ++valid;
+      }
+    }
+    ctx.load_ifm(valid * 4);
+    ctx.global_store((n1 - n0) * d.k * 4);
+  };
+
+  return launch_kernel(dev, "im2col_all/" + spec.name, cfg, body);
+}
+
+}  // namespace
+
+gpusim::KernelStats run_cudnn_f32(const gpusim::DeviceSpec& dev,
+                                  CudnnAlgo algo, const LayerSpec& spec,
+                                  const TensorF& ifm, const WeightsF& w,
+                                  const EpilogueF32& ep, TensorF& ofm) {
+  spec.validate();
+  FCM_CHECK(ifm.shape() == spec.ifm_shape(), spec.name + ": IFM shape");
+  FCM_CHECK(ofm.shape() == spec.ofm_shape(), spec.name + ": OFM shape");
+
+  gpusim::KernelStats st;
+  std::vector<float> matrix;
+  const bool explicit_gemm = algo == CudnnAlgo::kGemm;
+
+  if (spec.kind == ConvKind::kDepthwise) {
+    if (explicit_gemm) {
+      st += run_im2col_all(dev, spec, ifm, matrix);
+    }
+    st += run_dw_gemm(dev, spec, ifm, w, ep, ofm,
+                      explicit_gemm ? &matrix : nullptr);
+  } else {
+    const Im2colDims d = im2col_dims(spec);
+    if (explicit_gemm) {
+      st += run_im2col_all(dev, spec, ifm, matrix);
+    }
+    const GemmDims dims{spec.out_c, d.n, d.k};
+    auto a = [&](std::int64_t i, std::int64_t k) {
+      return w[i * d.k + k];  // weights are already (f, c, kh, kw) row-major
+    };
+    auto b = [&](std::int64_t k, std::int64_t n) {
+      return explicit_gemm ? matrix[static_cast<std::size_t>(k * d.n + n)]
+                           : im2col_at(spec, ifm, 0, k, n);
+    };
+    const int W = spec.out_w();
+    auto store = [&](std::int64_t i, std::int64_t n, float acc) {
+      ofm.at(static_cast<int>(i), static_cast<int>(n / W),
+             static_cast<int>(n % W)) = ep.apply(static_cast<int>(i), acc);
+    };
+    st += run_gemm_f32(dev, cudnn_algo_name(algo) + ("/" + spec.name), dims, a,
+                       b, store, pick_tiling(dims), 4);
+  }
+
+  std::int64_t macs;
+  {
+    const Im2colDims d = im2col_dims(spec);
+    macs = spec.kind == ConvKind::kDepthwise
+               ? static_cast<std::int64_t>(d.groups) * d.k * d.n
+               : static_cast<std::int64_t>(spec.out_c) * d.k * d.n;
+  }
+  if (algo == CudnnAlgo::kImplicitGemm) {
+    st.flops += index_overhead_ops(macs);
+  } else if (algo == CudnnAlgo::kImplicitPrecompGemm) {
+    const Im2colDims d = im2col_dims(spec);
+    st.global_load_bytes += st.num_blocks * d.k * kOffsetEntryBytes;
+  }
+  st.flops +=
+      spec.ofm_count() * planner::epilogue_ops_per_element(spec, DType::kF32);
+  return st;
+}
+
+}  // namespace fcm::baselines

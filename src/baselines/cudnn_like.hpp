@@ -1,0 +1,48 @@
+// cuDNN-like convolution algorithms (the paper's baseline, §V-C).
+//
+// The paper compares FCM/LBL against the three cuDNN algorithms that
+// performed best on its workloads:
+//   GEMM                  — explicit im2col materialisation + GEMM
+//   IMPLICIT_GEMM         — GEMM over a virtual im2col matrix (no
+//                           materialisation, extra index arithmetic)
+//   IMPLICIT_PRECOMP_GEMM — implicit GEMM with a precomputed offset table
+//                           (no index arithmetic, small extra loads)
+// cuDNN fuses only the elementwise epilogue with the conv (never conv+conv),
+// which is why the paper still calls its execution "layer-by-layer".
+#pragma once
+
+#include "baselines/gemm.hpp"
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm::baselines {
+
+enum class CudnnAlgo : std::uint8_t {
+  kGemm,
+  kImplicitGemm,
+  kImplicitPrecompGemm,
+};
+
+const char* cudnn_algo_name(CudnnAlgo a);
+
+/// Extra integer index operations per MAC charged to the implicit algorithm
+/// (address reconstruction of the virtual matrix element).
+inline constexpr double kImplicitIndexOpsPerMac = 2.0;
+
+/// Functional execution on the simulator (FP32): computes the layer via the
+/// selected algorithm and returns combined stats of all passes. Output is
+/// bit-comparable to conv_ref_f32 up to FP associativity.
+gpusim::KernelStats run_cudnn_f32(const gpusim::DeviceSpec& dev,
+                                  CudnnAlgo algo, const LayerSpec& spec,
+                                  const TensorF& ifm, const WeightsF& w,
+                                  const EpilogueF32& ep, TensorF& ofm);
+
+/// Analytic stats of the same execution (no data touched); supports both
+/// precisions for the TVM-like compiler.
+gpusim::KernelStats cudnn_stats(const gpusim::DeviceSpec& dev, CudnnAlgo algo,
+                                const LayerSpec& spec, DType dt);
+
+}  // namespace fcm::baselines

@@ -1,0 +1,83 @@
+#include "baselines/gemm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/launch.hpp"
+
+namespace fcm::baselines {
+
+namespace {
+constexpr int kThreads = 256;
+}
+
+gpusim::KernelStats run_gemm_f32(const gpusim::DeviceSpec& dev,
+                                 const std::string& name, const GemmDims& dims,
+                                 const GemmLoadA& a, const GemmLoadB& b,
+                                 const GemmStore& store, const GemmTiling& t,
+                                 int elem_bytes) {
+  FCM_CHECK(dims.m > 0 && dims.n > 0 && dims.k > 0, "gemm: empty dims");
+  FCM_CHECK(t.tm > 0 && t.tn > 0, "gemm: bad tiling");
+  const std::int64_t nm = ceil_div(dims.m, t.tm);
+  const std::int64_t nn = ceil_div(dims.n, t.tn);
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = nm * nn;
+  cfg.threads_per_block = kThreads;
+  // A and B panels are streamed through shared memory in K-chunks of 32.
+  cfg.shared_bytes =
+      static_cast<std::int64_t>(t.tm + t.tn) * 32 * elem_bytes;
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t bid = ctx.block_id();
+    const std::int64_t mi = bid / nn;
+    const std::int64_t ni = bid % nn;
+    const std::int64_t m0 = mi * t.tm;
+    const std::int64_t mcur = std::min<std::int64_t>(t.tm, dims.m - m0);
+    const std::int64_t n0 = ni * t.tn;
+    const std::int64_t ncur = std::min<std::int64_t>(t.tn, dims.n - n0);
+
+    ctx.load_weights(mcur * dims.k * elem_bytes);
+    ctx.load_ifm(ncur * dims.k * elem_bytes);
+    for (std::int64_t i = m0; i < m0 + mcur; ++i) {
+      for (std::int64_t j = n0; j < n0 + ncur; ++j) {
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < dims.k; ++kk) {
+          acc += a(i, kk) * b(kk, j);
+        }
+        store(i, j, acc);
+      }
+    }
+    const std::int64_t macs = mcur * ncur * dims.k;
+    ctx.add_flops(2 * macs);
+    ctx.shared_load(2 * macs * elem_bytes);
+    ctx.shared_store((mcur + ncur) * dims.k * elem_bytes);
+    ctx.global_store(mcur * ncur * elem_bytes);
+  };
+
+  return launch_kernel(dev, "gemm/" + name, cfg, body);
+}
+
+gpusim::KernelStats gemm_stats(const GemmDims& dims, const GemmTiling& t,
+                               int elem_bytes) {
+  const std::int64_t nm = ceil_div(dims.m, t.tm);
+  const std::int64_t nn = ceil_div(dims.n, t.tn);
+  gpusim::KernelStats st;
+  st.global_load_bytes = (nn * dims.m + nm * dims.n) * dims.k * elem_bytes;
+  st.weight_load_bytes = nn * dims.m * dims.k * elem_bytes;
+  st.ifm_load_bytes = nm * dims.n * dims.k * elem_bytes;
+  st.global_store_bytes = dims.m * dims.n * elem_bytes;
+  const std::int64_t macs = dims.m * dims.n * dims.k;
+  st.flops = 2 * macs;
+  st.shared_load_bytes = 2 * macs * elem_bytes;
+  st.shared_store_bytes = st.global_load_bytes;
+  st.num_blocks = nm * nn;
+  st.threads_per_block = kThreads;
+  st.shared_bytes_per_block =
+      static_cast<std::int64_t>(t.tm + t.tn) * 32 * elem_bytes;
+  st.launches = 1;
+  return st;
+}
+
+}  // namespace fcm::baselines

@@ -1,0 +1,49 @@
+// Blocked GEMM substrate used by the cuDNN-like convolution algorithms.
+//
+// C[M,N] = A[M,K] · B[K,N] with an output-stationary block tiling (tm × tn).
+// Each simulated block streams the K dimension, loading its A panel once per
+// column-block and its B panel once per row-block — the classic traffic
+// pattern   loads = ⌈N/tn⌉·M·K + ⌈M/tm⌉·K·N,   stores = M·N.
+// B is supplied through an accessor so the implicit-GEMM algorithms can read
+// the virtual im2col matrix without materialising it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+
+namespace fcm::baselines {
+
+struct GemmDims {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+};
+
+struct GemmTiling {
+  int tm = 64;
+  int tn = 64;
+};
+
+/// Element accessors. `a(i,k)` / `b(k,j)` return operands; `store(i,j,v)`
+/// receives each output exactly once.
+using GemmLoadA = std::function<float(std::int64_t, std::int64_t)>;
+using GemmLoadB = std::function<float(std::int64_t, std::int64_t)>;
+using GemmStore = std::function<void(std::int64_t, std::int64_t, float)>;
+
+/// Functional blocked GEMM on the simulator. `b_bytes_per_elem` lets callers
+/// model B elements that live in global memory at a different width (e.g.
+/// int8 feature maps read by an implicit-GEMM int8 algorithm).
+gpusim::KernelStats run_gemm_f32(const gpusim::DeviceSpec& dev,
+                                 const std::string& name, const GemmDims& dims,
+                                 const GemmLoadA& a, const GemmLoadB& b,
+                                 const GemmStore& store, const GemmTiling& t,
+                                 int elem_bytes);
+
+/// Analytic traffic/ops profile of the same launch (no data touched).
+gpusim::KernelStats gemm_stats(const GemmDims& dims, const GemmTiling& t,
+                               int elem_bytes);
+
+}  // namespace fcm::baselines

@@ -1,0 +1,120 @@
+#include "baselines/im2col.hpp"
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/launch.hpp"
+
+namespace fcm::baselines {
+
+Im2colDims im2col_dims(const LayerSpec& spec) {
+  Im2colDims d;
+  d.n = static_cast<std::int64_t>(spec.out_h()) * spec.out_w();
+  if (spec.kind == ConvKind::kDepthwise) {
+    d.k = static_cast<std::int64_t>(spec.kh) * spec.kw;
+    d.groups = spec.in_c;
+  } else {
+    d.k = static_cast<std::int64_t>(spec.in_c) * spec.kh * spec.kw;
+    d.groups = 1;
+  }
+  return d;
+}
+
+float im2col_at(const LayerSpec& spec, const TensorF& ifm, int g,
+                std::int64_t r, std::int64_t n) {
+  const int W = spec.out_w();
+  const int oh = static_cast<int>(n / W);
+  const int ow = static_cast<int>(n % W);
+  int c, kh, kw;
+  if (spec.kind == ConvKind::kDepthwise) {
+    c = g;
+    kh = static_cast<int>(r / spec.kw);
+    kw = static_cast<int>(r % spec.kw);
+  } else {
+    c = static_cast<int>(r / (spec.kh * spec.kw));
+    const int rem = static_cast<int>(r % (spec.kh * spec.kw));
+    kh = rem / spec.kw;
+    kw = rem % spec.kw;
+  }
+  const int ih = oh * spec.stride - spec.pad + kh;
+  const int iw = ow * spec.stride - spec.pad + kw;
+  if (ih < 0 || ih >= spec.in_h || iw < 0 || iw >= spec.in_w) return 0.0f;
+  return ifm.at(c, ih, iw);
+}
+
+gpusim::KernelStats run_im2col_f32(const gpusim::DeviceSpec& dev,
+                                   const LayerSpec& spec, const TensorF& ifm,
+                                   int g, std::vector<float>& out) {
+  const Im2colDims d = im2col_dims(spec);
+  FCM_CHECK(g >= 0 && g < d.groups, "im2col: bad group");
+  out.assign(static_cast<std::size_t>(d.k * d.n), 0.0f);
+
+  // One block per column strip of 256 output positions.
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = ceil_div(d.n, 256);
+  cfg.threads_per_block = 256;
+  cfg.shared_bytes = 0;
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t n0 = ctx.block_id() * 256;
+    const std::int64_t n1 = std::min<std::int64_t>(n0 + 256, d.n);
+    // Padding positions cost no global read: charge loads for in-bounds taps
+    // only, while every matrix element (padding included) is stored.
+    std::int64_t valid = 0;
+    for (std::int64_t r = 0; r < d.k; ++r) {
+      for (std::int64_t n = n0; n < n1; ++n) {
+        const float v = im2col_at(spec, ifm, g, r, n);
+        out[static_cast<std::size_t>(r * d.n + n)] = v;
+        const int W = spec.out_w();
+        const int oh = static_cast<int>(n / W);
+        const int ow = static_cast<int>(n % W);
+        int kh, kw;
+        if (spec.kind == ConvKind::kDepthwise) {
+          kh = static_cast<int>(r / spec.kw);
+          kw = static_cast<int>(r % spec.kw);
+        } else {
+          const int rem = static_cast<int>(r % (spec.kh * spec.kw));
+          kh = rem / spec.kw;
+          kw = rem % spec.kw;
+        }
+        const int ih = oh * spec.stride - spec.pad + kh;
+        const int iw = ow * spec.stride - spec.pad + kw;
+        if (ih >= 0 && ih < spec.in_h && iw >= 0 && iw < spec.in_w) ++valid;
+      }
+    }
+    ctx.load_ifm(valid * 4);
+    ctx.global_store((n1 - n0) * d.k * 4);
+  };
+
+  return launch_kernel(dev, "im2col/" + spec.name, cfg, body);
+}
+
+gpusim::KernelStats im2col_stats(const LayerSpec& spec, DType dt) {
+  const Im2colDims d = im2col_dims(spec);
+  const std::int64_t esz = static_cast<std::int64_t>(dtype_size(dt));
+  // Valid (non-padding) taps per output position, summed separably.
+  std::int64_t taps_h = 0, taps_w = 0;
+  for (int o = 0; o < spec.out_h(); ++o) {
+    for (int t = 0; t < spec.kh; ++t) {
+      const int i = o * spec.stride - spec.pad + t;
+      if (i >= 0 && i < spec.in_h) ++taps_h;
+    }
+  }
+  for (int o = 0; o < spec.out_w(); ++o) {
+    for (int t = 0; t < spec.kw; ++t) {
+      const int i = o * spec.stride - spec.pad + t;
+      if (i >= 0 && i < spec.in_w) ++taps_w;
+    }
+  }
+  const std::int64_t channels =
+      spec.kind == ConvKind::kDepthwise ? spec.in_c : spec.in_c;
+  gpusim::KernelStats st;
+  st.global_load_bytes = channels * taps_h * taps_w * esz;
+  st.ifm_load_bytes = st.global_load_bytes;
+  st.global_store_bytes = d.groups * d.k * d.n * esz;
+  st.num_blocks = d.groups * ceil_div(d.n, 256);
+  st.threads_per_block = 256;
+  st.launches = 1;
+  return st;
+}
+
+}  // namespace fcm::baselines

@@ -1,0 +1,44 @@
+// im2col lowering: unfolds a convolution's input into the matrix the
+// explicit-GEMM algorithm multiplies.
+//
+// Row index r encodes (c, kh, kw); column index encodes (oh, ow). The
+// explicit cuDNN GEMM algorithm materialises this matrix in global memory (a
+// K×N write plus a K×N reload in the GEMM) — exactly the extra traffic the
+// paper credits the implicit algorithms with avoiding.
+#pragma once
+
+#include <vector>
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm::baselines {
+
+/// K and N of the lowered matrix for `spec` (per filter group; depthwise
+/// convolutions lower per-channel with K = kh·kw).
+struct Im2colDims {
+  std::int64_t k = 0;  ///< rows: c·kh·kw (1·kh·kw per group for DW)
+  std::int64_t n = 0;  ///< cols: out_h·out_w
+  int groups = 1;      ///< 1 for PW/standard, in_c for DW
+};
+
+Im2colDims im2col_dims(const LayerSpec& spec);
+
+/// Virtual im2col element for group `g` (g is the channel for DW, 0
+/// otherwise): returns the IFM value at (row r, col n) or 0 in the padding.
+float im2col_at(const LayerSpec& spec, const TensorF& ifm, int g,
+                std::int64_t r, std::int64_t n);
+
+/// Materialise the matrix for group `g` on the simulator (the explicit-GEMM
+/// pre-pass). `out` is resized to k·n, row-major. Returns the pass's stats
+/// (reads of valid IFM elements, K·N stores).
+gpusim::KernelStats run_im2col_f32(const gpusim::DeviceSpec& dev,
+                                   const LayerSpec& spec, const TensorF& ifm,
+                                   int g, std::vector<float>& out);
+
+/// Analytic stats of the materialisation pass for all groups combined.
+gpusim::KernelStats im2col_stats(const LayerSpec& spec, DType dt);
+
+}  // namespace fcm::baselines

@@ -1,0 +1,71 @@
+#include "baselines/tvm_like.hpp"
+
+#include "baselines/autotuner.hpp"
+#include "common/error.hpp"
+#include "gpusim/roofline.hpp"
+
+namespace fcm::baselines {
+
+const char* tvm_impl_name(TvmImpl i) {
+  switch (i) {
+    case TvmImpl::kCudnnGemm: return "cudnn:GEMM";
+    case TvmImpl::kCudnnImplicitGemm: return "cudnn:IMPL_GEMM";
+    case TvmImpl::kCudnnImplicitPrecompGemm: return "cudnn:IMPL_PRECOMP";
+    case TvmImpl::kDirectTuned: return "direct(tuned)";
+  }
+  return "?";
+}
+
+double TvmPlan::total_time_s() const {
+  double t = 0.0;
+  for (const auto& s : steps) t += s.time_s;
+  return t;
+}
+
+std::int64_t TvmPlan::total_gma_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& s : steps) b += s.stats.gma_bytes();
+  return b;
+}
+
+TvmPlan tvm_compile(const gpusim::DeviceSpec& dev, const ModelGraph& model,
+                    DType dt, int tuning_trials, std::uint64_t seed) {
+  model.validate();
+  TvmPlan plan;
+  plan.model_name = model.name + "(TVM)";
+  plan.device_name = dev.name;
+  plan.dtype = dt;
+
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const LayerSpec& spec = model.layers[static_cast<std::size_t>(i)];
+    // INT8 standard convs fall back to FP32, like the FCM runtime does.
+    const DType layer_dt = spec.kind == ConvKind::kStandard ? DType::kF32 : dt;
+
+    TvmStep best;
+    bool have = false;
+    const CudnnAlgo algos[] = {CudnnAlgo::kGemm, CudnnAlgo::kImplicitGemm,
+                               CudnnAlgo::kImplicitPrecompGemm};
+    const TvmImpl impls[] = {TvmImpl::kCudnnGemm, TvmImpl::kCudnnImplicitGemm,
+                             TvmImpl::kCudnnImplicitPrecompGemm};
+    for (int a = 0; a < 3; ++a) {
+      const auto st = cudnn_stats(dev, algos[a], spec, layer_dt);
+      const double time = gpusim::estimate_time(dev, st).total_s;
+      if (!have || time < best.time_s) {
+        best = TvmStep{i, impls[a], {}, st, time};
+        have = true;
+      }
+    }
+    const auto tuned = autotune_direct(dev, spec, layer_dt, tuning_trials,
+                                       seed + static_cast<std::uint64_t>(i));
+    if (tuned.has_value() && tuned->time_s < best.time_s) {
+      best = TvmStep{i, TvmImpl::kDirectTuned, tuned->tiling, tuned->stats,
+                     tuned->time_s};
+      have = true;
+    }
+    FCM_CHECK(have, "tvm_compile: no implementation for " + spec.name);
+    plan.steps.push_back(best);
+  }
+  return plan;
+}
+
+}  // namespace fcm::baselines

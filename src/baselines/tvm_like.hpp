@@ -1,0 +1,56 @@
+// TVM-like graph compiler baseline (paper §V-C).
+//
+// Models what the paper's TVM configuration does — and deliberately nothing
+// more:
+//  * fuses each convolution with its trailing norm/activation (the
+//    conv+elementwise fusion TVM applies as a core optimisation),
+//  * never fuses two convolutions,
+//  * selects the best implementation per layer from the cuDNN-like backend
+//    algorithms plus an auto-tuned direct kernel (20 hardware-in-the-loop
+//    trials), optimising execution *time*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/cudnn_like.hpp"
+#include "gpusim/device_spec.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/model_graph.hpp"
+
+namespace fcm::baselines {
+
+enum class TvmImpl : std::uint8_t {
+  kCudnnGemm,
+  kCudnnImplicitGemm,
+  kCudnnImplicitPrecompGemm,
+  kDirectTuned,
+};
+
+const char* tvm_impl_name(TvmImpl i);
+
+struct TvmStep {
+  int layer = 0;
+  TvmImpl impl = TvmImpl::kCudnnImplicitPrecompGemm;
+  ConvTiling direct_tiling;  ///< valid when impl == kDirectTuned
+  gpusim::KernelStats stats;
+  double time_s = 0.0;
+};
+
+struct TvmPlan {
+  std::string model_name;
+  std::string device_name;
+  DType dtype = DType::kF32;
+  std::vector<TvmStep> steps;
+
+  double total_time_s() const;
+  std::int64_t total_gma_bytes() const;
+};
+
+/// Compile `model` the TVM way: per-layer algorithm selection with
+/// `tuning_trials` auto-tuner iterations per layer.
+TvmPlan tvm_compile(const gpusim::DeviceSpec& dev, const ModelGraph& model,
+                    DType dt, int tuning_trials = 20,
+                    std::uint64_t seed = 42);
+
+}  // namespace fcm::baselines

@@ -1,0 +1,42 @@
+// Error handling primitives for the FCM library.
+//
+// All library-level invariant violations throw fcm::Error (derived from
+// std::runtime_error) so callers can recover; benches and examples simply let
+// them propagate. FCM_CHECK is used for argument validation on public entry
+// points, FCM_ASSERT for internal invariants that indicate a library bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fcm {
+
+/// Exception type thrown by all FCM components on invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FCM check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fcm
+
+/// Validate a user-facing precondition; throws fcm::Error when violated.
+#define FCM_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::fcm::detail::throw_error(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant; identical behaviour to FCM_CHECK but signals a bug.
+#define FCM_ASSERT(cond, msg) FCM_CHECK(cond, std::string("internal: ") + (msg))

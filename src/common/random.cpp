@@ -1,0 +1,52 @@
+#include "common/random.hpp"
+
+#include <random>
+
+namespace fcm {
+
+namespace {
+// splitmix64: cheap, high-quality stream for deterministic fills.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+template <typename Container>
+void fill_f(Container& t, std::uint64_t seed, float lo, float hi) {
+  SplitMix64 rng{seed};
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = lo + static_cast<float>(rng.unit()) * (hi - lo);
+  }
+}
+
+template <typename Container>
+void fill_i8(Container& t, std::uint64_t seed, int lo, int hi) {
+  SplitMix64 rng{seed};
+  const int span = hi - lo + 1;
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<std::int8_t>(lo + static_cast<int>(rng.next() % span));
+  }
+}
+}  // namespace
+
+void fill_uniform(TensorF& t, std::uint64_t seed, float lo, float hi) {
+  fill_f(t, seed, lo, hi);
+}
+void fill_uniform(WeightsF& t, std::uint64_t seed, float lo, float hi) {
+  fill_f(t, seed, lo, hi);
+}
+void fill_uniform_i8(TensorI8& t, std::uint64_t seed, int lo, int hi) {
+  fill_i8(t, seed, lo, hi);
+}
+void fill_uniform_i8(WeightsI8& t, std::uint64_t seed, int lo, int hi) {
+  fill_i8(t, seed, lo, hi);
+}
+
+}  // namespace fcm

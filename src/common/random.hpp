@@ -1,0 +1,23 @@
+// Deterministic random initialisation used by tests, benches and examples.
+//
+// All fills take an explicit seed so every experiment in EXPERIMENTS.md is
+// exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/tensor.hpp"
+
+namespace fcm {
+
+/// Fill a float tensor with uniform values in [lo, hi).
+void fill_uniform(TensorF& t, std::uint64_t seed, float lo = -1.0f,
+                  float hi = 1.0f);
+void fill_uniform(WeightsF& t, std::uint64_t seed, float lo = -1.0f,
+                  float hi = 1.0f);
+
+/// Fill an int8 tensor with uniform values in [lo, hi].
+void fill_uniform_i8(TensorI8& t, std::uint64_t seed, int lo = -8, int hi = 8);
+void fill_uniform_i8(WeightsI8& t, std::uint64_t seed, int lo = -8, int hi = 8);
+
+}  // namespace fcm

@@ -1,0 +1,35 @@
+// Plain-text table rendering used by the benchmark harnesses to print rows
+// and series in the same layout as the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fcm {
+
+/// Column-aligned text table. Usage:
+///   Table t({"case", "speedup"});
+///   t.add_row({"F1", "1.32"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with single-space-padded columns and a dashed header rule.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed-precision double (e.g. fmt_f(1.234567, 2) == "1.23").
+std::string fmt_f(double v, int precision = 2);
+
+/// Format helper: percentage with sign convention of the paper's Table II
+/// ("7%", "-" when zero).
+std::string fmt_pct(double ratio);
+
+}  // namespace fcm

@@ -1,0 +1,30 @@
+#include "common/tensor.hpp"
+
+#include <cstdlib>
+
+namespace fcm {
+
+float max_abs_diff(const TensorF& a, const TensorF& b) {
+  FCM_CHECK(a.shape() == b.shape(), "shape mismatch in max_abs_diff");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::int64_t max_abs_diff(const TensorI32& a, const TensorI32& b) {
+  FCM_CHECK(a.shape() == b.shape(), "shape mismatch in max_abs_diff");
+  std::int64_t m = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    m = std::max<std::int64_t>(m, std::llabs(static_cast<long long>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+bool allclose(const TensorF& a, const TensorF& b, float tol) {
+  if (!(a.shape() == b.shape())) return false;
+  return max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace fcm

@@ -1,0 +1,152 @@
+// Dense CHW tensors used for feature maps and weights.
+//
+// The paper evaluates single-image inference, so tensors carry no batch
+// dimension: feature maps are (channels, height, width) and convolution
+// weights are (filters, channels, kh, kw) flattened into the same storage
+// with an explicit FilterShape. Layout is row-major CHW — the channel is the
+// slowest-varying index — matching the layout the paper's kernels assume for
+// coalesced global-memory access.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fcm {
+
+/// Shape of a feature map: `c` channels of `h`×`w` elements.
+struct FmShape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  constexpr std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+  constexpr std::int64_t hw() const noexcept {
+    return static_cast<std::int64_t>(h) * w;
+  }
+  friend constexpr bool operator==(const FmShape&, const FmShape&) = default;
+};
+
+/// Shape of a convolution weight tensor: `f` filters over `c` channels with a
+/// `kh`×`kw` spatial window. Depthwise weights use f == number of channels and
+/// c == 1 (one filter slice per channel); pointwise use kh == kw == 1.
+struct FilterShape {
+  int f = 0;
+  int c = 0;
+  int kh = 0;
+  int kw = 0;
+
+  constexpr std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(f) * c * kh * kw;
+  }
+  friend constexpr bool operator==(const FilterShape&,
+                                   const FilterShape&) = default;
+};
+
+/// Owning dense tensor of element type T in CHW order.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct a zero-initialised feature map of shape `s`.
+  explicit Tensor(FmShape s) : shape_(s), data_(static_cast<std::size_t>(s.size())) {
+    FCM_CHECK(s.c >= 0 && s.h >= 0 && s.w >= 0, "negative tensor extent");
+  }
+
+  Tensor(int c, int h, int w) : Tensor(FmShape{c, h, w}) {}
+
+  const FmShape& shape() const noexcept { return shape_; }
+  std::int64_t size() const noexcept { return shape_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  /// Element accessors; bounds are checked in debug-style via FCM_ASSERT only
+  /// on the index-computing overloads used by reference kernels.
+  T& at(int c, int h, int w) { return data_[index(c, h, w)]; }
+  const T& at(int c, int h, int w) const { return data_[index(c, h, w)]; }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Linear offset of element (c, h, w) in CHW layout.
+  std::int64_t index(int c, int h, int w) const {
+    FCM_ASSERT(c >= 0 && c < shape_.c && h >= 0 && h < shape_.h && w >= 0 &&
+                   w < shape_.w,
+               "tensor index out of range");
+    return (static_cast<std::int64_t>(c) * shape_.h + h) * shape_.w + w;
+  }
+
+ private:
+  FmShape shape_{};
+  std::vector<T> data_;
+};
+
+/// Owning dense weight tensor in (f, c, kh, kw) order.
+template <typename T>
+class WeightTensor {
+ public:
+  WeightTensor() = default;
+
+  explicit WeightTensor(FilterShape s)
+      : shape_(s), data_(static_cast<std::size_t>(s.size())) {}
+
+  const FilterShape& shape() const noexcept { return shape_; }
+  std::int64_t size() const noexcept { return shape_.size(); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  T& at(int f, int c, int kh, int kw) { return data_[index(f, c, kh, kw)]; }
+  const T& at(int f, int c, int kh, int kw) const {
+    return data_[index(f, c, kh, kw)];
+  }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  std::int64_t index(int f, int c, int kh, int kw) const {
+    FCM_ASSERT(f >= 0 && f < shape_.f && c >= 0 && c < shape_.c && kh >= 0 &&
+                   kh < shape_.kh && kw >= 0 && kw < shape_.kw,
+               "weight index out of range");
+    return ((static_cast<std::int64_t>(f) * shape_.c + c) * shape_.kh + kh) *
+               shape_.kw +
+           kw;
+  }
+
+ private:
+  FilterShape shape_{};
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorI8 = Tensor<std::int8_t>;
+using TensorI32 = Tensor<std::int32_t>;
+using WeightsF = WeightTensor<float>;
+using WeightsI8 = WeightTensor<std::int8_t>;
+
+/// Largest absolute element-wise difference between two float tensors of the
+/// same shape; used by tests to compare kernels against the reference.
+float max_abs_diff(const TensorF& a, const TensorF& b);
+
+/// Largest absolute element-wise difference between two int32 tensors.
+std::int64_t max_abs_diff(const TensorI32& a, const TensorI32& b);
+
+/// True when every element differs by at most `tol`.
+bool allclose(const TensorF& a, const TensorF& b, float tol = 1e-4f);
+
+}  // namespace fcm

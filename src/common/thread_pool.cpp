@@ -1,0 +1,95 @@
+#include "common/thread_pool.hpp"
+
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace fcm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  const std::int64_t nworkers = static_cast<std::int64_t>(size());
+  // Small grids or a single worker: run inline, no synchronisation cost.
+  if (count == 1 || nworkers <= 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::int64_t chunks = std::min<std::int64_t>(nworkers, count);
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::condition_variable done_cv;
+  std::mutex done_mu;
+
+  auto body = [&] {
+    for (;;) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lk(done_mu);
+    done.fetch_add(1, std::memory_order_release);
+    done_cv.notify_one();
+  };
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      queue_.push(Task{body});
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return done.load(std::memory_order_acquire) == chunks; });
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fcm

@@ -1,0 +1,54 @@
+// Minimal work-stealing-free thread pool used by the GPU simulator to run
+// thread blocks in parallel across host cores (each worker plays the role of
+// a streaming multiprocessor executing blocks from the grid).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fcm {
+
+/// Fixed-size thread pool. Construction spawns `n` workers; destruction joins
+/// them. parallel_for partitions [0, n) into contiguous chunks, one per
+/// worker, and blocks until all complete — the only pattern the simulator
+/// needs (a grid of independent thread blocks).
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(i) for every i in [0, count). Blocks until done. Exceptions from
+  /// workers are rethrown on the calling thread (first one wins).
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// Process-wide pool shared by all simulator launches.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fcm

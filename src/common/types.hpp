@@ -1,0 +1,43 @@
+// Fundamental scalar types and small arithmetic helpers shared by every
+// FCM module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fcm {
+
+/// Element type of a tensor. The paper evaluates FP32 (training precision)
+/// and INT8 (common inference precision, executed with dp4a-style 4-way dot
+/// products accumulating into 32-bit integers).
+enum class DType : std::uint8_t {
+  kF32,
+  kI8,
+};
+
+/// Size in bytes of one element of `dt`.
+constexpr std::size_t dtype_size(DType dt) noexcept {
+  return dt == DType::kF32 ? 4u : 1u;
+}
+
+/// Human-readable name ("fp32" / "int8").
+inline std::string dtype_name(DType dt) {
+  return dt == DType::kF32 ? "fp32" : "int8";
+}
+
+/// Warp size of every CUDA-capable GPU the paper targets. FusePlanner
+/// restricts explored tile sizes to multiples of this (paper §IV-B).
+inline constexpr int kWarpSize = 32;
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the nearest multiple of `m` (m > 0).
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t m) noexcept {
+  return ceil_div(a, m) * m;
+}
+
+}  // namespace fcm

@@ -1,0 +1,77 @@
+#include "gpusim/device_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm::gpusim {
+
+namespace {
+constexpr std::int64_t KB = 1024;
+constexpr std::int64_t MB = 1024 * 1024;
+constexpr double GB = 1e9;
+}  // namespace
+
+DeviceSpec gtx1660() {
+  DeviceSpec d;
+  d.name = "GTX-1660";
+  d.compute_capability = 7.5;
+  d.num_sms = 22;
+  d.cuda_cores = 1408;
+  d.l1_bytes = 96 * KB;
+  d.max_shared_bytes = 64 * KB;  // Turing: up to 64 KB of the 96 KB L1.
+  d.l2_bytes = static_cast<std::int64_t>(1.5 * MB);
+  d.dram_bandwidth_Bps = 192.0 * GB;
+  d.core_clock_hz = 1.785e9;
+  d.j_per_flop = 1.5e-12;
+  d.j_per_dram_byte = 22e-12;  // GDDR5
+  d.static_watts = 28.0;
+  return d;
+}
+
+DeviceSpec rtx_a4000() {
+  DeviceSpec d;
+  d.name = "RTX-A4000";
+  d.compute_capability = 8.6;
+  d.num_sms = 48;
+  d.cuda_cores = 6144;
+  d.l1_bytes = 128 * KB;
+  d.max_shared_bytes = 100 * KB;  // Ampere GA104: up to 100 KB shared.
+  d.l2_bytes = 4 * MB;
+  d.dram_bandwidth_Bps = 448.0 * GB;
+  d.core_clock_hz = 1.56e9;
+  d.j_per_flop = 1.1e-12;
+  d.j_per_dram_byte = 18e-12;  // GDDR6
+  d.static_watts = 35.0;
+  return d;
+}
+
+DeviceSpec jetson_orin() {
+  DeviceSpec d;
+  d.name = "Jetson-AGX-Orin";
+  d.compute_capability = 8.7;
+  d.num_sms = 16;
+  d.cuda_cores = 2048;
+  d.l1_bytes = 192 * KB;
+  d.max_shared_bytes = 164 * KB;  // Orin: up to 164 KB shared per SM.
+  d.l2_bytes = 4 * MB;
+  d.dram_bandwidth_Bps = 204.8 * GB;
+  d.core_clock_hz = 1.3e9;
+  d.j_per_flop = 0.9e-12;
+  d.j_per_dram_byte = 9e-12;  // LPDDR5
+  d.static_watts = 12.0;
+  return d;
+}
+
+std::vector<DeviceSpec> paper_devices() {
+  return {gtx1660(), rtx_a4000(), jetson_orin()};
+}
+
+DeviceSpec device_by_name(const std::string& short_name) {
+  if (short_name == "GTX" || short_name == "GTX-1660") return gtx1660();
+  if (short_name == "RTX" || short_name == "RTX-A4000") return rtx_a4000();
+  if (short_name == "Orin" || short_name == "Jetson-AGX-Orin") {
+    return jetson_orin();
+  }
+  throw Error("unknown device: " + short_name);
+}
+
+}  // namespace fcm::gpusim

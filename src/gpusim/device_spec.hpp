@@ -1,0 +1,85 @@
+// Device descriptions for the simulated GPUs.
+//
+// The paper (Table I) evaluates on three NVIDIA GPUs. Since this environment
+// has no GPU, each device is described analytically: SM count, core count,
+// L1/shared capacity, DRAM bandwidth and peak arithmetic throughput. The
+// FusePlanner cost models consume exactly the fields the paper lists (#SMs,
+// L1 size, shared portion); the roofline timing and energy models consume the
+// derived bandwidth/FLOPs figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fcm::gpusim {
+
+/// Static description of a CUDA-capable GPU.
+struct DeviceSpec {
+  std::string name;
+  /// Compute capability, e.g. 7.5 for Turing GTX-1660.
+  double compute_capability = 0.0;
+  /// Number of streaming multiprocessors.
+  int num_sms = 0;
+  /// Total CUDA cores across the device.
+  int cuda_cores = 0;
+  /// Combined L1/shared-memory capacity per SM, bytes (paper Table I, KB).
+  std::int64_t l1_bytes = 0;
+  /// Largest portion of L1 configurable as programmer-managed shared memory.
+  std::int64_t max_shared_bytes = 0;
+  /// L2 cache size, bytes.
+  std::int64_t l2_bytes = 0;
+  /// Sustained off-chip memory bandwidth, bytes/second.
+  double dram_bandwidth_Bps = 0.0;
+  /// SM core clock, Hz.
+  double core_clock_hz = 0.0;
+
+  // --- energy model coefficients (order-of-magnitude literature values;
+  // only normalised energy is ever reported, see DESIGN.md §5) ---
+  /// Energy per FP32 FMA-equivalent operation, joules.
+  double j_per_flop = 0.0;
+  /// Energy per byte moved to/from DRAM, joules.
+  double j_per_dram_byte = 0.0;
+  /// Static (leakage + idle) power, watts.
+  double static_watts = 0.0;
+
+  /// Fixed cost of launching one kernel, seconds (host+driver overhead).
+  double kernel_launch_overhead_s = 5e-6;
+
+  /// Peak FP32 throughput in FLOP/s (2 ops per FMA per core per cycle).
+  double peak_fp32_flops() const {
+    return 2.0 * cuda_cores * core_clock_hz;
+  }
+
+  /// Peak INT8 throughput in OP/s. dp4a performs a 4-way dot product with
+  /// accumulate per core per cycle: 8 integer ops/cycle/core.
+  double peak_int8_ops() const {
+    return 8.0 * cuda_cores * core_clock_hz;
+  }
+
+  /// Cores per SM (used to reason about occupancy).
+  int cores_per_sm() const { return num_sms > 0 ? cuda_cores / num_sms : 0; }
+};
+
+/// GTX-1660 (Turing, TU116): 22 SMs, 1408 cores, 96 KB L1/shared, 1.5 MB L2,
+/// GDDR5 @ 192 GB/s. Smallest L1 per SM of the three — the paper attributes
+/// its weaker fusion gains to this.
+DeviceSpec gtx1660();
+
+/// RTX-A4000 (Ampere, GA104): 48 SMs, 6144 cores, 128 KB L1/shared, 4 MB L2,
+/// GDDR6 @ 448 GB/s. (The paper's Table I lists the per-SM core count column
+/// ambiguously; the physical A4000 has 48 SMs × 128 cores = 6144.)
+DeviceSpec rtx_a4000();
+
+/// Jetson AGX Orin (Ampere iGPU): 16 SMs, 2048 cores, 192 KB L1/shared,
+/// 4 MB L2, LPDDR5 @ 204.8 GB/s shared with the CPU.
+DeviceSpec jetson_orin();
+
+/// The three evaluation devices in paper order {GTX, RTX, Orin}.
+std::vector<DeviceSpec> paper_devices();
+
+/// Lookup by short name used throughout the benches: "GTX", "RTX", "Orin".
+DeviceSpec device_by_name(const std::string& short_name);
+
+}  // namespace fcm::gpusim

@@ -1,0 +1,15 @@
+#include "gpusim/energy_model.hpp"
+
+namespace fcm::gpusim {
+
+EnergyBreakdown estimate_energy(const DeviceSpec& dev, const KernelStats& stats,
+                                double time_s) {
+  EnergyBreakdown e;
+  e.compute_j = static_cast<double>(stats.flops) * dev.j_per_flop +
+                static_cast<double>(stats.int_ops) * dev.j_per_flop * 0.25;
+  e.dram_j = static_cast<double>(stats.gma_bytes()) * dev.j_per_dram_byte;
+  e.static_j = dev.static_watts * time_s;
+  return e;
+}
+
+}  // namespace fcm::gpusim

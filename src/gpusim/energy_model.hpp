@@ -1,0 +1,29 @@
+// Energy model.
+//
+// The paper measures energy per inference with nvidia-smi / tegrastats and
+// reports it normalised to TVM (Fig. 11). Here energy decomposes into
+// arithmetic energy, DRAM traffic energy, and static power integrated over
+// kernel time — making explicit the paper's observation that memory-access
+// reduction saves energy even for compute-bound kernels.
+#pragma once
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "gpusim/roofline.hpp"
+
+namespace fcm::gpusim {
+
+/// Breakdown of one kernel's (or one model's) energy, joules.
+struct EnergyBreakdown {
+  double compute_j = 0.0;
+  double dram_j = 0.0;
+  double static_j = 0.0;
+  double total() const { return compute_j + dram_j + static_j; }
+};
+
+/// Energy of a kernel whose roofline time estimate is `time_s`. INT8 ops are
+/// charged a quarter of the FP32 per-op energy (4 ops per dp4a issue).
+EnergyBreakdown estimate_energy(const DeviceSpec& dev, const KernelStats& stats,
+                                double time_s);
+
+}  // namespace fcm::gpusim

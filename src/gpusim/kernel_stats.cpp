@@ -1,0 +1,36 @@
+#include "gpusim/kernel_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fcm::gpusim {
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  global_load_bytes += o.global_load_bytes;
+  global_store_bytes += o.global_store_bytes;
+  ifm_load_bytes += o.ifm_load_bytes;
+  weight_load_bytes += o.weight_load_bytes;
+  shared_load_bytes += o.shared_load_bytes;
+  shared_store_bytes += o.shared_store_bytes;
+  flops += o.flops;
+  int_ops += o.int_ops;
+  redundant_flops += o.redundant_flops;
+  num_blocks += o.num_blocks;
+  threads_per_block = std::max(threads_per_block, o.threads_per_block);
+  shared_bytes_per_block =
+      std::max(shared_bytes_per_block, o.shared_bytes_per_block);
+  launches += o.launches;
+  bank_conflicts += o.bank_conflicts;
+  return *this;
+}
+
+std::string KernelStats::summary() const {
+  std::ostringstream os;
+  os << "GMA=" << gma_bytes() << "B (ld=" << global_load_bytes
+     << ", st=" << global_store_bytes << ") ops=" << total_ops()
+     << " (redundant=" << redundant_flops << ") blocks=" << num_blocks
+     << " shmem/block=" << shared_bytes_per_block << "B launches=" << launches;
+  return os.str();
+}
+
+}  // namespace fcm::gpusim

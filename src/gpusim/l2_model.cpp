@@ -1,0 +1,47 @@
+#include "gpusim/l2_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fcm::gpusim {
+
+namespace {
+
+/// DRAM bytes for one traffic class after L2 filtering.
+std::int64_t filtered(std::int64_t counted, std::int64_t footprint,
+                      std::int64_t l2_budget) {
+  if (footprint <= 0 || counted <= 0) return counted;
+  if (footprint > l2_budget) return counted;  // does not fit: all misses
+  // Fits: first fetch from DRAM, reloads served by L2. A kernel may touch
+  // less than the whole array (boundary tiles), so never charge more than
+  // what was actually counted.
+  return std::min(counted, footprint);
+}
+
+}  // namespace
+
+KernelStats apply_l2(const DeviceSpec& dev, const KernelStats& stats,
+                     std::int64_t ifm_footprint_bytes,
+                     std::int64_t weight_footprint_bytes,
+                     const L2Params& params) {
+  FCM_CHECK(params.l2_share > 0.0 && params.l2_share <= 1.0,
+            "apply_l2: bad l2_share");
+  FCM_CHECK(stats.ifm_load_bytes + stats.weight_load_bytes <=
+                stats.global_load_bytes,
+            "apply_l2: classified loads exceed total loads");
+  const std::int64_t budget = static_cast<std::int64_t>(
+      static_cast<double>(dev.l2_bytes) * params.l2_share);
+
+  KernelStats out = stats;
+  out.ifm_load_bytes = filtered(stats.ifm_load_bytes, ifm_footprint_bytes,
+                                budget);
+  out.weight_load_bytes = filtered(stats.weight_load_bytes,
+                                   weight_footprint_bytes, budget);
+  out.global_load_bytes = stats.global_load_bytes -
+                          (stats.ifm_load_bytes - out.ifm_load_bytes) -
+                          (stats.weight_load_bytes - out.weight_load_bytes);
+  return out;
+}
+
+}  // namespace fcm::gpusim

@@ -1,0 +1,63 @@
+#include "gpusim/roofline.hpp"
+
+#include <algorithm>
+
+namespace fcm::gpusim {
+
+double arithmetic_intensity(const KernelStats& stats) {
+  const double bytes = static_cast<double>(stats.gma_bytes());
+  if (bytes <= 0.0) return 0.0;
+  return static_cast<double>(stats.total_ops()) / bytes;
+}
+
+double ridge_intensity_f32(const DeviceSpec& dev, const RooflineParams& p) {
+  return (dev.peak_fp32_flops() * p.compute_efficiency) /
+         (dev.dram_bandwidth_Bps * p.memory_efficiency);
+}
+
+double ridge_intensity_i8(const DeviceSpec& dev, const RooflineParams& p) {
+  return (dev.peak_int8_ops() * p.compute_efficiency) /
+         (dev.dram_bandwidth_Bps * p.memory_efficiency);
+}
+
+Timing estimate_time(const DeviceSpec& dev, const KernelStats& stats,
+                     const RooflineParams& params) {
+  Timing t;
+
+  // Occupancy: fewer resident blocks than SMs leaves SMs idle.
+  const double blocks = static_cast<double>(std::max<std::int64_t>(
+      stats.num_blocks, 1));
+  const double util =
+      std::min(1.0, blocks / static_cast<double>(std::max(dev.num_sms, 1)));
+
+  // FP32 and INT8 work can coexist in a profile (e.g. int8 conv with fp32
+  // epilogue); time each at its own throughput.
+  const double fp32_rate =
+      dev.peak_fp32_flops() * params.compute_efficiency * util;
+  const double int8_rate =
+      dev.peak_int8_ops() * params.compute_efficiency * util;
+  t.compute_s = static_cast<double>(stats.flops) / fp32_rate +
+                static_cast<double>(stats.int_ops) / int8_rate;
+
+  const double mem_rate =
+      dev.dram_bandwidth_Bps * params.memory_efficiency * util;
+  t.memory_s = static_cast<double>(stats.gma_bytes()) / mem_rate;
+  const double gma = static_cast<double>(std::max<std::int64_t>(stats.gma_bytes(), 1));
+  t.read_fraction = static_cast<double>(stats.global_load_bytes) / gma;
+
+  // Shared-memory traffic including the serialisation cost of bank
+  // conflicts (each conflicting transaction replays a 128-byte warp access).
+  const double shared_bytes =
+      static_cast<double>(stats.shared_load_bytes + stats.shared_store_bytes) +
+      static_cast<double>(stats.bank_conflicts) * 128.0;
+  t.shared_s =
+      shared_bytes / (dev.dram_bandwidth_Bps * params.shared_bw_multiplier);
+
+  t.overhead_s = dev.kernel_launch_overhead_s *
+                 static_cast<double>(std::max(stats.launches, 1));
+  t.total_s = std::max({t.compute_s, t.memory_s, t.shared_s}) + t.overhead_s;
+  t.bound = t.compute_s >= t.memory_s ? Bound::kCompute : Bound::kMemory;
+  return t;
+}
+
+}  // namespace fcm::gpusim

@@ -1,0 +1,62 @@
+// Roofline timing model.
+//
+// Converts a kernel's (ops, bytes) profile into an execution-time estimate
+// for a device, and classifies the kernel as compute- or memory-bound — the
+// classification the paper reports in Table III and uses throughout §VI to
+// explain which fusions translate memory savings into speedup.
+#pragma once
+
+#include "common/types.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+
+namespace fcm::gpusim {
+
+/// Which roofline a kernel sits under.
+enum class Bound { kCompute, kMemory };
+
+inline const char* bound_name(Bound b) {
+  return b == Bound::kCompute ? "C" : "M";
+}
+
+/// Time estimate for one kernel (or a fused module executed as one kernel).
+struct Timing {
+  double compute_s = 0.0;  ///< arithmetic pipeline time
+  double memory_s = 0.0;   ///< DRAM traffic time
+  double shared_s = 0.0;   ///< shared-memory + bank-conflict time
+  double overhead_s = 0.0; ///< kernel launch overhead
+  double total_s = 0.0;    ///< max(compute, memory, shared) + overhead
+  Bound bound = Bound::kMemory;
+  /// Fraction of read traffic in memory_s (Fig. 8 splits loads vs stores).
+  double read_fraction = 0.0;
+};
+
+/// Tunable efficiency factors: sustained fraction of the respective peak a
+/// well-written direct-convolution kernel achieves. Defaults are calibrated
+/// to typical Nsight measurements of handwritten kernels.
+struct RooflineParams {
+  double compute_efficiency = 0.55;
+  double memory_efficiency = 0.78;
+  /// Aggregate shared-memory bandwidth relative to DRAM bandwidth. On the
+  /// evaluated GPUs the per-SM SRAM aggregate is 25–45× the DRAM bandwidth
+  /// (e.g. RTX-A4000: 48 SMs × 128 B/cycle × 1.56 GHz ≈ 9.6 TB/s vs
+  /// 0.45 TB/s DRAM); OS-LWS kernels additionally register-cache weights, so
+  /// shared traffic only binds under heavy bank conflicts.
+  double shared_bw_multiplier = 40.0;
+};
+
+/// Estimate execution time of a kernel with the given stats on `dev`.
+/// Occupancy: a grid with fewer blocks than SMs only engages that fraction of
+/// the device (the paper's second planner constraint exists to avoid this).
+Timing estimate_time(const DeviceSpec& dev, const KernelStats& stats,
+                     const RooflineParams& params = {});
+
+/// Arithmetic intensity (ops per DRAM byte) of a stats profile.
+double arithmetic_intensity(const KernelStats& stats);
+
+/// Intensity at the roofline ridge point for `dev` (ops/byte above which a
+/// kernel is compute-bound), for FP32 and INT8 respectively.
+double ridge_intensity_f32(const DeviceSpec& dev, const RooflineParams& p = {});
+double ridge_intensity_i8(const DeviceSpec& dev, const RooflineParams& p = {});
+
+}  // namespace fcm::gpusim

@@ -1,0 +1,114 @@
+#include "kernels/conv_ref.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm {
+
+namespace {
+
+// Shared loop structure: Acc is float or int32, In is float or int8.
+template <typename In, typename Acc>
+Acc accumulate_one(const LayerSpec& spec, const Tensor<In>& ifm,
+                   const WeightTensor<In>& w, int f, int oh, int ow) {
+  Acc acc = 0;
+  const int ih0 = oh * spec.stride - spec.pad;
+  const int iw0 = ow * spec.stride - spec.pad;
+  switch (spec.kind) {
+    case ConvKind::kPointwise: {
+      for (int c = 0; c < spec.in_c; ++c) {
+        acc += static_cast<Acc>(ifm.at(c, oh, ow)) *
+               static_cast<Acc>(w.at(f, c, 0, 0));
+      }
+      break;
+    }
+    case ConvKind::kDepthwise: {
+      const int c = f;  // one filter slice per channel
+      for (int kh = 0; kh < spec.kh; ++kh) {
+        const int ih = ih0 + kh;
+        if (ih < 0 || ih >= spec.in_h) continue;
+        for (int kw = 0; kw < spec.kw; ++kw) {
+          const int iw = iw0 + kw;
+          if (iw < 0 || iw >= spec.in_w) continue;
+          acc += static_cast<Acc>(ifm.at(c, ih, iw)) *
+                 static_cast<Acc>(w.at(f, 0, kh, kw));
+        }
+      }
+      break;
+    }
+    case ConvKind::kStandard: {
+      for (int c = 0; c < spec.in_c; ++c) {
+        for (int kh = 0; kh < spec.kh; ++kh) {
+          const int ih = ih0 + kh;
+          if (ih < 0 || ih >= spec.in_h) continue;
+          for (int kw = 0; kw < spec.kw; ++kw) {
+            const int iw = iw0 + kw;
+            if (iw < 0 || iw >= spec.in_w) continue;
+            acc += static_cast<Acc>(ifm.at(c, ih, iw)) *
+                   static_cast<Acc>(w.at(f, c, kh, kw));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return acc;
+}
+
+template <typename In>
+void check_args(const LayerSpec& spec, const Tensor<In>& ifm,
+                const WeightTensor<In>& w) {
+  spec.validate();
+  FCM_CHECK(ifm.shape() == spec.ifm_shape(), spec.name + ": IFM shape mismatch");
+  FCM_CHECK(w.shape() == spec.filter_shape(),
+            spec.name + ": weight shape mismatch");
+}
+
+}  // namespace
+
+TensorF conv_ref_f32(const LayerSpec& spec, const TensorF& ifm,
+                     const WeightsF& w, const EpilogueF32& ep) {
+  check_args(spec, ifm, w);
+  TensorF ofm(spec.ofm_shape());
+  for (int f = 0; f < spec.out_c; ++f) {
+    for (int oh = 0; oh < spec.out_h(); ++oh) {
+      for (int ow = 0; ow < spec.out_w(); ++ow) {
+        const float acc = accumulate_one<float, float>(spec, ifm, w, f, oh, ow);
+        ofm.at(f, oh, ow) = ep.apply(f, acc);
+      }
+    }
+  }
+  return ofm;
+}
+
+TensorI32 conv_ref_i8_acc(const LayerSpec& spec, const TensorI8& ifm,
+                          const WeightsI8& w) {
+  check_args(spec, ifm, w);
+  TensorI32 acc(spec.ofm_shape());
+  for (int f = 0; f < spec.out_c; ++f) {
+    for (int oh = 0; oh < spec.out_h(); ++oh) {
+      for (int ow = 0; ow < spec.out_w(); ++ow) {
+        acc.at(f, oh, ow) =
+            accumulate_one<std::int8_t, std::int32_t>(spec, ifm, w, f, oh, ow);
+      }
+    }
+  }
+  return acc;
+}
+
+TensorI8 conv_ref_i8(const LayerSpec& spec, const TensorI8& ifm,
+                     const WeightsI8& w, const EpilogueI8& ep) {
+  check_args(spec, ifm, w);
+  TensorI8 ofm(spec.ofm_shape());
+  for (int f = 0; f < spec.out_c; ++f) {
+    for (int oh = 0; oh < spec.out_h(); ++oh) {
+      for (int ow = 0; ow < spec.out_w(); ++ow) {
+        const std::int32_t acc =
+            accumulate_one<std::int8_t, std::int32_t>(spec, ifm, w, f, oh, ow);
+        ofm.at(f, oh, ow) = ep.apply(f, acc);
+      }
+    }
+  }
+  return ofm;
+}
+
+}  // namespace fcm

@@ -1,0 +1,136 @@
+#include "kernels/dw_kernel.hpp"
+
+#include <algorithm>
+
+#include "gpusim/launch.hpp"
+
+namespace fcm {
+
+namespace {
+
+constexpr int kThreads = 256;
+
+template <typename In, typename Acc, typename Ep>
+gpusim::KernelStats run_dw_impl(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& spec, const Tensor<In>& ifm,
+                                const WeightTensor<In>& w, const Ep& ep,
+                                Tensor<In>& ofm, const ConvTiling& t,
+                                DType dt) {
+  spec.validate();
+  FCM_CHECK(spec.kind == ConvKind::kDepthwise, spec.name + ": not depthwise");
+  FCM_CHECK(t.valid(), spec.name + ": invalid tiling");
+  FCM_CHECK(ifm.shape() == spec.ifm_shape(), spec.name + ": IFM shape");
+  FCM_CHECK(ofm.shape() == spec.ofm_shape(), spec.name + ": OFM shape");
+  FCM_CHECK(w.shape() == spec.filter_shape(), spec.name + ": weight shape");
+
+  const int C = spec.out_c;
+  const int H = spec.out_h();
+  const int W = spec.out_w();
+  const std::int64_t nc = ceil_div(C, t.tile_f);
+  const std::int64_t nh = ceil_div(H, t.tile_h);
+  const std::int64_t nw = ceil_div(W, t.tile_w);
+  const std::int64_t esz = static_cast<std::int64_t>(dtype_size(dt));
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = nc * nh * nw;
+  cfg.threads_per_block = kThreads;
+  cfg.shared_bytes = dw_shared_bytes(spec, t, dt);
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t bid = ctx.block_id();
+    const int ci = static_cast<int>(bid / (nh * nw));
+    const int hi = static_cast<int>((bid / nw) % nh);
+    const int wi = static_cast<int>(bid % nw);
+
+    const int c0 = ci * t.tile_f;
+    const int ccur = std::min(t.tile_f, C - c0);
+    const int oh0 = hi * t.tile_h;
+    const int hcur = std::min(t.tile_h, H - oh0);
+    const int ow0 = wi * t.tile_w;
+    const int wcur = std::min(t.tile_w, W - ow0);
+
+    // Part 2: prefetch the block's filter slices into shared memory.
+    auto wtile = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(t.tile_f) * spec.kh * spec.kw, "dw_weights");
+    for (int c = 0; c < ccur; ++c) {
+      for (int kh = 0; kh < spec.kh; ++kh) {
+        for (int kw = 0; kw < spec.kw; ++kw) {
+          wtile[(static_cast<std::size_t>(c) * spec.kh + kh) * spec.kw + kw] =
+              w.at(c0 + c, 0, kh, kw);
+        }
+      }
+    }
+    const std::int64_t wbytes =
+        static_cast<std::int64_t>(ccur) * spec.kh * spec.kw * esz;
+    ctx.load_weights(wbytes);
+    ctx.shared_store(wbytes);
+    ctx.shared().note_warp_access(1, ceil_div(wbytes, 4 * kWarpSize));
+
+    // IFM tile with halo, clamped to the image: these are the per-block
+    // global loads; overlap regions between adjacent blocks are thus loaded
+    // once per sharing block (paper Fig. 3a).
+    const int ih_lo = std::max(0, oh0 * spec.stride - spec.pad);
+    const int ih_hi = std::min(spec.in_h,
+                               (oh0 + hcur - 1) * spec.stride - spec.pad + spec.kh);
+    const int iw_lo = std::max(0, ow0 * spec.stride - spec.pad);
+    const int iw_hi = std::min(spec.in_w,
+                               (ow0 + wcur - 1) * spec.stride - spec.pad + spec.kw);
+    ctx.load_ifm(static_cast<std::int64_t>(ccur) * (ih_hi - ih_lo) *
+                 (iw_hi - iw_lo) * esz);
+
+    // Part 3: conv-norm-act with partial sums in registers.
+    std::int64_t macs = 0;
+    for (int c = 0; c < ccur; ++c) {
+      const In* ws = &wtile[static_cast<std::size_t>(c) * spec.kh * spec.kw];
+      for (int oh = oh0; oh < oh0 + hcur; ++oh) {
+        for (int ow = ow0; ow < ow0 + wcur; ++ow) {
+          Acc acc = 0;
+          const int ih0 = oh * spec.stride - spec.pad;
+          const int iw0 = ow * spec.stride - spec.pad;
+          for (int kh = 0; kh < spec.kh; ++kh) {
+            const int ih = ih0 + kh;
+            if (ih < 0 || ih >= spec.in_h) continue;
+            for (int kw = 0; kw < spec.kw; ++kw) {
+              const int iw = iw0 + kw;
+              if (iw < 0 || iw >= spec.in_w) continue;
+              acc += static_cast<Acc>(ifm.at(c0 + c, ih, iw)) *
+                     static_cast<Acc>(ws[kh * spec.kw + kw]);
+              ++macs;
+            }
+          }
+          ofm.at(c0 + c, oh, ow) = ep.apply(c0 + c, acc);
+        }
+      }
+    }
+    ctx.shared_load(macs * esz);
+    const std::int64_t outs = static_cast<std::int64_t>(ccur) * hcur * wcur;
+    if (dt == DType::kF32) {
+      ctx.add_flops(2 * macs + outs * ep.ops_per_element());
+    } else {
+      ctx.add_int_ops(2 * macs);
+      ctx.add_flops(outs * ep.ops_per_element());
+    }
+    ctx.global_store(outs * esz);
+  };
+
+  return launch_kernel(dev, "dw/" + spec.name, cfg, body);
+}
+
+}  // namespace
+
+gpusim::KernelStats run_dw_f32(const gpusim::DeviceSpec& dev,
+                               const LayerSpec& spec, const TensorF& ifm,
+                               const WeightsF& w, const EpilogueF32& ep,
+                               TensorF& ofm, const ConvTiling& t) {
+  return run_dw_impl<float, float>(dev, spec, ifm, w, ep, ofm, t, DType::kF32);
+}
+
+gpusim::KernelStats run_dw_i8(const gpusim::DeviceSpec& dev,
+                              const LayerSpec& spec, const TensorI8& ifm,
+                              const WeightsI8& w, const EpilogueI8& ep,
+                              TensorI8& ofm, const ConvTiling& t) {
+  return run_dw_impl<std::int8_t, std::int32_t>(dev, spec, ifm, w, ep, ofm, t,
+                                                DType::kI8);
+}
+
+}  // namespace fcm

@@ -1,0 +1,32 @@
+// Layer-by-layer depthwise convolution kernel.
+//
+// OS-LWS dataflow: each thread block owns a (channel-tile, spatial-tile)
+// pair. Because at least one whole filter slice must be resident per SM
+// (paper §IV-A: "there are no weight tiles splitting filters' height and
+// width"), weights are loaded once per spatial tile, and the only repeated
+// IFM traffic is the halo overlap between adjacent spatial tiles — the
+// quantity the paper's Eq. 1 counts and Eq. 3 charges as 2·D·Overlap.
+#pragma once
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 depthwise conv + fused norm/activation. `t.tile_f` tiles channels.
+gpusim::KernelStats run_dw_f32(const gpusim::DeviceSpec& dev,
+                               const LayerSpec& spec, const TensorF& ifm,
+                               const WeightsF& w, const EpilogueF32& ep,
+                               TensorF& ofm, const ConvTiling& t);
+
+/// INT8 depthwise conv + quantising epilogue.
+gpusim::KernelStats run_dw_i8(const gpusim::DeviceSpec& dev,
+                              const LayerSpec& spec, const TensorI8& ifm,
+                              const WeightsI8& w, const EpilogueI8& ep,
+                              TensorI8& ofm, const ConvTiling& t);
+
+}  // namespace fcm

@@ -1,0 +1,10 @@
+#include "kernels/epilogue.hpp"
+
+// Header-only; translation unit kept so the header type-checks standalone.
+namespace fcm {
+namespace {
+[[maybe_unused]] float touch_f32(const BatchNorm& bn) {
+  return EpilogueF32(bn, ActKind::kReLU).apply(0, 1.0f);
+}
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,73 @@
+// Fused normalisation + activation epilogues.
+//
+// Every kernel in this library — LBL and FCM alike — applies the layer's
+// norm and activation in the same pass that produces the convolution result
+// (the paper's "Compute Conv-Norm-Activation" skeleton steps), so the
+// epilogue is factored out here once for both precisions.
+//
+// INT8 quantisation scheme (symmetric, per-tensor scales, the common
+// inference setup): real = q * scale. A convolution of int8 inputs and
+// weights accumulates exactly in int32; the epilogue rescales the int32
+// accumulator to real, applies BN + activation in FP32, then requantises to
+// the layer's output scale with saturation. LBL and FCM paths share this
+// code, which is what makes the FCM-equals-LBL bit-exactness tests possible.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "layers/activation.hpp"
+#include "layers/batchnorm.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 epilogue: y = act(bn(acc)).
+class EpilogueF32 {
+ public:
+  EpilogueF32(const BatchNorm& bn, ActKind act) : bn_(&bn), act_(act) {}
+
+  float apply(int channel, float acc) const {
+    return apply_activation(act_, bn_->apply(channel, acc));
+  }
+
+  /// Arithmetic cost per output element (scale+shift = 2 ops + activation).
+  std::int64_t ops_per_element() const { return 2 + activation_ops(act_); }
+
+ private:
+  const BatchNorm* bn_;
+  ActKind act_;
+};
+
+/// Symmetric per-tensor quantisation parameters of one layer.
+struct QuantParams {
+  float in_scale = 1.0f;   ///< real = q_in  * in_scale
+  float w_scale = 1.0f;    ///< real = q_w   * w_scale
+  float out_scale = 1.0f;  ///< real = q_out * out_scale
+};
+
+/// INT8 epilogue: y_q = sat8(round(act(bn(acc * in_scale * w_scale)) / out_scale)).
+class EpilogueI8 {
+ public:
+  EpilogueI8(const BatchNorm& bn, ActKind act, const QuantParams& q)
+      : bn_(&bn), act_(act), acc_scale_(q.in_scale * q.w_scale),
+        out_inv_scale_(1.0f / q.out_scale) {}
+
+  std::int8_t apply(int channel, std::int32_t acc) const {
+    const float real = static_cast<float>(acc) * acc_scale_;
+    const float y = apply_activation(act_, bn_->apply(channel, real));
+    const long r = std::lroundf(y * out_inv_scale_);
+    return static_cast<std::int8_t>(std::clamp<long>(r, -128, 127));
+  }
+
+  std::int64_t ops_per_element() const { return 5 + activation_ops(act_); }
+
+ private:
+  const BatchNorm* bn_;
+  ActKind act_;
+  float acc_scale_;
+  float out_inv_scale_;
+};
+
+}  // namespace fcm

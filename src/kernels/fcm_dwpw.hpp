@@ -1,0 +1,43 @@
+// Fused Convolutional Module: DW → PW (paper Fig. 3b "DWPW", Fig. 4).
+//
+// One kernel fuses up to six layers: DW conv + norm + act, then PW conv +
+// norm + act. Each thread block owns one spatial tile of the module output.
+// The DW stage computes *all* channels of the intermediate for that tile —
+// required because the PW needs every channel of each intermediate pixel
+// (paper §II-D, second fusion constraint) — and writes it to the shared
+// commBuffer (skeleton Part 1). The PW stage then streams its filters in
+// in-block chunks, reusing the on-chip intermediate, so the DW OFM / PW IFM
+// never touches global memory. DWPW has no redundant computation: the halo
+// the DW needs already exists in the IFM in global memory.
+#pragma once
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 DWPW module. `dw`/`pw` must chain (pw.ifm == dw.ofm); `ofm` must be
+/// pre-shaped to pw.ofm_shape(). `t.chunk_f` sets the in-block PW filter
+/// chunk.
+gpusim::KernelStats run_dwpw_f32(const gpusim::DeviceSpec& dev,
+                                 const LayerSpec& dw, const LayerSpec& pw,
+                                 const TensorF& ifm, const WeightsF& w_dw,
+                                 const WeightsF& w_pw, const EpilogueF32& ep1,
+                                 const EpilogueF32& ep2, TensorF& ofm,
+                                 const FcmTiling& t);
+
+/// INT8 DWPW module. The intermediate is requantised to int8 by `ep1` before
+/// entering the commBuffer (packed stores, as in the paper), so results are
+/// bit-identical to running the two INT8 LBL kernels back to back.
+gpusim::KernelStats run_dwpw_i8(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& dw, const LayerSpec& pw,
+                                const TensorI8& ifm, const WeightsI8& w_dw,
+                                const WeightsI8& w_pw, const EpilogueI8& ep1,
+                                const EpilogueI8& ep2, TensorI8& ofm,
+                                const FcmTiling& t);
+
+}  // namespace fcm

@@ -1,0 +1,45 @@
+// Fused Convolutional Module: PW → DW (paper Fig. 3b "PWDW_R" and the
+// redundancy-free "PWDW" variant, Fig. 4).
+//
+// Blocks tile the *channel* dimension of the intermediate in groups of
+// `tile_c` — legal because DW is channel-separable, so a block that computes
+// tile_c channels of the PW output can finish the DW for exactly those
+// channels without talking to any other block.
+//
+//  - PWDW (no redundant compute): no spatial tiling (tile_h/tile_w cover the
+//    whole OFM, paper §III-A: "PWDW does not require redundant computations
+//    if there is no tiling across the width and height"). Every intermediate
+//    element is computed exactly once.
+//  - PWDW_R: blocks additionally tile the OFM spatially; the DW halo of the
+//    intermediate does not exist in global memory, so each block recomputes
+//    it from (redundantly re-loaded) PW inputs. The kernel counts those MACs
+//    as `redundant_flops` — the ratio reported in the paper's Table II.
+#pragma once
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 PWDW module (both variants: pass tile_h == dw.out_h() and
+/// tile_w == dw.out_w() for the redundancy-free PWDW).
+gpusim::KernelStats run_pwdw_f32(const gpusim::DeviceSpec& dev,
+                                 const LayerSpec& pw, const LayerSpec& dw,
+                                 const TensorF& ifm, const WeightsF& w_pw,
+                                 const WeightsF& w_dw, const EpilogueF32& ep1,
+                                 const EpilogueF32& ep2, TensorF& ofm,
+                                 const FcmTiling& t);
+
+/// INT8 PWDW module.
+gpusim::KernelStats run_pwdw_i8(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& pw, const LayerSpec& dw,
+                                const TensorI8& ifm, const WeightsI8& w_pw,
+                                const WeightsI8& w_dw, const EpilogueI8& ep1,
+                                const EpilogueI8& ep2, TensorI8& ofm,
+                                const FcmTiling& t);
+
+}  // namespace fcm

@@ -1,0 +1,264 @@
+#include "kernels/fcm_pwdwpw.hpp"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "gpusim/launch.hpp"
+
+namespace fcm {
+
+namespace {
+
+constexpr int kThreads = 256;
+
+template <typename In, typename Ep>
+gpusim::KernelStats run_pwdwpw_impl(
+    const gpusim::DeviceSpec& dev, const LayerSpec& pw1, const LayerSpec& dw,
+    const LayerSpec& pw2, const Tensor<In>& ifm, const WeightTensor<In>& w1t,
+    const WeightTensor<In>& wdt, const WeightTensor<In>& w2t, const Ep& ep1,
+    const Ep& epd, const Ep& ep2, Tensor<In>& ofm, const FcmTiling& t,
+    DType dt) {
+  using Acc = std::conditional_t<std::is_same_v<In, float>, float, std::int32_t>;
+
+  pw1.validate();
+  dw.validate();
+  pw2.validate();
+  FCM_CHECK(pw1.kind == ConvKind::kPointwise &&
+                dw.kind == ConvKind::kDepthwise &&
+                pw2.kind == ConvKind::kPointwise,
+            "PWDWPW: wrong layer kinds");
+  FCM_CHECK(dw.ifm_shape() == pw1.ofm_shape(), "PWDWPW: pw1→dw do not chain");
+  FCM_CHECK(pw2.ifm_shape() == dw.ofm_shape(), "PWDWPW: dw→pw2 do not chain");
+  FCM_CHECK(t.valid() && t.chunk_f > 0, "PWDWPW: invalid tiling");
+  FCM_CHECK(ifm.shape() == pw1.ifm_shape(), "PWDWPW: IFM shape");
+  FCM_CHECK(ofm.shape() == pw2.ofm_shape(), "PWDWPW: OFM shape");
+
+  const int C1 = pw1.in_c;
+  const int C2 = pw1.out_c;  // bottleneck width
+  const int F3 = pw2.out_c;
+  const int H = pw2.out_h();
+  const int W = pw2.out_w();
+  const int Hm = dw.in_h;
+  const int Wm = dw.in_w;
+  const std::int64_t nh = ceil_div(H, t.tile_h);
+  const std::int64_t nw = ceil_div(W, t.tile_w);
+  const std::int64_t esz = static_cast<std::int64_t>(dtype_size(dt));
+  const int mid_th = in_extent(t.tile_h, dw.kh, dw.stride);
+  const int mid_tw = in_extent(t.tile_w, dw.kw, dw.stride);
+  const std::int64_t mid_hw = static_cast<std::int64_t>(mid_th) * mid_tw;
+  const std::int64_t tile_hw = static_cast<std::int64_t>(t.tile_h) * t.tile_w;
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = nh * nw;
+  cfg.threads_per_block = kThreads;
+  cfg.shared_bytes = pwdwpw_shared_bytes(pw1, dw, pw2, t, dt);
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t bid = ctx.block_id();
+    const int hi = static_cast<int>(bid / nw);
+    const int wi = static_cast<int>(bid % nw);
+    const int oh0 = hi * t.tile_h;
+    const int hcur = std::min(t.tile_h, H - oh0);
+    const int ow0 = wi * t.tile_w;
+    const int wcur = std::min(t.tile_w, W - ow0);
+
+    // Intermediate-1 region this block needs (clamped to the image).
+    const int mh_lo = std::max(0, oh0 * dw.stride - dw.pad);
+    const int mh_hi =
+        std::min(Hm, (oh0 + hcur - 1) * dw.stride - dw.pad + dw.kh);
+    const int mw_lo = std::max(0, ow0 * dw.stride - dw.pad);
+    const int mw_hi =
+        std::min(Wm, (ow0 + wcur - 1) * dw.stride - dw.pad + dw.kw);
+    const int mh_cnt = mh_hi - mh_lo;
+    const int mw_cnt = mw_hi - mw_lo;
+
+    // Redundantly recomputed halo (primary-owner attribution, as PWDW_R).
+    const int red_h =
+        hi > 0 ? std::max(0, ((oh0 - 1) * dw.stride - dw.pad + dw.kh) - mh_lo)
+               : 0;
+    const int red_w =
+        wi > 0 ? std::max(0, ((ow0 - 1) * dw.stride - dw.pad + dw.kw) - mw_lo)
+               : 0;
+    const std::int64_t red_elems =
+        static_cast<std::int64_t>(mh_cnt) * mw_cnt -
+        static_cast<std::int64_t>(mh_cnt - red_h) * (mw_cnt - red_w);
+
+    auto comm1 = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(C2) * mid_hw, "commBuffer1");
+    auto comm2 = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(C2) * tile_hw, "commBuffer2");
+    auto w1c = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(t.chunk_f) * C1, "pw1_weights_chunk");
+    const int cg = std::min(C2, kWarpSize);
+    auto wdg = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(cg) * dw.kh * dw.kw, "dw_weights_group");
+    auto w2c = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(t.chunk_f) * C2, "pw2_weights_chunk");
+
+    // Module IFM tile (halo'd): read once per block, revisited through L1 by
+    // the PW1 filter chunks (the L1 constraint keeps it resident).
+    ctx.load_ifm(static_cast<std::int64_t>(C1) * mh_cnt * mw_cnt * esz);
+
+    // Phase A: PW1 over the halo'd region into commBuffer1, filters chunked.
+    std::int64_t macs1 = 0;
+    for (int m0 = 0; m0 < C2; m0 += t.chunk_f) {
+      const int mcur = std::min(t.chunk_f, C2 - m0);
+      for (int m = 0; m < mcur; ++m) {
+        for (int c = 0; c < C1; ++c) {
+          w1c[static_cast<std::size_t>(m) * C1 + c] = w1t.at(m0 + m, c, 0, 0);
+        }
+      }
+      const std::int64_t wbytes = static_cast<std::int64_t>(mcur) * C1 * esz;
+      ctx.load_weights(wbytes);
+      ctx.shared_store(wbytes);
+
+      for (int m = 0; m < mcur; ++m) {
+        const In* wrow = &w1c[static_cast<std::size_t>(m) * C1];
+        for (int mh = mh_lo; mh < mh_hi; ++mh) {
+          for (int mw = mw_lo; mw < mw_hi; ++mw) {
+            Acc acc = 0;
+            for (int c = 0; c < C1; ++c) {
+              acc += static_cast<Acc>(ifm.at(c, mh, mw)) *
+                     static_cast<Acc>(wrow[c]);
+            }
+            comm1[static_cast<std::size_t>(m0 + m) * mid_hw +
+                  static_cast<std::size_t>(mh - mh_lo) * mid_tw +
+                  (mw - mw_lo)] = ep1.apply(m0 + m, acc);
+          }
+        }
+        macs1 += static_cast<std::int64_t>(mh_cnt) * mw_cnt * C1;
+      }
+    }
+    const std::int64_t mid1_elems =
+        static_cast<std::int64_t>(C2) * mh_cnt * mw_cnt;
+    ctx.shared_store(mid1_elems * esz);
+    ctx.shared().note_warp_access(1, ceil_div(mid1_elems * esz, 4 * kWarpSize));
+
+    // Phase B: DW from commBuffer1 into commBuffer2, weight groups staged.
+    std::int64_t macs2 = 0;
+    for (int c = 0; c < C2; ++c) {
+      if (c % cg == 0) {
+        const int gcur = std::min(cg, C2 - c);
+        for (int g = 0; g < gcur; ++g) {
+          for (int kh = 0; kh < dw.kh; ++kh) {
+            for (int kw = 0; kw < dw.kw; ++kw) {
+              wdg[(static_cast<std::size_t>(g) * dw.kh + kh) * dw.kw + kw] =
+                  wdt.at(c + g, 0, kh, kw);
+            }
+          }
+        }
+        const std::int64_t gbytes =
+            static_cast<std::int64_t>(gcur) * dw.kh * dw.kw * esz;
+        ctx.load_weights(gbytes);
+        ctx.shared_store(gbytes);
+      }
+      const In* ws = &wdg[static_cast<std::size_t>(c % cg) * dw.kh * dw.kw];
+      for (int oh = oh0; oh < oh0 + hcur; ++oh) {
+        for (int ow = ow0; ow < ow0 + wcur; ++ow) {
+          Acc acc = 0;
+          const int ih0 = oh * dw.stride - dw.pad;
+          const int iw0 = ow * dw.stride - dw.pad;
+          for (int kh = 0; kh < dw.kh; ++kh) {
+            const int mh = ih0 + kh;
+            if (mh < mh_lo || mh >= mh_hi) continue;  // zero padding
+            for (int kw = 0; kw < dw.kw; ++kw) {
+              const int mw = iw0 + kw;
+              if (mw < mw_lo || mw >= mw_hi) continue;
+              acc += static_cast<Acc>(
+                         comm1[static_cast<std::size_t>(c) * mid_hw +
+                               static_cast<std::size_t>(mh - mh_lo) * mid_tw +
+                               (mw - mw_lo)]) *
+                     static_cast<Acc>(ws[kh * dw.kw + kw]);
+              ++macs2;
+            }
+          }
+          comm2[static_cast<std::size_t>(c) * tile_hw +
+                static_cast<std::size_t>(oh - oh0) * t.tile_w + (ow - ow0)] =
+              epd.apply(c, acc);
+        }
+      }
+    }
+    const std::int64_t mid2_elems =
+        static_cast<std::int64_t>(C2) * hcur * wcur;
+    ctx.shared_store(mid2_elems * esz);
+
+    // Phase C: PW2 from commBuffer2 to the module OFM, filters chunked.
+    std::int64_t macs3 = 0;
+    for (int f0 = 0; f0 < F3; f0 += t.chunk_f) {
+      const int fcur = std::min(t.chunk_f, F3 - f0);
+      for (int f = 0; f < fcur; ++f) {
+        for (int m = 0; m < C2; ++m) {
+          w2c[static_cast<std::size_t>(f) * C2 + m] = w2t.at(f0 + f, m, 0, 0);
+        }
+      }
+      const std::int64_t wbytes = static_cast<std::int64_t>(fcur) * C2 * esz;
+      ctx.load_weights(wbytes);
+      ctx.shared_store(wbytes);
+
+      for (int f = 0; f < fcur; ++f) {
+        const In* wrow = &w2c[static_cast<std::size_t>(f) * C2];
+        for (int oh = oh0; oh < oh0 + hcur; ++oh) {
+          for (int ow = ow0; ow < ow0 + wcur; ++ow) {
+            Acc acc = 0;
+            const std::size_t local =
+                static_cast<std::size_t>(oh - oh0) * t.tile_w + (ow - ow0);
+            for (int m = 0; m < C2; ++m) {
+              acc += static_cast<Acc>(
+                         comm2[static_cast<std::size_t>(m) * tile_hw + local]) *
+                     static_cast<Acc>(wrow[m]);
+            }
+            ofm.at(f0 + f, oh, ow) = ep2.apply(f0 + f, acc);
+          }
+        }
+        macs3 += static_cast<std::int64_t>(hcur) * wcur * C2;
+      }
+    }
+    ctx.shared_load((macs1 + 2 * macs2 + 2 * macs3) * esz);
+
+    const std::int64_t red_macs =
+        red_elems * static_cast<std::int64_t>(C2) * C1;
+    const std::int64_t outs = static_cast<std::int64_t>(F3) * hcur * wcur;
+    const std::int64_t ep_flops = mid1_elems * ep1.ops_per_element() +
+                                  mid2_elems * epd.ops_per_element() +
+                                  outs * ep2.ops_per_element();
+    if (dt == DType::kF32) {
+      ctx.add_flops(2 * (macs1 + macs2 + macs3) + ep_flops,
+                    /*redundant=*/2 * red_macs);
+    } else {
+      ctx.add_int_ops(2 * (macs1 + macs2 + macs3), /*redundant=*/2 * red_macs);
+      ctx.add_flops(ep_flops);
+    }
+    ctx.global_store(outs * esz);
+  };
+
+  return launch_kernel(
+      dev, "fcm_pwdwpw/" + pw1.name + "+" + dw.name + "+" + pw2.name, cfg,
+      body);
+}
+
+}  // namespace
+
+gpusim::KernelStats run_pwdwpw_f32(const gpusim::DeviceSpec& dev,
+                                   const LayerSpec& pw1, const LayerSpec& dw,
+                                   const LayerSpec& pw2, const TensorF& ifm,
+                                   const WeightsF& w1, const WeightsF& wd,
+                                   const WeightsF& w2, const EpilogueF32& ep1,
+                                   const EpilogueF32& epd,
+                                   const EpilogueF32& ep2, TensorF& ofm,
+                                   const FcmTiling& t) {
+  return run_pwdwpw_impl<float>(dev, pw1, dw, pw2, ifm, w1, wd, w2, ep1, epd,
+                                ep2, ofm, t, DType::kF32);
+}
+
+gpusim::KernelStats run_pwdwpw_i8(const gpusim::DeviceSpec& dev,
+                                  const LayerSpec& pw1, const LayerSpec& dw,
+                                  const LayerSpec& pw2, const TensorI8& ifm,
+                                  const WeightsI8& w1, const WeightsI8& wd,
+                                  const WeightsI8& w2, const EpilogueI8& ep1,
+                                  const EpilogueI8& epd, const EpilogueI8& ep2,
+                                  TensorI8& ofm, const FcmTiling& t) {
+  return run_pwdwpw_impl<std::int8_t>(dev, pw1, dw, pw2, ifm, w1, wd, w2, ep1,
+                                      epd, ep2, ofm, t, DType::kI8);
+}
+
+}  // namespace fcm

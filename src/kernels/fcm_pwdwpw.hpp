@@ -1,0 +1,57 @@
+// Triple Fused Convolutional Module: PW → DW → PW (library extension).
+//
+// The paper's FCMs fuse two convolutions; an inverted residual bottleneck
+// (MobileNetV2, ProxylessNAS) is a PW-DW-PW *triple* whose two intermediates
+// both have more elements than the block's input or output — exactly the
+// traffic fusion exists to remove. This module executes the whole triple as
+// one kernel: neither intermediate ever touches global memory.
+//
+// Structure per thread block (one spatial tile of the module output):
+//   commBuffer1 — PW1's output over the tile plus the DW halo, full channel
+//                 depth (the DW needs a neighbourhood; halo elements are
+//                 recomputed per block, counted as redundant ops like
+//                 PWDW_R);
+//   commBuffer2 — the DW output tile, full depth (PW2 revisits every element
+//                 once per filter chunk);
+//   PW1/PW2 filters stream through shared memory in chunks; DW slices in
+//   warp-sized channel groups.
+//
+// The cost is three weight tensors streamed per spatial tile and two
+// resident buffers — so the planner selects triples mostly for the
+// small-channel bottlenecks and under INT8, where the paper's own analysis
+// (§IV-B) predicts fusion headroom.
+#pragma once
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 PWDWPW module. Layers must chain (pw1 → dw → pw2); `ofm` must be
+/// pre-shaped to pw2.ofm_shape(). `t.chunk_f` is the in-block filter chunk
+/// used for both PW stages.
+gpusim::KernelStats run_pwdwpw_f32(const gpusim::DeviceSpec& dev,
+                                   const LayerSpec& pw1, const LayerSpec& dw,
+                                   const LayerSpec& pw2, const TensorF& ifm,
+                                   const WeightsF& w1, const WeightsF& wd,
+                                   const WeightsF& w2, const EpilogueF32& ep1,
+                                   const EpilogueF32& epd,
+                                   const EpilogueF32& ep2, TensorF& ofm,
+                                   const FcmTiling& t);
+
+/// INT8 PWDWPW module; both intermediates are requantised to int8 before
+/// entering their commBuffers, so results are bit-identical to the three
+/// INT8 LBL kernels run back-to-back.
+gpusim::KernelStats run_pwdwpw_i8(const gpusim::DeviceSpec& dev,
+                                  const LayerSpec& pw1, const LayerSpec& dw,
+                                  const LayerSpec& pw2, const TensorI8& ifm,
+                                  const WeightsI8& w1, const WeightsI8& wd,
+                                  const WeightsI8& w2, const EpilogueI8& ep1,
+                                  const EpilogueI8& epd, const EpilogueI8& ep2,
+                                  TensorI8& ofm, const FcmTiling& t);
+
+}  // namespace fcm

@@ -1,0 +1,172 @@
+#include "kernels/fcm_pwpw.hpp"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "gpusim/launch.hpp"
+
+namespace fcm {
+
+namespace {
+
+constexpr int kThreads = 256;
+
+template <typename In, typename Ep1, typename Ep2>
+gpusim::KernelStats run_pwpw_impl(const gpusim::DeviceSpec& dev,
+                                  const LayerSpec& pw1, const LayerSpec& pw2,
+                                  const Tensor<In>& ifm,
+                                  const WeightTensor<In>& w1t,
+                                  const WeightTensor<In>& w2t, const Ep1& ep1,
+                                  const Ep2& ep2, Tensor<In>& ofm,
+                                  const FcmTiling& t, DType dt) {
+  using Acc = std::conditional_t<std::is_same_v<In, float>, float, std::int32_t>;
+
+  pw1.validate();
+  pw2.validate();
+  FCM_CHECK(pw1.kind == ConvKind::kPointwise && pw2.kind == ConvKind::kPointwise,
+            "PWPW: wrong layer kinds");
+  FCM_CHECK(pw2.ifm_shape() == pw1.ofm_shape(), "PWPW: layers do not chain");
+  FCM_CHECK(t.valid() && t.chunk_f > 0, "PWPW: invalid tiling");
+  FCM_CHECK(ifm.shape() == pw1.ifm_shape(), "PWPW: IFM shape");
+  FCM_CHECK(ofm.shape() == pw2.ofm_shape(), "PWPW: OFM shape");
+
+  const int C1 = pw1.in_c;
+  const int C2 = pw1.out_c;  // intermediate depth
+  const int F2 = pw2.out_c;
+  const int H = pw2.out_h();
+  const int W = pw2.out_w();
+  const std::int64_t nh = ceil_div(H, t.tile_h);
+  const std::int64_t nw = ceil_div(W, t.tile_w);
+  const std::int64_t esz = static_cast<std::int64_t>(dtype_size(dt));
+  const std::int64_t tile_hw = static_cast<std::int64_t>(t.tile_h) * t.tile_w;
+
+  gpusim::LaunchConfig cfg;
+  cfg.grid_blocks = nh * nw;
+  cfg.threads_per_block = kThreads;
+  cfg.shared_bytes = pwpw_shared_bytes(pw1, pw2, t, dt);
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const std::int64_t bid = ctx.block_id();
+    const int hi = static_cast<int>(bid / nw);
+    const int wi = static_cast<int>(bid % nw);
+    const int oh0 = hi * t.tile_h;
+    const int hcur = std::min(t.tile_h, H - oh0);
+    const int ow0 = wi * t.tile_w;
+    const int wcur = std::min(t.tile_w, W - ow0);
+
+    auto comm = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(C2) * tile_hw, "commBuffer");
+    auto w1c = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(t.chunk_f) * C1, "pw1_weights_chunk");
+    auto w2c = ctx.shared().template allocate<In>(
+        static_cast<std::int64_t>(t.chunk_f) * C2, "pw2_weights_chunk");
+
+    // Module IFM tile: read once per block; chunk loops re-read it through
+    // L1 (the planner's L1-fit constraint covers it).
+    ctx.load_ifm(static_cast<std::int64_t>(C1) * hcur * wcur * esz);
+
+    // Part 3: first PW, filters streamed in chunks, intermediate on-chip.
+    std::int64_t macs1 = 0;
+    for (int m0 = 0; m0 < C2; m0 += t.chunk_f) {
+      const int mcur = std::min(t.chunk_f, C2 - m0);
+      for (int m = 0; m < mcur; ++m) {
+        for (int c = 0; c < C1; ++c) {
+          w1c[static_cast<std::size_t>(m) * C1 + c] = w1t.at(m0 + m, c, 0, 0);
+        }
+      }
+      const std::int64_t wbytes = static_cast<std::int64_t>(mcur) * C1 * esz;
+      ctx.load_weights(wbytes);
+      ctx.shared_store(wbytes);
+
+      for (int m = 0; m < mcur; ++m) {
+        const In* wrow = &w1c[static_cast<std::size_t>(m) * C1];
+        for (int oh = oh0; oh < oh0 + hcur; ++oh) {
+          for (int ow = ow0; ow < ow0 + wcur; ++ow) {
+            Acc acc = 0;
+            for (int c = 0; c < C1; ++c) {
+              acc += static_cast<Acc>(ifm.at(c, oh, ow)) *
+                     static_cast<Acc>(wrow[c]);
+            }
+            comm[static_cast<std::size_t>(m0 + m) * tile_hw +
+                 static_cast<std::size_t>(oh - oh0) * t.tile_w + (ow - ow0)] =
+                ep1.apply(m0 + m, acc);
+          }
+        }
+        macs1 += static_cast<std::int64_t>(hcur) * wcur * C1;
+      }
+    }
+    const std::int64_t mid_elems = static_cast<std::int64_t>(C2) * hcur * wcur;
+    ctx.shared_store(mid_elems * esz);
+    ctx.shared().note_warp_access(1, ceil_div(mid_elems * esz, 4 * kWarpSize));
+
+    // Part 4: second PW from the commBuffer.
+    std::int64_t macs2 = 0;
+    for (int f0 = 0; f0 < F2; f0 += t.chunk_f) {
+      const int fcur = std::min(t.chunk_f, F2 - f0);
+      for (int f = 0; f < fcur; ++f) {
+        for (int m = 0; m < C2; ++m) {
+          w2c[static_cast<std::size_t>(f) * C2 + m] = w2t.at(f0 + f, m, 0, 0);
+        }
+      }
+      const std::int64_t wbytes = static_cast<std::int64_t>(fcur) * C2 * esz;
+      ctx.load_weights(wbytes);
+      ctx.shared_store(wbytes);
+
+      for (int f = 0; f < fcur; ++f) {
+        const In* wrow = &w2c[static_cast<std::size_t>(f) * C2];
+        for (int oh = oh0; oh < oh0 + hcur; ++oh) {
+          for (int ow = ow0; ow < ow0 + wcur; ++ow) {
+            Acc acc = 0;
+            const std::size_t local =
+                static_cast<std::size_t>(oh - oh0) * t.tile_w + (ow - ow0);
+            for (int m = 0; m < C2; ++m) {
+              acc += static_cast<Acc>(
+                         comm[static_cast<std::size_t>(m) * tile_hw + local]) *
+                     static_cast<Acc>(wrow[m]);
+            }
+            ofm.at(f0 + f, oh, ow) = ep2.apply(f0 + f, acc);
+          }
+        }
+        macs2 += static_cast<std::int64_t>(hcur) * wcur * C2;
+      }
+    }
+    ctx.shared_load(macs1 * esz + 2 * macs2 * esz);
+
+    const std::int64_t outs = static_cast<std::int64_t>(F2) * hcur * wcur;
+    if (dt == DType::kF32) {
+      ctx.add_flops(2 * (macs1 + macs2) + mid_elems * ep1.ops_per_element() +
+                    outs * ep2.ops_per_element());
+    } else {
+      ctx.add_int_ops(2 * (macs1 + macs2));
+      ctx.add_flops(mid_elems * ep1.ops_per_element() +
+                    outs * ep2.ops_per_element());
+    }
+    ctx.global_store(outs * esz);
+  };
+
+  return launch_kernel(dev, "fcm_pwpw/" + pw1.name + "+" + pw2.name, cfg, body);
+}
+
+}  // namespace
+
+gpusim::KernelStats run_pwpw_f32(const gpusim::DeviceSpec& dev,
+                                 const LayerSpec& pw1, const LayerSpec& pw2,
+                                 const TensorF& ifm, const WeightsF& w1,
+                                 const WeightsF& w2, const EpilogueF32& ep1,
+                                 const EpilogueF32& ep2, TensorF& ofm,
+                                 const FcmTiling& t) {
+  return run_pwpw_impl<float>(dev, pw1, pw2, ifm, w1, w2, ep1, ep2, ofm, t,
+                              DType::kF32);
+}
+
+gpusim::KernelStats run_pwpw_i8(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& pw1, const LayerSpec& pw2,
+                                const TensorI8& ifm, const WeightsI8& w1,
+                                const WeightsI8& w2, const EpilogueI8& ep1,
+                                const EpilogueI8& ep2, TensorI8& ofm,
+                                const FcmTiling& t) {
+  return run_pwpw_impl<std::int8_t>(dev, pw1, pw2, ifm, w1, w2, ep1, ep2, ofm,
+                                    t, DType::kI8);
+}
+
+}  // namespace fcm

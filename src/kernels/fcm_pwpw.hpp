@@ -1,0 +1,39 @@
+// Fused Convolutional Module: PW → PW (paper Fig. 4, the cross-block fusion
+// between an inverted-residual's projection PW and the next block's
+// expansion PW).
+//
+// With two 1×1 convolutions there is no spatial halo at all: blocks tile the
+// OFM spatially, the first PW produces the full channel depth of the
+// intermediate for its tile into the commBuffer (streaming its filters in
+// in-block chunks), and the second PW consumes it the same way. The module's
+// IFM is read exactly once. The cost is two full weight tensors streamed per
+// spatial tile — which is why the planner selects PWPW mostly under INT8,
+// where weights are 4× smaller (paper §IV-B and Table II).
+#pragma once
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 PWPW module.
+gpusim::KernelStats run_pwpw_f32(const gpusim::DeviceSpec& dev,
+                                 const LayerSpec& pw1, const LayerSpec& pw2,
+                                 const TensorF& ifm, const WeightsF& w1,
+                                 const WeightsF& w2, const EpilogueF32& ep1,
+                                 const EpilogueF32& ep2, TensorF& ofm,
+                                 const FcmTiling& t);
+
+/// INT8 PWPW module.
+gpusim::KernelStats run_pwpw_i8(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& pw1, const LayerSpec& pw2,
+                                const TensorI8& ifm, const WeightsI8& w1,
+                                const WeightsI8& w2, const EpilogueI8& ep1,
+                                const EpilogueI8& ep2, TensorI8& ofm,
+                                const FcmTiling& t);
+
+}  // namespace fcm

@@ -1,0 +1,40 @@
+#include "kernels/int8_pack.hpp"
+
+namespace fcm {
+
+std::vector<std::uint32_t> pack_words(const std::int8_t* data,
+                                      std::int64_t count) {
+  std::vector<std::uint32_t> out(static_cast<std::size_t>((count + 3) / 4), 0u);
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[static_cast<std::size_t>(i / 4)] |=
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i]))
+        << (8 * (i % 4));
+  }
+  return out;
+}
+
+std::vector<std::int8_t> unpack_words(const std::vector<std::uint32_t>& words,
+                                      std::int64_t count) {
+  std::vector<std::int8_t> out(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        unpack_lane(words[static_cast<std::size_t>(i / 4)], static_cast<int>(i % 4));
+  }
+  return out;
+}
+
+std::int32_t dot_dp4a(const std::int8_t* a, const std::int8_t* b,
+                      std::int64_t n) {
+  std::int32_t acc = 0;
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = dp4a(pack4(a[i], a[i + 1], a[i + 2], a[i + 3]),
+               pack4(b[i], b[i + 1], b[i + 2], b[i + 3]), acc);
+  }
+  for (; i < n; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+}  // namespace fcm

@@ -1,0 +1,56 @@
+// INT8 packing and the dp4a intrinsic emulation.
+//
+// The paper's INT8 kernels use the CUDA `dp4a` four-way int8 dot product with
+// 32-bit accumulate, packing every four int8 results into one 32-bit word
+// before writing to any buffer; weights are packed offline (paper §III-B).
+// This module provides the host-side equivalents: pack/unpack helpers and a
+// bit-exact dp4a.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tensor.hpp"
+
+namespace fcm {
+
+/// Pack four int8 lanes (a0 = lowest byte) into one 32-bit word.
+constexpr std::uint32_t pack4(std::int8_t a0, std::int8_t a1, std::int8_t a2,
+                              std::int8_t a3) {
+  return (static_cast<std::uint32_t>(static_cast<std::uint8_t>(a0))) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(a1)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(a2)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(a3)) << 24);
+}
+
+/// Extract lane `i` (0..3) as signed int8.
+constexpr std::int8_t unpack_lane(std::uint32_t v, int i) {
+  return static_cast<std::int8_t>((v >> (8 * i)) & 0xffu);
+}
+
+/// Four-way int8 dot product with int32 accumulate — bit-exact emulation of
+/// CUDA's __dp4a(a, b, acc).
+constexpr std::int32_t dp4a(std::uint32_t a, std::uint32_t b,
+                            std::int32_t acc) {
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<std::int32_t>(unpack_lane(a, i)) *
+           static_cast<std::int32_t>(unpack_lane(b, i));
+  }
+  return acc;
+}
+
+/// Pack a contiguous int8 array into 32-bit words (length rounded up with
+/// zero lanes). Used for the offline weight packing.
+std::vector<std::uint32_t> pack_words(const std::int8_t* data,
+                                      std::int64_t count);
+
+/// Unpack back to int8 (inverse of pack_words modulo zero padding).
+std::vector<std::int8_t> unpack_words(const std::vector<std::uint32_t>& words,
+                                      std::int64_t count);
+
+/// Dot product of two int8 vectors of length n via packed dp4a — the inner
+/// loop the INT8 pointwise kernels run. Tail lanes are zero-padded.
+std::int32_t dot_dp4a(const std::int8_t* a, const std::int8_t* b,
+                      std::int64_t n);
+
+}  // namespace fcm

@@ -1,0 +1,97 @@
+#include "kernels/kernel_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm {
+
+gpusim::KernelStats run_lbl_f32(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& spec, const TensorF& ifm,
+                                const WeightsF& w, const EpilogueF32& ep,
+                                TensorF& ofm, const ConvTiling& t) {
+  switch (spec.kind) {
+    case ConvKind::kPointwise:
+      return run_pw_f32(dev, spec, ifm, w, ep, ofm, t);
+    case ConvKind::kDepthwise:
+      return run_dw_f32(dev, spec, ifm, w, ep, ofm, t);
+    case ConvKind::kStandard:
+      return run_std_f32(dev, spec, ifm, w, ep, ofm, t);
+  }
+  throw Error("run_lbl_f32: bad conv kind");
+}
+
+gpusim::KernelStats run_lbl_i8(const gpusim::DeviceSpec& dev,
+                               const LayerSpec& spec, const TensorI8& ifm,
+                               const WeightsI8& w, const EpilogueI8& ep,
+                               TensorI8& ofm, const ConvTiling& t) {
+  switch (spec.kind) {
+    case ConvKind::kPointwise:
+      return run_pw_i8(dev, spec, ifm, w, ep, ofm, t);
+    case ConvKind::kDepthwise:
+      return run_dw_i8(dev, spec, ifm, w, ep, ofm, t);
+    case ConvKind::kStandard:
+      throw Error("run_lbl_i8: INT8 standard conv not supported");
+  }
+  throw Error("run_lbl_i8: bad conv kind");
+}
+
+gpusim::KernelStats run_fcm_f32(const gpusim::DeviceSpec& dev, FcmKind kind,
+                                const LayerSpec& first, const LayerSpec& second,
+                                const TensorF& ifm, const WeightsF& w1,
+                                const WeightsF& w2, const EpilogueF32& ep1,
+                                const EpilogueF32& ep2, TensorF& ofm,
+                                const FcmTiling& t) {
+  switch (kind) {
+    case FcmKind::kDwPw:
+      return run_dwpw_f32(dev, first, second, ifm, w1, w2, ep1, ep2, ofm, t);
+    case FcmKind::kPwDw:
+    case FcmKind::kPwDwR:
+      return run_pwdw_f32(dev, first, second, ifm, w1, w2, ep1, ep2, ofm, t);
+    case FcmKind::kPwPw:
+      return run_pwpw_f32(dev, first, second, ifm, w1, w2, ep1, ep2, ofm, t);
+    case FcmKind::kPwDwPw:
+      throw Error("run_fcm_f32: kPwDwPw takes three layers, use run_pwdwpw_f32");
+  }
+  throw Error("run_fcm_f32: bad FCM kind");
+}
+
+gpusim::KernelStats run_fcm_i8(const gpusim::DeviceSpec& dev, FcmKind kind,
+                               const LayerSpec& first, const LayerSpec& second,
+                               const TensorI8& ifm, const WeightsI8& w1,
+                               const WeightsI8& w2, const EpilogueI8& ep1,
+                               const EpilogueI8& ep2, TensorI8& ofm,
+                               const FcmTiling& t) {
+  switch (kind) {
+    case FcmKind::kDwPw:
+      return run_dwpw_i8(dev, first, second, ifm, w1, w2, ep1, ep2, ofm, t);
+    case FcmKind::kPwDw:
+    case FcmKind::kPwDwR:
+      return run_pwdw_i8(dev, first, second, ifm, w1, w2, ep1, ep2, ofm, t);
+    case FcmKind::kPwPw:
+      return run_pwpw_i8(dev, first, second, ifm, w1, w2, ep1, ep2, ofm, t);
+    case FcmKind::kPwDwPw:
+      throw Error("run_fcm_i8: kPwDwPw takes three layers, use run_pwdwpw_i8");
+  }
+  throw Error("run_fcm_i8: bad FCM kind");
+}
+
+bool fcm_kind_for(const LayerSpec& first, const LayerSpec& second,
+                  FcmKind& out) {
+  if (first.kind == ConvKind::kDepthwise &&
+      second.kind == ConvKind::kPointwise) {
+    out = FcmKind::kDwPw;
+    return true;
+  }
+  if (first.kind == ConvKind::kPointwise &&
+      second.kind == ConvKind::kDepthwise) {
+    out = FcmKind::kPwDw;
+    return true;
+  }
+  if (first.kind == ConvKind::kPointwise &&
+      second.kind == ConvKind::kPointwise) {
+    out = FcmKind::kPwPw;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fcm

@@ -1,0 +1,53 @@
+// Uniform dispatch over the LBL and FCM kernels.
+//
+// The runtime executor and the examples drive kernels through this façade so
+// they never switch on conv kind / FCM kind / precision themselves.
+#pragma once
+
+#include "kernels/dw_kernel.hpp"
+#include "kernels/fcm_dwpw.hpp"
+#include "kernels/fcm_pwdw.hpp"
+#include "kernels/fcm_pwpw.hpp"
+#include "kernels/pw_kernel.hpp"
+#include "kernels/std_conv_kernel.hpp"
+
+namespace fcm {
+
+/// Run one layer-by-layer convolution of any kind (FP32).
+gpusim::KernelStats run_lbl_f32(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& spec, const TensorF& ifm,
+                                const WeightsF& w, const EpilogueF32& ep,
+                                TensorF& ofm, const ConvTiling& t);
+
+/// Run one layer-by-layer convolution (INT8; standard conv unsupported, the
+/// paper's INT8 path only covers DW/PW).
+gpusim::KernelStats run_lbl_i8(const gpusim::DeviceSpec& dev,
+                               const LayerSpec& spec, const TensorI8& ifm,
+                               const WeightsI8& w, const EpilogueI8& ep,
+                               TensorI8& ofm, const ConvTiling& t);
+
+/// Run one fused module of the given kind (FP32). `first`/`second` are in
+/// execution order.
+gpusim::KernelStats run_fcm_f32(const gpusim::DeviceSpec& dev, FcmKind kind,
+                                const LayerSpec& first, const LayerSpec& second,
+                                const TensorF& ifm, const WeightsF& w1,
+                                const WeightsF& w2, const EpilogueF32& ep1,
+                                const EpilogueF32& ep2, TensorF& ofm,
+                                const FcmTiling& t);
+
+/// Run one fused module (INT8).
+gpusim::KernelStats run_fcm_i8(const gpusim::DeviceSpec& dev, FcmKind kind,
+                               const LayerSpec& first, const LayerSpec& second,
+                               const TensorI8& ifm, const WeightsI8& w1,
+                               const WeightsI8& w2, const EpilogueI8& ep1,
+                               const EpilogueI8& ep2, TensorI8& ofm,
+                               const FcmTiling& t);
+
+/// Classify a consecutive layer pair into the FCM kind that would fuse it
+/// without spatial tiling restrictions (PWDW vs PWDW_R is a *tiling* choice;
+/// this returns kPwDw for any PW→DW pair). Returns false when the pair is
+/// not fusable (contains a standard conv).
+bool fcm_kind_for(const LayerSpec& first, const LayerSpec& second,
+                  FcmKind& out);
+
+}  // namespace fcm

@@ -1,0 +1,24 @@
+// Layer-by-layer standard (dense k×k) convolution kernel.
+//
+// Only used by the motivation experiment (Fig. 1) and as a sanity baseline:
+// the paper's point is that replacing this operator with DW+PW trades fewer
+// operations for more memory traffic. Same OS-LWS structure as the PW
+// kernel, with a spatial halo like the DW kernel.
+#pragma once
+
+#include "common/tensor.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/epilogue.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// FP32 standard conv + fused norm/activation.
+gpusim::KernelStats run_std_f32(const gpusim::DeviceSpec& dev,
+                                const LayerSpec& spec, const TensorF& ifm,
+                                const WeightsF& w, const EpilogueF32& ep,
+                                TensorF& ofm, const ConvTiling& t);
+
+}  // namespace fcm

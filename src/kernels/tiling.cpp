@@ -1,0 +1,184 @@
+#include "kernels/tiling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fcm {
+
+const char* fcm_kind_name(FcmKind k) {
+  switch (k) {
+    case FcmKind::kDwPw: return "DWPW";
+    case FcmKind::kPwDw: return "PWDW";
+    case FcmKind::kPwDwR: return "PWDW_R";
+    case FcmKind::kPwPw: return "PWPW";
+    case FcmKind::kPwDwPw: return "PWDWPW";
+  }
+  return "?";
+}
+
+namespace {
+std::int64_t dsz(DType dt) { return static_cast<std::int64_t>(dtype_size(dt)); }
+}  // namespace
+
+std::int64_t pw_shared_bytes(const LayerSpec& pw, const ConvTiling& t,
+                             DType dt) {
+  // Weights are staged in 32-input-channel chunks; partial sums stay in
+  // registers across chunks, so only one chunk slice is ever resident.
+  return static_cast<std::int64_t>(t.tile_f) * std::min(pw.in_c, kWarpSize) *
+         dsz(dt);
+}
+
+std::int64_t dw_shared_bytes(const LayerSpec& dw, const ConvTiling& t,
+                             DType dt) {
+  return static_cast<std::int64_t>(t.tile_f) * dw.kh * dw.kw * dsz(dt);
+}
+
+std::int64_t std_shared_bytes(const LayerSpec& conv, const ConvTiling& t,
+                              DType dt) {
+  return static_cast<std::int64_t>(t.tile_f) * conv.in_c * conv.kh * conv.kw *
+         dsz(dt);
+}
+
+std::int64_t dwpw_shared_bytes(const LayerSpec& dw, const LayerSpec& pw,
+                               const FcmTiling& t, DType dt) {
+  const std::int64_t comm =
+      static_cast<std::int64_t>(dw.out_c) * t.tile_h * t.tile_w;
+  // DW weights are staged one warp-sized channel group at a time (the DW
+  // stage walks channels independently), so only a group's slices are
+  // resident.
+  const std::int64_t dw_w =
+      static_cast<std::int64_t>(std::min(dw.out_c, kWarpSize)) * dw.kh *
+      dw.kw;
+  const std::int64_t pw_chunk = static_cast<std::int64_t>(t.chunk_f) * pw.in_c;
+  return (comm + dw_w + pw_chunk) * dsz(dt);
+}
+
+std::int64_t pwdw_shared_bytes(const LayerSpec& pw, const LayerSpec& dw,
+                               const FcmTiling& t, DType dt) {
+  const std::int64_t mid_w = in_extent(t.tile_w, dw.kw, dw.stride);
+  // Rolling line buffer: kh intermediate rows per channel of the tile.
+  const std::int64_t comm =
+      static_cast<std::int64_t>(t.tile_c) * dw.kh * mid_w;
+  const std::int64_t pw_w = static_cast<std::int64_t>(t.tile_c) * pw.in_c;
+  const std::int64_t dw_w = static_cast<std::int64_t>(t.tile_c) * dw.kh * dw.kw;
+  return (comm + pw_w + dw_w) * dsz(dt);
+}
+
+std::int64_t pwpw_shared_bytes(const LayerSpec& pw1, const LayerSpec& pw2,
+                               const FcmTiling& t, DType dt) {
+  const std::int64_t comm =
+      static_cast<std::int64_t>(pw2.in_c) * t.tile_h * t.tile_w;
+  const std::int64_t w1_chunk = static_cast<std::int64_t>(t.chunk_f) * pw1.in_c;
+  const std::int64_t w2_chunk = static_cast<std::int64_t>(t.chunk_f) * pw2.in_c;
+  return (comm + w1_chunk + w2_chunk) * dsz(dt);
+}
+
+std::int64_t pwdwpw_shared_bytes(const LayerSpec& pw1, const LayerSpec& dw,
+                                 const LayerSpec& pw2, const FcmTiling& t,
+                                 DType dt) {
+  const int C2 = pw1.out_c;  // == dw channels == pw2.in_c
+  const std::int64_t mid_h = in_extent(t.tile_h, dw.kh, dw.stride);
+  const std::int64_t mid_w = in_extent(t.tile_w, dw.kw, dw.stride);
+  const std::int64_t comm1 = static_cast<std::int64_t>(C2) * mid_h * mid_w;
+  const std::int64_t comm2 =
+      static_cast<std::int64_t>(C2) * t.tile_h * t.tile_w;
+  const std::int64_t w1_chunk = static_cast<std::int64_t>(t.chunk_f) * pw1.in_c;
+  const std::int64_t wd_group =
+      static_cast<std::int64_t>(std::min(C2, kWarpSize)) * dw.kh * dw.kw;
+  const std::int64_t w2_chunk = static_cast<std::int64_t>(t.chunk_f) * C2;
+  return (comm1 + comm2 + w1_chunk + wd_group + w2_chunk) * dsz(dt);
+}
+
+std::int64_t pwdwpw_l1_bytes(const LayerSpec& pw1, const LayerSpec& dw,
+                             const LayerSpec& pw2, const FcmTiling& t,
+                             DType dt) {
+  const std::int64_t mid_h = in_extent(t.tile_h, dw.kh, dw.stride);
+  const std::int64_t mid_w = in_extent(t.tile_w, dw.kw, dw.stride);
+  // PW1's filter chunks revisit the module IFM tile: it must be resident.
+  const std::int64_t ifm =
+      static_cast<std::int64_t>(pw1.in_c) * mid_h * mid_w;
+  const std::int64_t ofm =
+      static_cast<std::int64_t>(t.chunk_f) * t.tile_h * t.tile_w;
+  return (ifm + ofm) * dsz(dt) + pwdwpw_shared_bytes(pw1, dw, pw2, t, dt);
+}
+
+std::int64_t pw_l1_bytes(const LayerSpec& pw, const ConvTiling& t, DType dt) {
+  // Streaming window: one input row of the chunk's channels + one output row
+  // of the tile's filters + the resident weight chunk.
+  const std::int64_t kc = std::min(pw.in_c, kWarpSize);
+  const std::int64_t ifm = kc * t.tile_w;
+  // OFM accumulators are genuinely resident (partial sums in registers,
+  // Eq. 2 charges the full OFM tile).
+  const std::int64_t ofm =
+      static_cast<std::int64_t>(t.tile_f) * t.tile_h * t.tile_w;
+  const std::int64_t w = static_cast<std::int64_t>(t.tile_f) * kc;
+  return (ifm + ofm + w) * dsz(dt);
+}
+
+std::int64_t dw_l1_bytes(const LayerSpec& dw, const ConvTiling& t, DType dt) {
+  // Streaming window: kh halo'd input rows per channel of the tile.
+  const std::int64_t iw = in_extent(t.tile_w, dw.kw, dw.stride);
+  const std::int64_t ifm = static_cast<std::int64_t>(t.tile_f) * dw.kh * iw;
+  const std::int64_t ofm =
+      static_cast<std::int64_t>(t.tile_f) * t.tile_h * t.tile_w;
+  const std::int64_t w = static_cast<std::int64_t>(t.tile_f) * dw.kh * dw.kw;
+  return (ifm + ofm + w) * dsz(dt);
+}
+
+std::int64_t std_l1_bytes(const LayerSpec& conv, const ConvTiling& t,
+                          DType dt) {
+  const std::int64_t iw = in_extent(t.tile_w, conv.kw, conv.stride);
+  const std::int64_t ifm =
+      static_cast<std::int64_t>(conv.in_c) * conv.kh * iw;
+  const std::int64_t ofm =
+      static_cast<std::int64_t>(t.tile_f) * t.tile_h * t.tile_w;
+  const std::int64_t w =
+      static_cast<std::int64_t>(t.tile_f) * conv.in_c * conv.kh * conv.kw;
+  return (ifm + ofm + w) * dsz(dt);
+}
+
+std::int64_t fcm_l1_bytes(FcmKind kind, const LayerSpec& first,
+                          const LayerSpec& second, const FcmTiling& t,
+                          DType dt) {
+  switch (kind) {
+    case FcmKind::kDwPw: {
+      // DW streaming window (kh halo'd input rows for the channel group in
+      // flight) + one PW output row per filter chunk + shared bufs
+      // (full-tile commBuffer: the PW chunk loop revisits every
+      // intermediate element).
+      const std::int64_t iw = in_extent(t.tile_w, first.kw, first.stride);
+      const std::int64_t ifm =
+          static_cast<std::int64_t>(std::min(first.in_c, kWarpSize)) *
+          first.kh * iw;
+      const std::int64_t ofm =
+          static_cast<std::int64_t>(t.chunk_f) * t.tile_h * t.tile_w;
+      return (ifm + ofm) * dsz(dt) + dwpw_shared_bytes(first, second, t, dt);
+    }
+    case FcmKind::kPwDw:
+    case FcmKind::kPwDwR: {
+      // PW streaming window: one input row (all input channels); DW output
+      // row for the channel tile; rolling commBuffer + weights in shared.
+      const std::int64_t mw = in_extent(t.tile_w, second.kw, second.stride);
+      const std::int64_t ifm = static_cast<std::int64_t>(first.in_c) * mw;
+      const std::int64_t ofm =
+          static_cast<std::int64_t>(t.tile_c) * t.tile_h * t.tile_w;
+      return (ifm + ofm) * dsz(dt) + pwdw_shared_bytes(first, second, t, dt);
+    }
+    case FcmKind::kPwPw: {
+      // Both PWs revisit the tile across filter chunks, so the module input
+      // tile must genuinely be L1-resident here (this is what makes PWPW
+      // the most demanding FCM, paper §IV-B).
+      const std::int64_t ifm =
+          static_cast<std::int64_t>(first.in_c) * t.tile_h * t.tile_w;
+      const std::int64_t ofm =
+          static_cast<std::int64_t>(t.chunk_f) * t.tile_h * t.tile_w;
+      return (ifm + ofm) * dsz(dt) + pwpw_shared_bytes(first, second, t, dt);
+    }
+    case FcmKind::kPwDwPw:
+      throw Error("fcm_l1_bytes: use pwdwpw_l1_bytes for triple modules");
+  }
+  throw Error("fcm_l1_bytes: bad kind");
+}
+
+}  // namespace fcm

@@ -1,0 +1,126 @@
+// Tiling descriptions shared by the kernels and FusePlanner.
+//
+// The planner searches these parameters (paper §IV-B: "FusePlanner explores
+// all tile sizes that meet the constraints … restricted to multiples of the
+// warp size"); the kernels execute them. The shared-memory size calculators
+// live here so the planner's L1-fit constraint and the kernels' actual
+// allocations can never diverge.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// Tiling of a layer-by-layer (LBL) kernel.
+/// For PW/standard convolutions `tile_f` is the number of filters (output
+/// channels) per thread block; for DW it is the number of channels per block.
+/// `tile_h`/`tile_w` tile the OFM spatially.
+struct ConvTiling {
+  int tile_h = 0;
+  int tile_w = 0;
+  int tile_f = 0;
+
+  bool valid() const { return tile_h > 0 && tile_w > 0 && tile_f > 0; }
+};
+
+/// Tiling of a fused (FCM) kernel.
+///  - DWPW / PWPW: blocks tile the OFM spatially (`tile_h`×`tile_w`); the
+///    whole channel depth of the intermediate lives in the commBuffer and the
+///    second layer's filters are processed in in-block chunks of `chunk_f`
+///    (weights streamed from global per chunk, intermediate reused on-chip).
+///  - PWDW / PWDW_R: blocks tile the *channel* dimension of the intermediate
+///    in groups of `tile_c` (legal because DW is channel-separable). PWDW
+///    keeps the full spatial extent per block (tile_h/tile_w == full OFM, no
+///    redundant compute); PWDW_R additionally tiles spatially and recomputes
+///    the halo.
+struct FcmTiling {
+  int tile_h = 0;
+  int tile_w = 0;
+  int tile_c = 0;   ///< intermediate channels per block (PWDW variants)
+  int chunk_f = 0;  ///< in-block filter chunk of the 2nd layer (DWPW/PWPW)
+
+  bool valid() const { return tile_h > 0 && tile_w > 0; }
+};
+
+/// Which fused module a pair of layers forms (paper Fig. 4). kPwDwPw is this
+/// library's extension beyond the paper: the full inverted-residual triple
+/// (PW expand → DW → PW project) as a single kernel.
+enum class FcmKind : std::uint8_t { kDwPw, kPwDw, kPwDwR, kPwPw, kPwDwPw };
+
+const char* fcm_kind_name(FcmKind k);
+
+// --- shared-memory footprints (bytes) --------------------------------------
+// These mirror the kernels' actual SharedMemory allocations exactly; the
+// planner uses them for the "tiles fit in L1" constraint of Eq. 2–4.
+
+/// LBL pointwise: staged weight tile (tile_f × in_c).
+std::int64_t pw_shared_bytes(const LayerSpec& pw, const ConvTiling& t,
+                             DType dt);
+
+/// LBL depthwise: staged weight slices (tile_f channels × kh × kw).
+std::int64_t dw_shared_bytes(const LayerSpec& dw, const ConvTiling& t,
+                             DType dt);
+
+/// LBL standard conv: staged weight tile (tile_f × in_c × kh × kw).
+std::int64_t std_shared_bytes(const LayerSpec& conv, const ConvTiling& t,
+                              DType dt);
+
+/// DWPW FCM: commBuffer (all channels × spatial tile) + DW weights (all
+/// channels) + PW weight chunk.
+std::int64_t dwpw_shared_bytes(const LayerSpec& dw, const LayerSpec& pw,
+                               const FcmTiling& t, DType dt);
+
+/// PWDW FCM (fused-channel variant, with or without spatial tiling): the
+/// commBuffer is a *rolling line buffer* — the DW consumes intermediate rows
+/// as the PW produces them, so only the last kh rows of each of the block's
+/// tile_c channels are resident (the classic fused-layer window of Alwani et
+/// al., which the paper's affordable-buffering argument references). Both
+/// layers' weight slices for the channel tile are staged alongside.
+std::int64_t pwdw_shared_bytes(const LayerSpec& pw, const LayerSpec& dw,
+                               const FcmTiling& t, DType dt);
+
+/// PWPW FCM: commBuffer (all mid channels × spatial tile) + both weight
+/// chunks.
+std::int64_t pwpw_shared_bytes(const LayerSpec& pw1, const LayerSpec& pw2,
+                               const FcmTiling& t, DType dt);
+
+/// PWDWPW triple FCM (extension): two commBuffers — the halo'd PW1 output
+/// tile (full channel depth, revisited by the DW) and the DW output tile
+/// (revisited by PW2's filter chunks) — plus the PW1/PW2 weight chunks and a
+/// warp-sized group of DW slices.
+std::int64_t pwdwpw_shared_bytes(const LayerSpec& pw1, const LayerSpec& dw,
+                                 const LayerSpec& pw2, const FcmTiling& t,
+                                 DType dt);
+
+/// L1 working set of the triple module: the module IFM tile must be resident
+/// (PW1's filter chunks revisit it) along with the shared buffers and one
+/// output-chunk accumulator tile.
+std::int64_t pwdwpw_l1_bytes(const LayerSpec& pw1, const LayerSpec& dw,
+                             const LayerSpec& pw2, const FcmTiling& t,
+                             DType dt);
+
+// --- L1 working-set footprints (bytes) -------------------------------------
+// The paper's first constraint (Eq. 2–4) requires all competing tiles to fit
+// in L1. The kernels stream their inputs row-by-row (reads are coalesced and
+// each element's reuse window is one output row), so the IFM term in the
+// working set is the *streaming window* — the rows a block touches while
+// producing one output row — not the whole halo'd tile. Outputs accumulate
+// in registers (OS), so the OFM term is likewise one row of the tile.
+
+std::int64_t pw_l1_bytes(const LayerSpec& pw, const ConvTiling& t, DType dt);
+std::int64_t dw_l1_bytes(const LayerSpec& dw, const ConvTiling& t, DType dt);
+std::int64_t std_l1_bytes(const LayerSpec& conv, const ConvTiling& t, DType dt);
+std::int64_t fcm_l1_bytes(FcmKind kind, const LayerSpec& first,
+                          const LayerSpec& second, const FcmTiling& t,
+                          DType dt);
+
+/// Input-tile spatial extent needed to produce `tile_out` outputs of a
+/// convolution with kernel `k` and stride `s` (the halo'd tile).
+constexpr int in_extent(int tile_out, int k, int s) {
+  return (tile_out - 1) * s + k;
+}
+
+}  // namespace fcm

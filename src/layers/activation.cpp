@@ -1,0 +1,9 @@
+#include "layers/activation.hpp"
+
+// Header-only; this translation unit exists to give the target a symbol and
+// to type-check the header standalone.
+namespace fcm {
+namespace {
+[[maybe_unused]] float touch(ActKind a, float x) { return apply_activation(a, x); }
+}  // namespace
+}  // namespace fcm

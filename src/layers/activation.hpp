@@ -1,0 +1,41 @@
+// Activation functions applied by the fused conv-norm-activation epilogue.
+#pragma once
+
+#include <cmath>
+
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// Apply activation `a` to `x` (FP32 path).
+inline float apply_activation(ActKind a, float x) {
+  switch (a) {
+    case ActKind::kNone:
+      return x;
+    case ActKind::kReLU:
+      return x > 0.0f ? x : 0.0f;
+    case ActKind::kReLU6:
+      return x < 0.0f ? 0.0f : (x > 6.0f ? 6.0f : x);
+    case ActKind::kGELU: {
+      // tanh approximation, the common inference formulation.
+      const float c = 0.7978845608f;  // sqrt(2/pi)
+      const float t = std::tanh(c * (x + 0.044715f * x * x * x));
+      return 0.5f * x * (1.0f + t);
+    }
+  }
+  return x;
+}
+
+/// Number of arithmetic operations the activation costs per element, used by
+/// the simulator to account epilogue work.
+inline int activation_ops(ActKind a) {
+  switch (a) {
+    case ActKind::kNone: return 0;
+    case ActKind::kReLU: return 1;
+    case ActKind::kReLU6: return 2;
+    case ActKind::kGELU: return 8;
+  }
+  return 0;
+}
+
+}  // namespace fcm

@@ -1,0 +1,53 @@
+#include "layers/batchnorm.hpp"
+
+#include <cmath>
+
+namespace fcm {
+
+BatchNorm BatchNorm::identity(int channels) {
+  FCM_CHECK(channels > 0, "BatchNorm::identity: bad channel count");
+  BatchNorm bn;
+  bn.scale_.assign(static_cast<std::size_t>(channels), 1.0f);
+  bn.shift_.assign(static_cast<std::size_t>(channels), 0.0f);
+  return bn;
+}
+
+BatchNorm BatchNorm::fold(const std::vector<float>& gamma,
+                          const std::vector<float>& beta,
+                          const std::vector<float>& mean,
+                          const std::vector<float>& var, float eps) {
+  const std::size_t n = gamma.size();
+  FCM_CHECK(beta.size() == n && mean.size() == n && var.size() == n,
+            "BatchNorm::fold: parameter size mismatch");
+  BatchNorm bn;
+  bn.scale_.resize(n);
+  bn.shift_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    FCM_CHECK(var[c] + eps > 0.0f, "BatchNorm::fold: non-positive variance");
+    const float s = gamma[c] / std::sqrt(var[c] + eps);
+    bn.scale_[c] = s;
+    bn.shift_[c] = beta[c] - mean[c] * s;
+  }
+  return bn;
+}
+
+BatchNorm BatchNorm::random(int channels, std::uint64_t seed) {
+  FCM_CHECK(channels > 0, "BatchNorm::random: bad channel count");
+  BatchNorm bn;
+  bn.scale_.resize(static_cast<std::size_t>(channels));
+  bn.shift_.resize(static_cast<std::size_t>(channels));
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  auto next_unit = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<float>(state >> 40) / static_cast<float>(1 << 24);
+  };
+  for (int c = 0; c < channels; ++c) {
+    bn.scale_[static_cast<std::size_t>(c)] = 0.75f + 0.5f * next_unit();
+    bn.shift_[static_cast<std::size_t>(c)] = -0.25f + 0.5f * next_unit();
+  }
+  return bn;
+}
+
+}  // namespace fcm

@@ -1,0 +1,104 @@
+#include "layers/layer_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm {
+
+const char* conv_kind_name(ConvKind k) {
+  switch (k) {
+    case ConvKind::kDepthwise: return "DW";
+    case ConvKind::kPointwise: return "PW";
+    case ConvKind::kStandard: return "STD";
+  }
+  return "?";
+}
+
+const char* act_kind_name(ActKind a) {
+  switch (a) {
+    case ActKind::kNone: return "none";
+    case ActKind::kReLU: return "relu";
+    case ActKind::kReLU6: return "relu6";
+    case ActKind::kGELU: return "gelu";
+  }
+  return "?";
+}
+
+std::int64_t LayerSpec::macs() const {
+  const std::int64_t out_hw = static_cast<std::int64_t>(out_h()) * out_w();
+  switch (kind) {
+    case ConvKind::kDepthwise:
+      return out_hw * out_c * kh * kw;
+    case ConvKind::kPointwise:
+      return out_hw * out_c * in_c;
+    case ConvKind::kStandard:
+      return out_hw * out_c * in_c * kh * kw;
+  }
+  return 0;
+}
+
+void LayerSpec::validate() const {
+  FCM_CHECK(in_c > 0 && in_h > 0 && in_w > 0, name + ": bad input shape");
+  FCM_CHECK(out_c > 0, name + ": bad output channels");
+  FCM_CHECK(kh > 0 && kw > 0 && stride > 0 && pad >= 0,
+            name + ": bad filter geometry");
+  FCM_CHECK(out_h() > 0 && out_w() > 0, name + ": empty output");
+  if (kind == ConvKind::kDepthwise) {
+    FCM_CHECK(out_c == in_c, name + ": depthwise must preserve channels");
+  }
+  if (kind == ConvKind::kPointwise) {
+    FCM_CHECK(kh == 1 && kw == 1 && pad == 0,
+              name + ": pointwise must be unpadded 1x1");
+  }
+}
+
+LayerSpec LayerSpec::depthwise(std::string name, int c, int h, int w, int k,
+                               int stride, ActKind act) {
+  LayerSpec s;
+  s.name = std::move(name);
+  s.kind = ConvKind::kDepthwise;
+  s.in_c = c;
+  s.in_h = h;
+  s.in_w = w;
+  s.out_c = c;
+  s.kh = k;
+  s.kw = k;
+  s.stride = stride;
+  s.pad = (k - 1) / 2;
+  s.act = act;
+  s.validate();
+  return s;
+}
+
+LayerSpec LayerSpec::pointwise(std::string name, int in_c, int h, int w,
+                               int out_c, ActKind act) {
+  LayerSpec s;
+  s.name = std::move(name);
+  s.kind = ConvKind::kPointwise;
+  s.in_c = in_c;
+  s.in_h = h;
+  s.in_w = w;
+  s.out_c = out_c;
+  s.act = act;
+  s.validate();
+  return s;
+}
+
+LayerSpec LayerSpec::standard(std::string name, int in_c, int h, int w,
+                              int out_c, int k, int stride, ActKind act) {
+  LayerSpec s;
+  s.name = std::move(name);
+  s.kind = ConvKind::kStandard;
+  s.in_c = in_c;
+  s.in_h = h;
+  s.in_w = w;
+  s.out_c = out_c;
+  s.kh = k;
+  s.kw = k;
+  s.stride = stride;
+  s.pad = (k - 1) / 2;
+  s.act = act;
+  s.validate();
+  return s;
+}
+
+}  // namespace fcm

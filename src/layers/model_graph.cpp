@@ -1,0 +1,56 @@
+#include "layers/model_graph.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm {
+
+bool ModelGraph::feeds_residual(int i) const {
+  for (const auto& [from, to] : residual_edges) {
+    if (from == i) return true;
+  }
+  return false;
+}
+
+bool ModelGraph::receives_residual(int i) const {
+  for (const auto& [from, to] : residual_edges) {
+    if (to == i) return true;
+  }
+  return false;
+}
+
+std::int64_t ModelGraph::total_macs() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.macs();
+  return total;
+}
+
+std::int64_t ModelGraph::total_weights() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.weights_count();
+  return total;
+}
+
+void ModelGraph::validate() const {
+  for (const auto& l : layers) l.validate();
+  for (std::size_t i = 1; i < layers.size(); ++i) {
+    const FmShape prev = layers[i - 1].ofm_shape();
+    const FmShape cur = layers[i].ifm_shape();
+    FCM_CHECK(prev == cur, name + ": shape break between '" +
+                               layers[i - 1].name + "' " +
+                               std::to_string(prev.c) + "x" +
+                               std::to_string(prev.h) + "x" +
+                               std::to_string(prev.w) + " and '" +
+                               layers[i].name + "' " + std::to_string(cur.c) +
+                               "x" + std::to_string(cur.h) + "x" +
+                               std::to_string(cur.w));
+  }
+  for (const auto& [from, to] : residual_edges) {
+    FCM_CHECK(from >= 0 && to < num_layers() && from < to,
+              name + ": bad residual edge");
+    FCM_CHECK(layers[static_cast<std::size_t>(from)].ofm_shape() ==
+                  layers[static_cast<std::size_t>(to)].ofm_shape(),
+              name + ": residual edge shape mismatch");
+  }
+}
+
+}  // namespace fcm

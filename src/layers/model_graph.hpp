@@ -1,0 +1,48 @@
+// Model graphs consumed by FusePlanner.
+//
+// The evaluated networks are chains of convolutional layers with optional
+// residual (skip) connections. FusePlanner only ever fuses *consecutive*
+// conv layers, so the graph is a layer sequence plus residual edges; the
+// residual edges matter to the planner because a layer whose output feeds a
+// skip connection cannot have its output kept purely on-chip.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "layers/layer_spec.hpp"
+
+namespace fcm {
+
+/// A DNN (or a slice of one) as a sequence of conv layers + residual edges.
+struct ModelGraph {
+  std::string name;
+  std::vector<LayerSpec> layers;
+  /// (from, to): output of layers[from] is added element-wise to the output
+  /// of layers[to] (inverted-residual style skips).
+  std::vector<std::pair<int, int>> residual_edges;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+
+  /// True when layers[i]'s output feeds a residual edge. The planner never
+  /// fuses such a layer with its successor: the intermediate would need to
+  /// exist in global memory for the skip connection.
+  bool feeds_residual(int i) const;
+
+  /// True when a residual edge terminates at layers[i] (its output is
+  /// modified by a skip add). Such a layer cannot be the *first* member of a
+  /// fused pair either, since the add applies to the intermediate.
+  bool receives_residual(int i) const;
+
+  /// Total MAC count of the model slice.
+  std::int64_t total_macs() const;
+  /// Total weight elements.
+  std::int64_t total_weights() const;
+
+  /// Validate per-layer specs and shape chaining: every layer's IFM must
+  /// match its predecessor's OFM. Throws fcm::Error on violation.
+  void validate() const;
+};
+
+}  // namespace fcm

@@ -1,0 +1,43 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+// CeiT-T (Yuan et al., 2021) convolutional stages. The image-to-token module
+// is a standard conv; each of the 12 encoder blocks contributes its LeFF
+// (locally-enhanced feed-forward) convolution triplet over the 14×14 token
+// grid: PW expand (dim→4·dim, GELU) → DW 3×3 (GELU) → PW project (linear).
+// Self-attention layers are not convolutions and are outside the planned
+// chain (matching the paper's ViT evaluation scope).
+ModelGraph ceit() {
+  ModelGraph g;
+  g.name = "CeiT";
+  const int dim = 192;
+  const int expand = 4;
+  const int tokens = 14;
+
+  // Image-to-tokens: conv 7×7/2 then the patch conv bringing 28×28 → 14×14.
+  g.layers.push_back(
+      LayerSpec::standard("i2t_conv", 3, 112, 112, 32, 7, 2, ActKind::kGELU));
+  g.layers.push_back(
+      LayerSpec::standard("i2t_patch", 32, 56, 56, dim, 4, 4, ActKind::kNone));
+
+  for (int b = 0; b < 12; ++b) {
+    const std::string tag = std::to_string(b);
+    g.layers.push_back(LayerSpec::pointwise("leff_exp" + tag, dim, tokens,
+                                            tokens, dim * expand,
+                                            ActKind::kGELU));
+    g.layers.push_back(LayerSpec::depthwise("leff_dw" + tag, dim * expand,
+                                            tokens, tokens, 3, 1,
+                                            ActKind::kGELU));
+    g.layers.push_back(LayerSpec::pointwise("leff_proj" + tag, dim * expand,
+                                            tokens, tokens, dim,
+                                            ActKind::kNone));
+    // Tokens re-enter attention between blocks: the projection output is
+    // consumed outside the conv chain, so never fuse across block borders.
+    g.layers.back().allow_fusion = false;
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

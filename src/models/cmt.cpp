@@ -1,0 +1,70 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+// CMT-S (Guo et al., 2022) convolutional stages. Stem: three 3×3 convs.
+// Each stage s has a 2×2 patch-embedding conv and N_s blocks; every block
+// contributes its LPU (local perception unit: residual DW 3×3) and IRFFN
+// (inverted residual FFN: PW expand → DW 3×3 → PW project) convolutions.
+// Attention layers sit between the LPU and the IRFFN, so fusion never
+// crosses them (LPU outputs are marked non-fusable).
+ModelGraph cmt() {
+  ModelGraph g;
+  g.name = "CMT";
+
+  g.layers.push_back(
+      LayerSpec::standard("stem1", 3, 224, 224, 16, 3, 2, ActKind::kGELU));
+  g.layers.push_back(
+      LayerSpec::standard("stem2", 16, 112, 112, 16, 3, 1, ActKind::kGELU));
+  g.layers.push_back(
+      LayerSpec::standard("stem3", 16, 112, 112, 16, 3, 1, ActKind::kGELU));
+
+  struct Stage {
+    int channels, blocks, h;
+  };
+  const Stage stages[] = {{64, 3, 56}, {128, 3, 28}, {256, 16, 14}, {512, 3, 7}};
+  const int ffn_ratio = 4;
+
+  int prev_c = 16;
+  int prev_h = 112;
+  for (int s = 0; s < 4; ++s) {
+    const auto& st = stages[s];
+    // Patch embedding: 2×2 stride-2 standard conv.
+    {
+      LayerSpec pe = LayerSpec::standard(
+          "patch" + std::to_string(s), prev_c, prev_h, prev_h, st.channels, 2,
+          2, ActKind::kNone);
+      pe.pad = 0;  // exact 2× downsample
+      g.layers.push_back(pe);
+    }
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string tag = std::to_string(s) + "_" + std::to_string(b);
+      // LPU: residual DW 3×3; output feeds attention → not fusable forward.
+      {
+        LayerSpec lpu = LayerSpec::depthwise("lpu" + tag, st.channels, st.h,
+                                             st.h, 3, 1, ActKind::kNone);
+        lpu.allow_fusion = false;
+        g.layers.push_back(lpu);
+      }
+      // IRFFN triplet.
+      g.layers.push_back(LayerSpec::pointwise(
+          "ffn_exp" + tag, st.channels, st.h, st.h, st.channels * ffn_ratio,
+          ActKind::kGELU));
+      g.layers.push_back(LayerSpec::depthwise("ffn_dw" + tag,
+                                              st.channels * ffn_ratio, st.h,
+                                              st.h, 3, 1, ActKind::kGELU));
+      g.layers.push_back(LayerSpec::pointwise("ffn_proj" + tag,
+                                              st.channels * ffn_ratio, st.h,
+                                              st.h, st.channels,
+                                              ActKind::kNone));
+      // Residual + attention boundary after the projection.
+      g.layers.back().allow_fusion = false;
+    }
+    prev_c = st.channels;
+    prev_h = st.h;
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

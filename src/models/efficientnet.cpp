@@ -1,0 +1,61 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+// EfficientNet-B0 (Tan & Le, 2019) conv stages — an extra evaluation model
+// beyond the paper's six (the paper cites EfficientNet as a DW/PW-based
+// design). MBConv blocks with 3×3/5×5 depthwise kernels; squeeze-and-
+// excitation modules are channel-wise gating outside the conv chain and are
+// omitted (their output feeds the projection PW, so the DW output is marked
+// non-fusable to keep the boundary honest).
+ModelGraph efficientnet_b0() {
+  ModelGraph g;
+  g.name = "EffNet_B0";
+  int h = 224;
+
+  g.layers.push_back(
+      LayerSpec::standard("stem", 3, h, h, 32, 3, 2, ActKind::kReLU6));
+  h = 112;
+  int c = 32;
+
+  struct Stage {
+    int expand, out_c, blocks, stride, k;
+  };
+  const Stage stages[] = {{1, 16, 1, 1, 3},  {6, 24, 2, 2, 3},
+                          {6, 40, 2, 2, 5},  {6, 80, 3, 2, 3},
+                          {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5},
+                          {6, 320, 1, 1, 3}};
+  int idx = 1;
+  for (const auto& st : stages) {
+    for (int b = 0; b < st.blocks; ++b) {
+      const int stride = b == 0 ? st.stride : 1;
+      const bool residual = stride == 1 && c == st.out_c;
+      const int block_in_layer = g.num_layers() - 1;
+      const int mid = c * st.expand;
+      const std::string tag = std::to_string(idx);
+      if (st.expand != 1) {
+        g.layers.push_back(
+            LayerSpec::pointwise("pw_exp" + tag, c, h, h, mid, ActKind::kReLU6));
+      }
+      g.layers.push_back(LayerSpec::depthwise("dw" + tag, mid, h, h, st.k,
+                                              stride, ActKind::kReLU6));
+      // Squeeze-and-excitation gates the DW output before projection; the
+      // intermediate must exist off-chip for the SE pooling path.
+      g.layers.back().allow_fusion = false;
+      if (stride == 2) h /= 2;
+      g.layers.push_back(LayerSpec::pointwise("pw_proj" + tag, mid, h, h,
+                                              st.out_c, ActKind::kNone));
+      if (residual) {
+        g.residual_edges.emplace_back(block_in_layer, g.num_layers() - 1);
+      }
+      c = st.out_c;
+      ++idx;
+    }
+  }
+  g.layers.push_back(
+      LayerSpec::pointwise("pw_head", c, h, h, 1280, ActKind::kReLU6));
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

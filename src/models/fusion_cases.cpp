@@ -1,0 +1,101 @@
+#include "models/fusion_cases.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm::models {
+
+namespace {
+
+FusionCase pwdw(std::string id, std::string dnn, int c1, int c2, int h, int k,
+                int stride, ActKind a1 = ActKind::kReLU6,
+                ActKind a2 = ActKind::kReLU6) {
+  FusionCase f;
+  f.id = std::move(id);
+  f.dnn = std::move(dnn);
+  f.first = LayerSpec::pointwise(f.id + "_pw", c1, h, h, c2, a1);
+  f.second = LayerSpec::depthwise(f.id + "_dw", c2, h, h, k, stride, a2);
+  return f;
+}
+
+FusionCase dwpw(std::string id, std::string dnn, int c1, int c2, int h, int k,
+                int stride, ActKind a1 = ActKind::kReLU6,
+                ActKind a2 = ActKind::kReLU6) {
+  FusionCase f;
+  f.id = std::move(id);
+  f.dnn = std::move(dnn);
+  f.first = LayerSpec::depthwise(f.id + "_dw", c1, h, h, k, stride, a1);
+  const int oh = f.first.out_h();
+  f.second = LayerSpec::pointwise(f.id + "_pw", c1, oh, oh, c2, a2);
+  return f;
+}
+
+FusionCase pwpw(std::string id, std::string dnn, int c1, int c2, int c3, int h,
+                ActKind a1 = ActKind::kNone, ActKind a2 = ActKind::kReLU6) {
+  FusionCase f;
+  f.id = std::move(id);
+  f.dnn = std::move(dnn);
+  f.first = LayerSpec::pointwise(f.id + "_pw1", c1, h, h, c2, a1);
+  f.second = LayerSpec::pointwise(f.id + "_pw2", c2, h, h, c3, a2);
+  return f;
+}
+
+}  // namespace
+
+// The concrete pairs below are the ones our FusePlanner nominates
+// consistently across all three GPUs (the paper selected its Table II cases
+// the same way); shapes are taken from the respective model graphs.
+
+std::vector<FusionCase> fp32_cases() {
+  const auto gelu = ActKind::kGELU;
+  std::vector<FusionCase> cases;
+  // MobileNetV1: expansion PW feeding the next block's (strided) DW.
+  cases.push_back(pwdw("F1", "Mob_v1", 32, 64, 112, 3, 2));
+  cases.push_back(pwdw("F2", "Mob_v1", 128, 128, 56, 3, 2));
+  // MobileNetV2: DSC inside a bottleneck / expansion into the block DW.
+  cases.push_back(dwpw("F3", "Mob_v2", 144, 24, 56, 3, 1, ActKind::kReLU6,
+                       ActKind::kNone));
+  cases.push_back(pwdw("F4", "Mob_v2", 24, 144, 56, 3, 1));
+  // Xception entry-flow separable convs.
+  cases.push_back(pwdw("F5", "XCe", 64, 128, 112, 3, 1));
+  cases.push_back(pwdw("F6", "XCe", 128, 256, 56, 3, 1));
+  // ProxylessNAS: large-kernel MBConv interiors.
+  cases.push_back(dwpw("F7", "Prox", 72, 32, 56, 5, 2, ActKind::kReLU6,
+                       ActKind::kNone));
+  cases.push_back(pwdw("F8", "Prox", 24, 72, 56, 5, 2));
+  // CeiT LeFF at two token resolutions.
+  cases.push_back(pwdw("F9", "CeiT", 192, 768, 14, 3, 1, gelu, gelu));
+  cases.push_back(pwdw("F10", "CeiT", 192, 768, 28, 3, 1, gelu, gelu));
+  // CMT IRFFN stages.
+  cases.push_back(pwdw("F11", "CMT", 256, 1024, 14, 3, 1, gelu, gelu));
+  cases.push_back(pwdw("F12", "CMT", 128, 512, 28, 3, 1, gelu, gelu));
+  return cases;
+}
+
+std::vector<FusionCase> int8_cases() {
+  const auto gelu = ActKind::kGELU;
+  std::vector<FusionCase> cases;
+  cases.push_back(dwpw("F1_8", "Mob_v1", 32, 64, 112, 3, 1));
+  cases.push_back(pwdw("F2_8", "Mob_v1", 256, 256, 28, 3, 2));
+  cases.push_back(dwpw("F3_8", "Mob_v2", 144, 24, 56, 3, 1, ActKind::kReLU6,
+                       ActKind::kNone));
+  cases.push_back(pwpw("F4_8", "Mob_v2", 32, 16, 96, 112, ActKind::kNone,
+                       ActKind::kReLU6));
+  cases.push_back(dwpw("F5_8", "XCe", 64, 128, 112, 3, 1));
+  cases.push_back(pwdw("F6_8", "XCe", 64, 128, 112, 3, 1));
+  cases.push_back(dwpw("F7_8", "Prox", 72, 32, 56, 5, 2, ActKind::kReLU6,
+                       ActKind::kNone));
+  cases.push_back(pwpw("F8_8", "Prox", 40, 24, 72, 112, ActKind::kNone,
+                       ActKind::kReLU6));
+  cases.push_back(pwdw("F9_8", "CeiT", 192, 768, 14, 3, 1, gelu, gelu));
+  cases.push_back(pwdw("F10_8", "CeiT", 192, 768, 28, 3, 1, gelu, gelu));
+  cases.push_back(pwpw("F11_8", "CMT", 256, 64, 256, 56, ActKind::kNone,
+                       gelu));
+  cases.push_back(pwdw("F12_8", "CMT", 256, 1024, 14, 3, 1, gelu, gelu));
+  return cases;
+}
+
+std::vector<FusionCase> cases_for(DType dt) {
+  return dt == DType::kF32 ? fp32_cases() : int8_cases();
+}
+
+}  // namespace fcm::models

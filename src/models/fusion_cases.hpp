@@ -1,0 +1,34 @@
+// The fine-grained fusion cases of the paper's Table II.
+//
+// Each case is a consecutive DW/PW layer pair drawn from one of the six
+// models — the pairs FusePlanner nominated for fusion in the paper's
+// evaluation (F1–F12 for FP32, F1_8–F12_8 for INT8). The FCM type and the
+// tile sizes are *not* part of the case definition: they are what FusePlanner
+// chooses per GPU, which is exactly what the Table II bench reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "layers/layer_spec.hpp"
+
+namespace fcm::models {
+
+struct FusionCase {
+  std::string id;    ///< "F1", "F4_8", ...
+  std::string dnn;   ///< source model short name
+  LayerSpec first;   ///< first conv of the pair (execution order)
+  LayerSpec second;  ///< second conv; second.ifm == first.ofm
+};
+
+/// The twelve FP32 cases (paper Table II, top half).
+std::vector<FusionCase> fp32_cases();
+
+/// The twelve INT8 cases (paper Table II, bottom half).
+std::vector<FusionCase> int8_cases();
+
+/// fp32_cases() or int8_cases() by dtype.
+std::vector<FusionCase> cases_for(DType dt);
+
+}  // namespace fcm::models

@@ -1,0 +1,40 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+// MobileNetV1 (Howard et al., 2017), width multiplier 1.0, 224×224 input.
+// conv1 is a standard 3×3 stride-2; each subsequent block is DW 3×3 (stride
+// 1 or 2) followed by PW expansion. All layers use BN + ReLU6-style clipped
+// activation (the paper's kernels fuse whatever norm/act follows).
+ModelGraph mobilenet_v1() {
+  ModelGraph g;
+  g.name = "Mob_v1";
+  int h = 224;
+  auto act = ActKind::kReLU6;
+
+  g.layers.push_back(LayerSpec::standard("conv1", 3, h, h, 32, 3, 2, act));
+  h = 112;
+
+  struct Block {
+    int in_c, out_c, stride;
+  };
+  const Block blocks[] = {
+      {32, 64, 1},    {64, 128, 2},   {128, 128, 1},  {128, 256, 2},
+      {256, 256, 1},  {256, 512, 2},  {512, 512, 1},  {512, 512, 1},
+      {512, 512, 1},  {512, 512, 1},  {512, 512, 1},  {512, 1024, 2},
+      {1024, 1024, 1},
+  };
+  int idx = 1;
+  for (const auto& b : blocks) {
+    g.layers.push_back(LayerSpec::depthwise("dw" + std::to_string(idx), b.in_c,
+                                            h, h, 3, b.stride, act));
+    if (b.stride == 2) h /= 2;
+    g.layers.push_back(LayerSpec::pointwise("pw" + std::to_string(idx), b.in_c,
+                                            h, h, b.out_c, act));
+    ++idx;
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

@@ -1,0 +1,57 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+// MobileNetV2 (Sandler et al., 2018), 224×224. Inverted residual bottleneck
+// (t, c, n, s): PW expand (×t, ReLU6) → DW 3×3 (ReLU6) → PW project (linear).
+// The first block has t=1 and skips the expansion. Residual skips connect
+// equal-shape block boundaries (s == 1, in_c == out_c); the planner treats
+// the producing layer's output as pinned to global memory.
+ModelGraph mobilenet_v2() {
+  ModelGraph g;
+  g.name = "Mob_v2";
+  int h = 224;
+
+  g.layers.push_back(
+      LayerSpec::standard("conv1", 3, h, h, 32, 3, 2, ActKind::kReLU6));
+  h = 112;
+  int c = 32;
+
+  struct Stage {
+    int t, c, n, s;
+  };
+  const Stage stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  int idx = 1;
+  for (const auto& st : stages) {
+    for (int n = 0; n < st.n; ++n) {
+      const int stride = n == 0 ? st.s : 1;
+      const bool residual = stride == 1 && c == st.c;
+      const int block_in_layer = g.num_layers() - 1;
+      const int mid = c * st.t;
+      const std::string tag = std::to_string(idx);
+      if (st.t != 1) {
+        g.layers.push_back(LayerSpec::pointwise("pw_exp" + tag, c, h, h, mid,
+                                                ActKind::kReLU6));
+      }
+      g.layers.push_back(
+          LayerSpec::depthwise("dw" + tag, mid, h, h, 3, stride,
+                               ActKind::kReLU6));
+      if (stride == 2) h /= 2;
+      g.layers.push_back(LayerSpec::pointwise("pw_proj" + tag, mid, h, h, st.c,
+                                              ActKind::kNone));
+      if (residual) {
+        g.residual_edges.emplace_back(block_in_layer, g.num_layers() - 1);
+      }
+      c = st.c;
+      ++idx;
+    }
+  }
+  g.layers.push_back(
+      LayerSpec::pointwise("pw_head", c, h, h, 1280, ActKind::kReLU6));
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

@@ -1,0 +1,27 @@
+#include "models/model_zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm::models {
+
+std::vector<ModelGraph> all_models() {
+  return {mobilenet_v1(), mobilenet_v2(), xception(),
+          proxyless_nas(), ceit(),        cmt()};
+}
+
+std::vector<ModelGraph> e2e_cnns() {
+  return {mobilenet_v1(), mobilenet_v2(), xception(), proxyless_nas()};
+}
+
+ModelGraph model_by_name(const std::string& name) {
+  if (name == "Mob_v1") return mobilenet_v1();
+  if (name == "Mob_v2") return mobilenet_v2();
+  if (name == "XCe") return xception();
+  if (name == "Prox") return proxyless_nas();
+  if (name == "CeiT") return ceit();
+  if (name == "CMT") return cmt();
+  if (name == "EffNet_B0") return efficientnet_b0();
+  throw Error("unknown model: " + name);
+}
+
+}  // namespace fcm::models

@@ -1,0 +1,57 @@
+// The six evaluation networks (paper §V-B): four compact CNNs and the
+// convolutional stages of two convolutional ViTs.
+//
+// Each model is expressed as the chain of convolutional layers FusePlanner
+// consumes (the paper imports the same information from TensorFlow DAGs).
+// Non-convolutional glue is handled as follows:
+//  * batch-norm + activation are attributes of each conv layer (fused
+//    epilogues),
+//  * Xception's max-pools are modelled as non-fusable strided depthwise
+//    passes (same traffic/stride behaviour; planner never fuses them),
+//  * ViT attention blocks are outside the conv chains and omitted — the
+//    paper likewise evaluates only the DW/PW convolutions of CeiT/CMT,
+//  * residual shortcuts are recorded as residual_edges so the planner knows
+//    which intermediates must stay in global memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layers/model_graph.hpp"
+
+namespace fcm::models {
+
+/// MobileNetV1 (224×224, width 1.0): 13 depthwise-separable blocks.
+ModelGraph mobilenet_v1();
+
+/// MobileNetV2 (224×224): inverted residual bottlenecks.
+ModelGraph mobilenet_v2();
+
+/// Xception (224×224 variant): entry/middle/exit separable-conv flows.
+ModelGraph xception();
+
+/// ProxylessNAS (GPU variant, 224×224): MBConv blocks with 3/5/7 kernels.
+ModelGraph proxyless_nas();
+
+/// CeiT-T LeFF conv stages (image-to-token conv + 12 locally-enhanced
+/// feed-forward modules at 14×14 tokens).
+ModelGraph ceit();
+
+/// CMT-S conv stages (stem + per-stage LPU/IRFFN convolutions).
+ModelGraph cmt();
+
+/// EfficientNet-B0 conv stages (extra model beyond the paper's six; SE
+/// modules are fusion boundaries).
+ModelGraph efficientnet_b0();
+
+/// All six paper models, paper order.
+std::vector<ModelGraph> all_models();
+
+/// The four CNNs used in the end-to-end TVM comparison (Fig. 10/11).
+std::vector<ModelGraph> e2e_cnns();
+
+/// Lookup by the short names used in the paper's figures
+/// ("Mob_v1", "Mob_v2", "XCe", "Prox", "CeiT", "CMT").
+ModelGraph model_by_name(const std::string& name);
+
+}  // namespace fcm::models

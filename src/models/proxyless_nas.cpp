@@ -1,0 +1,55 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+// ProxylessNAS (Cai et al., 2019), GPU-searched variant, 224×224. MBConv
+// blocks with heterogeneous expansion ratios and 3/5/7 depthwise kernels —
+// the searched architectures favour large kernels on the GPU target.
+ModelGraph proxyless_nas() {
+  ModelGraph g;
+  g.name = "Prox";
+  int h = 224;
+
+  g.layers.push_back(
+      LayerSpec::standard("conv1", 3, h, h, 40, 3, 2, ActKind::kReLU6));
+  h = 112;
+  int c = 40;
+
+  struct MbConv {
+    int expand, k, stride, out_c;
+  };
+  // Representative of the published ProxylessNAS-GPU cell sequence.
+  const MbConv blocks[] = {
+      {1, 3, 1, 24},  {3, 5, 2, 32},  {3, 7, 1, 32},  {6, 7, 2, 56},
+      {3, 5, 1, 56},  {6, 7, 2, 112}, {3, 5, 1, 112}, {6, 5, 1, 128},
+      {3, 5, 1, 128}, {6, 7, 2, 256}, {6, 7, 1, 256}, {6, 5, 1, 432},
+  };
+  int idx = 1;
+  for (const auto& b : blocks) {
+    const bool residual = b.stride == 1 && c == b.out_c;
+    const int block_in_layer = g.num_layers() - 1;
+    const int mid = c * b.expand;
+    const std::string tag = std::to_string(idx);
+    if (b.expand != 1) {
+      g.layers.push_back(
+          LayerSpec::pointwise("pw_exp" + tag, c, h, h, mid, ActKind::kReLU6));
+    }
+    g.layers.push_back(
+        LayerSpec::depthwise("dw" + tag, mid, h, h, b.k, b.stride,
+                             ActKind::kReLU6));
+    if (b.stride == 2) h /= 2;
+    g.layers.push_back(LayerSpec::pointwise("pw_proj" + tag, mid, h, h,
+                                            b.out_c, ActKind::kNone));
+    if (residual) {
+      g.residual_edges.emplace_back(block_in_layer, g.num_layers() - 1);
+    }
+    c = b.out_c;
+    ++idx;
+  }
+  g.layers.push_back(
+      LayerSpec::pointwise("pw_head", c, h, h, 1728, ActKind::kReLU6));
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

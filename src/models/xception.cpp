@@ -1,0 +1,70 @@
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+
+namespace {
+
+/// Max-pool 3×3/2 modelled as a non-fusable strided depthwise pass (same
+/// traffic shape; the planner never fuses across it). See model_zoo.hpp.
+LayerSpec pool(const std::string& name, int c, int h) {
+  LayerSpec p = LayerSpec::depthwise(name, c, h, h, 3, 2, ActKind::kNone);
+  p.has_bn = false;
+  p.allow_fusion = false;
+  return p;
+}
+
+}  // namespace
+
+// Xception (Chollet, 2017), adapted to a 224×224 "same"-padded geometry.
+// Every separable conv is DW 3×3 followed by PW; the 1×1 strided shortcut
+// convolutions of the entry/exit flows are parallel branches outside the
+// main chain and are omitted (documented in DESIGN.md).
+ModelGraph xception() {
+  ModelGraph g;
+  g.name = "XCe";
+  int h = 224;
+
+  g.layers.push_back(LayerSpec::standard("conv1", 3, h, h, 32, 3, 2));
+  h = 112;
+  g.layers.push_back(LayerSpec::standard("conv2", 32, h, h, 64, 3, 1));
+
+  auto sep = [&g, &h](const std::string& name, int in_c, int out_c) {
+    g.layers.push_back(LayerSpec::depthwise(name + "_dw", in_c, h, h, 3, 1));
+    g.layers.push_back(
+        LayerSpec::pointwise(name + "_pw", in_c, h, h, out_c));
+  };
+
+  // Entry flow.
+  sep("e1a", 64, 128);
+  sep("e1b", 128, 128);
+  g.layers.push_back(pool("pool1", 128, h));
+  h /= 2;  // 56
+  sep("e2a", 128, 256);
+  sep("e2b", 256, 256);
+  g.layers.push_back(pool("pool2", 256, h));
+  h /= 2;  // 28
+  sep("e3a", 256, 728);
+  sep("e3b", 728, 728);
+  g.layers.push_back(pool("pool3", 728, h));
+  h /= 2;  // 14
+
+  // Middle flow: 8 blocks of 3 separable convs at 728 channels.
+  for (int b = 0; b < 8; ++b) {
+    for (int s = 0; s < 3; ++s) {
+      sep("m" + std::to_string(b) + char('a' + s), 728, 728);
+    }
+  }
+
+  // Exit flow.
+  sep("x1a", 728, 728);
+  sep("x1b", 728, 1024);
+  g.layers.push_back(pool("pool4", 1024, h));
+  h /= 2;  // 7
+  sep("x2a", 1024, 1536);
+  sep("x2b", 1536, 2048);
+
+  g.validate();
+  return g;
+}
+
+}  // namespace fcm::models

@@ -1,0 +1,263 @@
+#include "planner/fuse_planner.hpp"
+
+#include "common/error.hpp"
+#include "kernels/kernel_registry.hpp"
+
+namespace fcm::planner {
+
+bool pair_fusable(const LayerSpec& first, const LayerSpec& second) {
+  if (!(first.ofm_shape() == second.ifm_shape())) return false;
+  FcmKind kind;
+  return fcm_kind_for(first, second, kind);
+}
+
+PairDecision plan_pair(const gpusim::DeviceSpec& dev, const LayerSpec& first,
+                       const LayerSpec& second, DType dt) {
+  FCM_CHECK(first.ofm_shape() == second.ifm_shape(),
+            "plan_pair: layers do not chain");
+  auto lbl1 = best_lbl_tiling(dev, first, dt);
+  auto lbl2 = best_lbl_tiling(dev, second, dt);
+  FCM_CHECK(lbl1.has_value(),
+            "plan_pair: no feasible LBL tiling for " + first.name + " on " +
+                dev.name);
+  FCM_CHECK(lbl2.has_value(),
+            "plan_pair: no feasible LBL tiling for " + second.name + " on " +
+                dev.name);
+
+  PairDecision d;
+  d.lbl_first = *lbl1;
+  d.lbl_second = *lbl2;
+  FcmKind kind;
+  if (fcm_kind_for(first, second, kind)) {
+    d.fcm = best_fcm_tiling(dev, kind, first, second, dt);
+  }
+  return d;
+}
+
+namespace {
+
+PlanStep make_lbl_step(int layer, const LblChoice& c) {
+  PlanStep s;
+  s.fused = false;
+  s.layer = layer;
+  s.lbl_tiling = c.tiling;
+  s.stats = c.stats;
+  return s;
+}
+
+PlanStep make_fcm_step(int layer, const FcmChoice& c) {
+  PlanStep s;
+  s.fused = true;
+  s.layer = layer;
+  s.layer2 = layer + 1;
+  s.fcm_kind = c.kind;
+  s.fcm_tiling = c.tiling;
+  s.stats = c.stats;
+  return s;
+}
+
+}  // namespace
+
+namespace {
+
+/// Per-layer LBL choice with the standard-conv FP32 fallback applied.
+LblChoice lbl_choice_for(const gpusim::DeviceSpec& dev, const LayerSpec& spec,
+                         DType dt) {
+  const DType layer_dt = spec.kind == ConvKind::kStandard ? DType::kF32 : dt;
+  auto lbl = best_lbl_tiling(dev, spec, layer_dt);
+  FCM_CHECK(lbl.has_value(),
+            "no feasible LBL tiling for " + spec.name + " on " + dev.name);
+  return *lbl;
+}
+
+bool model_pair_fusable(const ModelGraph& model, int i) {
+  const int n = model.num_layers();
+  if (i + 1 >= n) return false;
+  const LayerSpec& a = model.layers[static_cast<std::size_t>(i)];
+  const LayerSpec& b = model.layers[static_cast<std::size_t>(i + 1)];
+  return !model.feeds_residual(i) && !model.receives_residual(i) &&
+         a.allow_fusion && b.allow_fusion && pair_fusable(a, b);
+}
+
+/// PW-DW-PW at layers i..i+2 with both intermediates free of residual taps.
+bool model_triple_fusable(const ModelGraph& model, int i) {
+  const int n = model.num_layers();
+  if (i + 2 >= n) return false;
+  const LayerSpec& a = model.layers[static_cast<std::size_t>(i)];
+  const LayerSpec& b = model.layers[static_cast<std::size_t>(i + 1)];
+  const LayerSpec& c = model.layers[static_cast<std::size_t>(i + 2)];
+  if (a.kind != ConvKind::kPointwise || b.kind != ConvKind::kDepthwise ||
+      c.kind != ConvKind::kPointwise) {
+    return false;
+  }
+  if (!a.allow_fusion || !b.allow_fusion || !c.allow_fusion) return false;
+  if (model.feeds_residual(i) || model.receives_residual(i)) return false;
+  if (model.feeds_residual(i + 1) || model.receives_residual(i + 1)) {
+    return false;
+  }
+  return a.ofm_shape() == b.ifm_shape() && b.ofm_shape() == c.ifm_shape();
+}
+
+PlanStep make_fcm3_step(int layer, const Fcm3Choice& c) {
+  PlanStep s;
+  s.fused = true;
+  s.layer = layer;
+  s.layer2 = layer + 1;
+  s.layer3 = layer + 2;
+  s.fcm_kind = FcmKind::kPwDwPw;
+  s.fcm_tiling = c.tiling;
+  s.stats = c.stats;
+  return s;
+}
+
+}  // namespace
+
+Plan plan_model(const gpusim::DeviceSpec& dev, const ModelGraph& model,
+                DType dt, const PlanOptions& options) {
+  model.validate();
+  Plan plan;
+  plan.model_name = model.name;
+  plan.device_name = dev.name;
+  plan.dtype = dt;
+
+  const int n = model.num_layers();
+
+  // Per-layer LBL costs, per-pair fused costs, per-triple fused costs.
+  std::vector<LblChoice> lbl;
+  lbl.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lbl.push_back(lbl_choice_for(dev, model.layers[static_cast<std::size_t>(i)], dt));
+  }
+  std::vector<std::optional<FcmChoice>> fused(static_cast<std::size_t>(n));
+  for (int i = 0; i + 1 < n; ++i) {
+    if (!model_pair_fusable(model, i)) continue;
+    FcmKind kind;
+    fcm_kind_for(model.layers[static_cast<std::size_t>(i)],
+                 model.layers[static_cast<std::size_t>(i + 1)], kind);
+    fused[static_cast<std::size_t>(i)] =
+        best_fcm_tiling(dev, kind, model.layers[static_cast<std::size_t>(i)],
+                        model.layers[static_cast<std::size_t>(i + 1)], dt);
+  }
+  std::vector<std::optional<Fcm3Choice>> triple(static_cast<std::size_t>(n));
+  if (options.enable_triple) {
+    for (int i = 0; i + 2 < n; ++i) {
+      if (!model_triple_fusable(model, i)) continue;
+      triple[static_cast<std::size_t>(i)] = best_pwdwpw_tiling(
+          dev, model.layers[static_cast<std::size_t>(i)],
+          model.layers[static_cast<std::size_t>(i + 1)],
+          model.layers[static_cast<std::size_t>(i + 2)], dt);
+    }
+  }
+
+  // DP over the chain: dp[i] = min GMA for layers i..n-1; take[i] is the
+  // number of layers the winning step at i covers.
+  std::vector<std::int64_t> dp(static_cast<std::size_t>(n) + 3, 0);
+  std::vector<int> take(static_cast<std::size_t>(n), 1);
+  for (int i = n - 1; i >= 0; --i) {
+    dp[static_cast<std::size_t>(i)] =
+        lbl[static_cast<std::size_t>(i)].stats.gma_bytes() +
+        dp[static_cast<std::size_t>(i) + 1];
+    const auto& f = fused[static_cast<std::size_t>(i)];
+    if (f.has_value()) {
+      const std::int64_t with_fuse =
+          f->stats.gma_bytes() + dp[static_cast<std::size_t>(i) + 2];
+      if (with_fuse < dp[static_cast<std::size_t>(i)]) {
+        dp[static_cast<std::size_t>(i)] = with_fuse;
+        take[static_cast<std::size_t>(i)] = 2;
+      }
+    }
+    const auto& t3 = triple[static_cast<std::size_t>(i)];
+    if (t3.has_value()) {
+      const std::int64_t with_triple =
+          t3->stats.gma_bytes() + dp[static_cast<std::size_t>(i) + 3];
+      if (with_triple < dp[static_cast<std::size_t>(i)]) {
+        dp[static_cast<std::size_t>(i)] = with_triple;
+        take[static_cast<std::size_t>(i)] = 3;
+      }
+    }
+  }
+
+  for (int i = 0; i < n;) {
+    switch (take[static_cast<std::size_t>(i)]) {
+      case 3:
+        plan.steps.push_back(
+            make_fcm3_step(i, *triple[static_cast<std::size_t>(i)]));
+        i += 3;
+        break;
+      case 2:
+        plan.steps.push_back(
+            make_fcm_step(i, *fused[static_cast<std::size_t>(i)]));
+        i += 2;
+        break;
+      default:
+        plan.steps.push_back(
+            make_lbl_step(i, lbl[static_cast<std::size_t>(i)]));
+        i += 1;
+        break;
+    }
+  }
+  return plan;
+}
+
+Plan plan_model_greedy(const gpusim::DeviceSpec& dev, const ModelGraph& model,
+                       DType dt) {
+  model.validate();
+  Plan plan;
+  plan.model_name = model.name;
+  plan.device_name = dev.name;
+  plan.dtype = dt;
+
+  const int n = model.num_layers();
+  int i = 0;
+  while (i < n) {
+    const LayerSpec& cur = model.layers[static_cast<std::size_t>(i)];
+    // INT8 standard convs are outside the paper's scope; they also block
+    // fusion, so they always go LBL (executed in FP32 by the runtime).
+    const bool can_pair =
+        i + 1 < n && !model.feeds_residual(i) && !model.receives_residual(i) &&
+        cur.allow_fusion &&
+        model.layers[static_cast<std::size_t>(i + 1)].allow_fusion &&
+        pair_fusable(cur, model.layers[static_cast<std::size_t>(i + 1)]);
+    if (can_pair) {
+      const auto d =
+          plan_pair(dev, cur, model.layers[static_cast<std::size_t>(i + 1)], dt);
+      if (d.fuse()) {
+        plan.steps.push_back(make_fcm_step(i, *d.fcm));
+        i += 2;
+        continue;
+      }
+      plan.steps.push_back(make_lbl_step(i, d.lbl_first));
+      ++i;
+      continue;
+    }
+    const DType layer_dt =
+        cur.kind == ConvKind::kStandard ? DType::kF32 : dt;
+    auto lbl = best_lbl_tiling(dev, cur, layer_dt);
+    FCM_CHECK(lbl.has_value(), "plan_model: no feasible LBL tiling for " +
+                                   cur.name + " on " + dev.name);
+    plan.steps.push_back(make_lbl_step(i, *lbl));
+    ++i;
+  }
+  return plan;
+}
+
+Plan plan_model_lbl(const gpusim::DeviceSpec& dev, const ModelGraph& model,
+                    DType dt) {
+  model.validate();
+  Plan plan;
+  plan.model_name = model.name + "(LBL)";
+  plan.device_name = dev.name;
+  plan.dtype = dt;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const LayerSpec& cur = model.layers[static_cast<std::size_t>(i)];
+    const DType layer_dt =
+        cur.kind == ConvKind::kStandard ? DType::kF32 : dt;
+    auto lbl = best_lbl_tiling(dev, cur, layer_dt);
+    FCM_CHECK(lbl.has_value(), "plan_model_lbl: no feasible LBL tiling for " +
+                                   cur.name + " on " + dev.name);
+    plan.steps.push_back(make_lbl_step(i, *lbl));
+  }
+  return plan;
+}
+
+}  // namespace fcm::planner

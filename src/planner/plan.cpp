@@ -1,0 +1,63 @@
+#include "planner/plan.hpp"
+
+#include <sstream>
+
+namespace fcm::planner {
+
+double PlanStep::redundancy_ratio() const {
+  const double conv_ops =
+      static_cast<double>(stats.flops + stats.int_ops);
+  if (conv_ops <= 0.0) return 0.0;
+  return static_cast<double>(stats.redundant_flops) / conv_ops;
+}
+
+std::int64_t Plan::total_gma_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& s : steps) total += s.stats.gma_bytes();
+  return total;
+}
+
+int Plan::fused_layer_count() const {
+  int n = 0;
+  for (const auto& s : steps) {
+    if (s.fused) n += s.layer3 >= 0 ? 3 : 2;
+  }
+  return n;
+}
+
+int Plan::total_layer_count() const {
+  int n = 0;
+  for (const auto& s : steps) n += s.fused ? (s.layer3 >= 0 ? 3 : 2) : 1;
+  return n;
+}
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << "Plan for " << model_name << " on " << device_name << " ("
+     << dtype_name(dtype) << "): " << steps.size() << " kernels, "
+     << fused_layer_count() << "/" << total_layer_count()
+     << " layers fused, GMA " << total_gma_bytes() << "B\n";
+  for (const auto& s : steps) {
+    if (s.fused) {
+      os << "  [FCM " << fcm_kind_name(s.fcm_kind) << "] layers " << s.layer
+         << "+" << s.layer2;
+      if (s.layer3 >= 0) os << "+" << s.layer3;
+      os << " tile " << s.fcm_tiling.tile_h << "x" << s.fcm_tiling.tile_w;
+      if (s.fcm_tiling.tile_c > 0) os << " tc=" << s.fcm_tiling.tile_c;
+      if (s.fcm_tiling.chunk_f > 0) os << " cf=" << s.fcm_tiling.chunk_f;
+      os << " gma=" << s.stats.gma_bytes() << "B";
+      if (s.stats.redundant_flops > 0) {
+        os << " redundant=" << static_cast<int>(s.redundancy_ratio() * 100.0)
+           << "%";
+      }
+      os << "\n";
+    } else {
+      os << "  [LBL] layer " << s.layer << " tile " << s.lbl_tiling.tile_h
+         << "x" << s.lbl_tiling.tile_w << " tf=" << s.lbl_tiling.tile_f
+         << " gma=" << s.stats.gma_bytes() << "B\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fcm::planner

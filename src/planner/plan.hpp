@@ -1,0 +1,56 @@
+// Execution plans emitted by FusePlanner.
+//
+// A plan is an ordered list of steps, each covering one layer (LBL) or a
+// fused pair of layers (FCM), with the tiling the planner selected and the
+// predicted kernel stats. The runtime executor materialises a plan into
+// simulated kernel launches; the benches consume the predictions directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_stats.hpp"
+#include "kernels/tiling.hpp"
+#include "layers/model_graph.hpp"
+
+namespace fcm::planner {
+
+/// One schedulable unit of a plan.
+struct PlanStep {
+  bool fused = false;
+  /// Index of the (first) layer this step executes.
+  int layer = 0;
+  /// Second layer of a fused pair; -1 for LBL steps.
+  int layer2 = -1;
+  /// Third layer of a fused PWDWPW triple; -1 otherwise.
+  int layer3 = -1;
+
+  FcmKind fcm_kind = FcmKind::kDwPw;  ///< valid when fused
+  ConvTiling lbl_tiling;              ///< valid when !fused
+  FcmTiling fcm_tiling;               ///< valid when fused
+
+  /// Planner-predicted stats (equal to the kernel's measured stats).
+  gpusim::KernelStats stats;
+
+  /// Redundant-computation ratio of the step (paper Table II): redundant ops
+  /// over total conv ops. Zero for LBL and non-R FCMs.
+  double redundancy_ratio() const;
+};
+
+/// A full-model execution plan.
+struct Plan {
+  std::string model_name;
+  std::string device_name;
+  DType dtype = DType::kF32;
+  std::vector<PlanStep> steps;
+
+  std::int64_t total_gma_bytes() const;
+  /// Number of layers executed inside fused steps.
+  int fused_layer_count() const;
+  int total_layer_count() const;
+
+  /// Human-readable multi-line description of the plan.
+  std::string describe() const;
+};
+
+}  // namespace fcm::planner

@@ -1,0 +1,175 @@
+#include "planner/plan_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "planner/cost_model.hpp"
+
+namespace fcm::planner {
+
+namespace {
+
+FcmKind kind_from_name(const std::string& name) {
+  if (name == "DWPW") return FcmKind::kDwPw;
+  if (name == "PWDW") return FcmKind::kPwDw;
+  if (name == "PWDW_R") return FcmKind::kPwDwR;
+  if (name == "PWPW") return FcmKind::kPwPw;
+  if (name == "PWDWPW") return FcmKind::kPwDwPw;
+  throw Error("plan_io: unknown FCM kind '" + name + "'");
+}
+
+/// Parse "key=value" tokens of one line into a map.
+std::map<std::string, std::string> parse_fields(std::istringstream& line) {
+  std::map<std::string, std::string> out;
+  std::string tok;
+  while (line >> tok) {
+    const auto eq = tok.find('=');
+    FCM_CHECK(eq != std::string::npos, "plan_io: malformed token '" + tok + "'");
+    out[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return out;
+}
+
+int to_int(const std::map<std::string, std::string>& f, const std::string& k) {
+  const auto it = f.find(k);
+  FCM_CHECK(it != f.end(), "plan_io: missing field '" + k + "'");
+  return std::stoi(it->second);
+}
+
+std::string get(const std::map<std::string, std::string>& f,
+                const std::string& k) {
+  const auto it = f.find(k);
+  FCM_CHECK(it != f.end(), "plan_io: missing field '" + k + "'");
+  return it->second;
+}
+
+}  // namespace
+
+std::string serialize(const Plan& plan) {
+  std::ostringstream os;
+  os << "fcmplan v1 model=" << plan.model_name
+     << " device=" << plan.device_name << " dtype=" << dtype_name(plan.dtype)
+     << "\n";
+  for (const auto& s : plan.steps) {
+    if (!s.fused) {
+      os << "lbl layer=" << s.layer << " th=" << s.lbl_tiling.tile_h
+         << " tw=" << s.lbl_tiling.tile_w << " tf=" << s.lbl_tiling.tile_f
+         << "\n";
+    } else {
+      os << "fcm kind=" << fcm_kind_name(s.fcm_kind) << " layers=" << s.layer
+         << "," << s.layer2;
+      if (s.layer3 >= 0) os << "," << s.layer3;
+      os << " th=" << s.fcm_tiling.tile_h << " tw=" << s.fcm_tiling.tile_w
+         << " tc=" << s.fcm_tiling.tile_c << " cf=" << s.fcm_tiling.chunk_f
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+Plan deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  FCM_CHECK(std::getline(is, line), "plan_io: empty input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    FCM_CHECK(magic == "fcmplan" && version == "v1",
+              "plan_io: bad header '" + line + "'");
+    const auto f = parse_fields(header);
+    Plan plan;
+    plan.model_name = get(f, "model");
+    plan.device_name = get(f, "device");
+    plan.dtype = get(f, "dtype") == "int8" ? DType::kI8 : DType::kF32;
+
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      const auto fields = parse_fields(ls);
+      PlanStep s;
+      if (tag == "lbl") {
+        s.fused = false;
+        s.layer = to_int(fields, "layer");
+        s.lbl_tiling = ConvTiling{to_int(fields, "th"), to_int(fields, "tw"),
+                                  to_int(fields, "tf")};
+      } else if (tag == "fcm") {
+        s.fused = true;
+        s.fcm_kind = kind_from_name(get(fields, "kind"));
+        const std::string layers = get(fields, "layers");
+        std::istringstream lls(layers);
+        std::string part;
+        std::vector<int> idx;
+        while (std::getline(lls, part, ',')) idx.push_back(std::stoi(part));
+        FCM_CHECK(idx.size() == 2 || idx.size() == 3,
+                  "plan_io: bad layers list '" + layers + "'");
+        s.layer = idx[0];
+        s.layer2 = idx[1];
+        if (idx.size() == 3) s.layer3 = idx[2];
+        s.fcm_tiling = FcmTiling{to_int(fields, "th"), to_int(fields, "tw"),
+                                 to_int(fields, "tc"), to_int(fields, "cf")};
+      } else {
+        throw Error("plan_io: unknown step tag '" + tag + "'");
+      }
+      plan.steps.push_back(s);
+    }
+    return plan;
+  }
+}
+
+void reconcile(const gpusim::DeviceSpec& dev, const ModelGraph& model,
+               Plan& plan) {
+  model.validate();
+  const int n = model.num_layers();
+  std::vector<bool> covered(static_cast<std::size_t>(n), false);
+  auto claim = [&](int i) {
+    FCM_CHECK(i >= 0 && i < n, "reconcile: layer index out of range");
+    FCM_CHECK(!covered[static_cast<std::size_t>(i)],
+              "reconcile: layer " + std::to_string(i) + " covered twice");
+    covered[static_cast<std::size_t>(i)] = true;
+  };
+
+  for (auto& s : plan.steps) {
+    if (!s.fused) {
+      claim(s.layer);
+      const LayerSpec& spec = model.layers[static_cast<std::size_t>(s.layer)];
+      const DType dt =
+          spec.kind == ConvKind::kStandard ? DType::kF32 : plan.dtype;
+      s.stats = lbl_stats(spec, s.lbl_tiling, dt);
+      continue;
+    }
+    claim(s.layer);
+    claim(s.layer2);
+    const LayerSpec& a = model.layers[static_cast<std::size_t>(s.layer)];
+    const LayerSpec& b = model.layers[static_cast<std::size_t>(s.layer2)];
+    if (s.layer3 >= 0) {
+      claim(s.layer3);
+      FCM_CHECK(s.fcm_kind == FcmKind::kPwDwPw,
+                "reconcile: three layers require PWDWPW");
+      const LayerSpec& c = model.layers[static_cast<std::size_t>(s.layer3)];
+      s.stats = pwdwpw_stats(a, b, c, s.fcm_tiling, plan.dtype);
+    } else {
+      FcmKind expected;
+      FCM_CHECK(fcm_kind_for(a, b, expected),
+                "reconcile: layers " + std::to_string(s.layer) + "," +
+                    std::to_string(s.layer2) + " are not a fusable pair");
+      const bool pwdw_family =
+          (expected == FcmKind::kPwDw) &&
+          (s.fcm_kind == FcmKind::kPwDw || s.fcm_kind == FcmKind::kPwDwR);
+      FCM_CHECK(s.fcm_kind == expected || pwdw_family,
+                "reconcile: FCM kind does not match layer kinds");
+      s.stats = fcm_stats(s.fcm_kind, a, b, s.fcm_tiling, plan.dtype);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    FCM_CHECK(covered[static_cast<std::size_t>(i)],
+              "reconcile: layer " + std::to_string(i) + " not covered");
+  }
+  plan.device_name = dev.name;
+}
+
+}  // namespace fcm::planner

@@ -1,0 +1,191 @@
+#include "planner/tile_search.hpp"
+
+#include <algorithm>
+
+#include "planner/cost_model.hpp"
+
+namespace fcm::planner {
+
+namespace {
+
+/// Candidate is better when it moves fewer bytes; ties go to fewer blocks
+/// (less launch pressure), then larger spatial tiles (more reuse headroom).
+bool better(const gpusim::KernelStats& a, const gpusim::KernelStats& b) {
+  if (a.gma_bytes() != b.gma_bytes()) return a.gma_bytes() < b.gma_bytes();
+  return a.num_blocks < b.num_blocks;
+}
+
+bool lbl_feasible(const gpusim::DeviceSpec& dev, const LayerSpec& spec,
+                  const ConvTiling& t, DType dt,
+                  const gpusim::KernelStats& st) {
+  std::int64_t l1 = 0;
+  switch (spec.kind) {
+    case ConvKind::kPointwise: l1 = pw_l1_bytes(spec, t, dt); break;
+    case ConvKind::kDepthwise: l1 = dw_l1_bytes(spec, t, dt); break;
+    case ConvKind::kStandard: l1 = std_l1_bytes(spec, t, dt); break;
+  }
+  if (l1 > dev.l1_bytes) return false;
+  if (st.shared_bytes_per_block > dev.max_shared_bytes) return false;
+  if (st.num_blocks < dev.num_sms) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> spatial_tile_candidates(int extent) {
+  std::vector<int> out;
+  for (int v = 1; v < extent; v *= 2) out.push_back(v);
+  // Even splits of the extent (half, quarter) so non-power-of-two maps like
+  // 14×14 can tile exactly (7×7 quadrants).
+  for (int d : {2, 4}) {
+    const int v = static_cast<int>(ceil_div(extent, d));
+    if (v >= 1 && v < extent) out.push_back(v);
+  }
+  out.push_back(extent);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int> channel_tile_candidates(int extent, bool warp_multiples_only) {
+  std::vector<int> out;
+  if (warp_multiples_only) {
+    // Warp multiples, plus the sub-warp fallbacks 8/16: wide layers
+    // (tile_f × in_c weight tiles) may not fit a full warp-sized filter tile
+    // in L1 — a 32×1024 FP32 tile alone is 128 KB.
+    for (int v : {8, 16}) {
+      if (v < extent) out.push_back(v);
+    }
+    for (int v = kWarpSize; v < extent; v += kWarpSize) out.push_back(v);
+  } else {
+    for (int v = 1; v < extent; v *= 2) out.push_back(v);
+  }
+  if (out.empty() || out.back() != extent) out.push_back(extent);
+  return out;
+}
+
+std::optional<LblChoice> best_lbl_tiling(const gpusim::DeviceSpec& dev,
+                                         const LayerSpec& spec, DType dt) {
+  std::optional<LblChoice> best;
+  // Filter tiles: warp multiples for PW/standard (a warp computes one output
+  // channel column), power-of-two channel groups for DW (channel count need
+  // not be warp-aligned since each channel is independent).
+  const bool warp_only = spec.kind != ConvKind::kDepthwise;
+  const auto f_cands = channel_tile_candidates(spec.out_c, warp_only);
+  const auto h_cands = spatial_tile_candidates(spec.out_h());
+  const auto w_cands = spatial_tile_candidates(spec.out_w());
+  for (int tf : f_cands) {
+    for (int th : h_cands) {
+      for (int tw : w_cands) {
+        const ConvTiling t{th, tw, tf};
+        const auto st = lbl_stats(spec, t, dt);
+        if (!lbl_feasible(dev, spec, t, dt, st)) continue;
+        if (!best || better(st, best->stats)) best = LblChoice{t, st};
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void consider_fcm(const gpusim::DeviceSpec& dev, FcmKind kind,
+                  const LayerSpec& first, const LayerSpec& second,
+                  const FcmTiling& t, DType dt,
+                  std::optional<FcmChoice>& best) {
+  const std::int64_t l1 = fcm_l1_bytes(kind, first, second, t, dt);
+  if (l1 > dev.l1_bytes) return;
+  const auto st = fcm_stats(kind, first, second, t, dt);
+  if (st.shared_bytes_per_block > dev.max_shared_bytes) return;
+  if (st.num_blocks < dev.num_sms) return;
+  if (!best || better(st, best->stats)) best = FcmChoice{kind, t, st};
+}
+
+}  // namespace
+
+std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
+                                         FcmKind kind, const LayerSpec& first,
+                                         const LayerSpec& second, DType dt) {
+  std::optional<FcmChoice> best;
+  const int H = second.out_h();
+  const int W = second.out_w();
+  const auto h_cands = spatial_tile_candidates(H);
+  const auto w_cands = spatial_tile_candidates(W);
+
+  switch (kind) {
+    case FcmKind::kDwPw: {
+      const auto f_cands = channel_tile_candidates(second.out_c, true);
+      for (int th : h_cands) {
+        for (int tw : w_cands) {
+          for (int cf : f_cands) {
+            FcmTiling t{th, tw, /*tile_c=*/0, /*chunk_f=*/cf};
+            consider_fcm(dev, kind, first, second, t, dt, best);
+          }
+        }
+      }
+      break;
+    }
+    case FcmKind::kPwDw:
+    case FcmKind::kPwDwR: {
+      const auto c_cands = channel_tile_candidates(first.out_c, false);
+      // Redundancy-free variant: full spatial extent per block.
+      for (int tc : c_cands) {
+        FcmTiling t{H, W, tc, 0};
+        consider_fcm(dev, FcmKind::kPwDw, first, second, t, dt, best);
+      }
+      // PWDW_R: spatial tiling with halo recompute.
+      for (int th : h_cands) {
+        for (int tw : w_cands) {
+          if (th == H && tw == W) continue;  // covered above
+          for (int tc : c_cands) {
+            FcmTiling t{th, tw, tc, 0};
+            consider_fcm(dev, FcmKind::kPwDwR, first, second, t, dt, best);
+          }
+        }
+      }
+      break;
+    }
+    case FcmKind::kPwPw: {
+      const auto f_cands = channel_tile_candidates(
+          std::max(first.out_c, second.out_c), true);
+      for (int th : h_cands) {
+        for (int tw : w_cands) {
+          for (int cf : f_cands) {
+            FcmTiling t{th, tw, 0, cf};
+            consider_fcm(dev, kind, first, second, t, dt, best);
+          }
+        }
+      }
+      break;
+    }
+    case FcmKind::kPwDwPw:
+      throw Error("best_fcm_tiling: use best_pwdwpw_tiling for triples");
+  }
+  return best;
+}
+
+std::optional<Fcm3Choice> best_pwdwpw_tiling(const gpusim::DeviceSpec& dev,
+                                             const LayerSpec& pw1,
+                                             const LayerSpec& dw,
+                                             const LayerSpec& pw2, DType dt) {
+  std::optional<Fcm3Choice> best;
+  const int H = pw2.out_h();
+  const int W = pw2.out_w();
+  const auto f_cands =
+      channel_tile_candidates(std::max(pw1.out_c, pw2.out_c), true);
+  for (int th : spatial_tile_candidates(H)) {
+    for (int tw : spatial_tile_candidates(W)) {
+      for (int cf : f_cands) {
+        const FcmTiling t{th, tw, 0, cf};
+        if (pwdwpw_l1_bytes(pw1, dw, pw2, t, dt) > dev.l1_bytes) continue;
+        const auto st = pwdwpw_stats(pw1, dw, pw2, t, dt);
+        if (st.shared_bytes_per_block > dev.max_shared_bytes) continue;
+        if (st.num_blocks < dev.num_sms) continue;
+        if (!best || better(st, best->stats)) best = Fcm3Choice{t, st};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace fcm::planner

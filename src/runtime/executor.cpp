@@ -1,0 +1,273 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "kernels/conv_ref.hpp"
+#include "kernels/fcm_pwdwpw.hpp"
+#include "kernels/kernel_registry.hpp"
+
+namespace fcm::runtime {
+
+ModelReport evaluate_plan(const gpusim::DeviceSpec& dev,
+                          const ModelGraph& model,
+                          const planner::Plan& plan) {
+  ModelReport r;
+  r.label = plan.model_name + " on " + dev.name + " (" +
+            dtype_name(plan.dtype) + ")";
+  for (const auto& s : plan.steps) {
+    std::string name;
+    if (s.fused) {
+      name = std::string(fcm_kind_name(s.fcm_kind)) + "/" +
+             model.layers[static_cast<std::size_t>(s.layer)].name + "+" +
+             model.layers[static_cast<std::size_t>(s.layer2)].name;
+    } else {
+      name = "LBL/" + model.layers[static_cast<std::size_t>(s.layer)].name;
+    }
+    r.steps.push_back(evaluate_step(dev, std::move(name), s.stats));
+  }
+  return r;
+}
+
+ModelReport evaluate_tvm(const gpusim::DeviceSpec& dev,
+                         const ModelGraph& model,
+                         const baselines::TvmPlan& plan) {
+  ModelReport r;
+  r.label = plan.model_name + " on " + dev.name + " (" +
+            dtype_name(plan.dtype) + ")";
+  for (const auto& s : plan.steps) {
+    const std::string name =
+        std::string(baselines::tvm_impl_name(s.impl)) + "/" +
+        model.layers[static_cast<std::size_t>(s.layer)].name;
+    r.steps.push_back(evaluate_step(dev, name, s.stats));
+  }
+  return r;
+}
+
+ModelRunner::ModelRunner(gpusim::DeviceSpec dev, ModelGraph model,
+                         std::uint64_t seed)
+    : dev_(std::move(dev)), model_(std::move(model)) {
+  model_.validate();
+  const int n = model_.num_layers();
+  weights_f_.reserve(static_cast<std::size_t>(n));
+  weights_i8_.reserve(static_cast<std::size_t>(n));
+  bn_.reserve(static_cast<std::size_t>(n));
+  quant_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const LayerSpec& spec = model_.layers[static_cast<std::size_t>(i)];
+    WeightsF wf(spec.filter_shape());
+    fill_uniform(wf, seed + static_cast<std::uint64_t>(i) * 7919u, -0.5f, 0.5f);
+    weights_f_.push_back(std::move(wf));
+    WeightsI8 wq(spec.filter_shape());
+    fill_uniform_i8(wq, seed + static_cast<std::uint64_t>(i) * 104729u, -8, 8);
+    weights_i8_.push_back(std::move(wq));
+    bn_.push_back(spec.has_bn
+                      ? BatchNorm::random(spec.out_c,
+                                          seed + static_cast<std::uint64_t>(i))
+                      : BatchNorm::identity(spec.out_c));
+    // Symmetric per-tensor scales; chained so layer i+1 consumes layer i's
+    // output scale.
+    QuantParams q;
+    q.in_scale = 0.1f;
+    q.w_scale = 0.02f;
+    q.out_scale = 0.1f;
+    quant_.push_back(q);
+  }
+}
+
+namespace {
+
+template <typename T>
+void residual_add(Tensor<T>& out, const Tensor<T>& saved) {
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    if constexpr (std::is_same_v<T, float>) {
+      out[i] += saved[i];
+    } else {
+      const int v = static_cast<int>(out[i]) + static_cast<int>(saved[i]);
+      out[i] = static_cast<T>(std::clamp(v, -128, 127));
+    }
+  }
+}
+
+/// Apply any residual edges terminating at `layer` and stash outputs that
+/// source later edges.
+template <typename T>
+void handle_residuals(const ModelGraph& model, int layer, Tensor<T>& out,
+                      std::vector<std::optional<Tensor<T>>>& saved) {
+  for (const auto& [from, to] : model.residual_edges) {
+    if (to == layer) {
+      FCM_ASSERT(saved[static_cast<std::size_t>(from)].has_value(),
+                 "residual source not saved");
+      residual_add(out, *saved[static_cast<std::size_t>(from)]);
+    }
+  }
+  for (const auto& [from, to] : model.residual_edges) {
+    if (from == layer) saved[static_cast<std::size_t>(layer)] = out;
+  }
+}
+
+}  // namespace
+
+TensorF ModelRunner::run_f32(const planner::Plan& plan, const TensorF& input,
+                             ModelReport* report) const {
+  FCM_CHECK(input.shape() == model_.layers.front().ifm_shape(),
+            "run_f32: input shape mismatch");
+  TensorF cur = input;
+  std::vector<std::optional<TensorF>> saved(
+      static_cast<std::size_t>(model_.num_layers()));
+  if (report != nullptr) {
+    report->label = plan.model_name + " on " + dev_.name + " (fp32, functional)";
+    report->steps.clear();
+  }
+
+  for (const auto& s : plan.steps) {
+    const int i = s.layer;
+    const LayerSpec& a = model_.layers[static_cast<std::size_t>(i)];
+    gpusim::KernelStats st;
+    if (s.fused && s.layer3 >= 0) {
+      const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
+      const LayerSpec& c = model_.layers[static_cast<std::size_t>(s.layer3)];
+      EpilogueF32 ep1(bn_[static_cast<std::size_t>(i)], a.act);
+      EpilogueF32 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act);
+      EpilogueF32 ep3(bn_[static_cast<std::size_t>(s.layer3)], c.act);
+      TensorF ofm(c.ofm_shape());
+      st = run_pwdwpw_f32(dev_, a, b, c, cur,
+                          weights_f_[static_cast<std::size_t>(i)],
+                          weights_f_[static_cast<std::size_t>(s.layer2)],
+                          weights_f_[static_cast<std::size_t>(s.layer3)], ep1,
+                          ep2, ep3, ofm, s.fcm_tiling);
+      cur = std::move(ofm);
+      handle_residuals(model_, s.layer3, cur, saved);
+      if (report != nullptr) {
+        report->steps.push_back(evaluate_step(dev_, "PWDWPW/" + a.name, st));
+      }
+    } else if (s.fused) {
+      const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
+      EpilogueF32 ep1(bn_[static_cast<std::size_t>(i)], a.act);
+      EpilogueF32 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act);
+      TensorF ofm(b.ofm_shape());
+      st = run_fcm_f32(dev_, s.fcm_kind, a, b, cur,
+                       weights_f_[static_cast<std::size_t>(i)],
+                       weights_f_[static_cast<std::size_t>(s.layer2)], ep1, ep2,
+                       ofm, s.fcm_tiling);
+      cur = std::move(ofm);
+      handle_residuals(model_, s.layer2, cur, saved);
+      if (report != nullptr) {
+        report->steps.push_back(evaluate_step(
+            dev_, std::string(fcm_kind_name(s.fcm_kind)) + "/" + a.name, st));
+      }
+    } else {
+      EpilogueF32 ep(bn_[static_cast<std::size_t>(i)], a.act);
+      TensorF ofm(a.ofm_shape());
+      st = run_lbl_f32(dev_, a, cur, weights_f_[static_cast<std::size_t>(i)],
+                       ep, ofm, s.lbl_tiling);
+      cur = std::move(ofm);
+      handle_residuals(model_, i, cur, saved);
+      if (report != nullptr) {
+        report->steps.push_back(evaluate_step(dev_, "LBL/" + a.name, st));
+      }
+    }
+  }
+  return cur;
+}
+
+TensorI8 ModelRunner::run_i8(const planner::Plan& plan, const TensorI8& input,
+                             ModelReport* report) const {
+  FCM_CHECK(input.shape() == model_.layers.front().ifm_shape(),
+            "run_i8: input shape mismatch");
+  TensorI8 cur = input;
+  std::vector<std::optional<TensorI8>> saved(
+      static_cast<std::size_t>(model_.num_layers()));
+  if (report != nullptr) {
+    report->label = plan.model_name + " on " + dev_.name + " (int8, functional)";
+    report->steps.clear();
+  }
+
+  for (const auto& s : plan.steps) {
+    const int i = s.layer;
+    const LayerSpec& a = model_.layers[static_cast<std::size_t>(i)];
+    FCM_CHECK(a.kind != ConvKind::kStandard,
+              "run_i8: INT8 standard conv unsupported");
+    gpusim::KernelStats st;
+    if (s.fused && s.layer3 >= 0) {
+      const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
+      const LayerSpec& c = model_.layers[static_cast<std::size_t>(s.layer3)];
+      EpilogueI8 ep1(bn_[static_cast<std::size_t>(i)], a.act,
+                     quant_[static_cast<std::size_t>(i)]);
+      EpilogueI8 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act,
+                     quant_[static_cast<std::size_t>(s.layer2)]);
+      EpilogueI8 ep3(bn_[static_cast<std::size_t>(s.layer3)], c.act,
+                     quant_[static_cast<std::size_t>(s.layer3)]);
+      TensorI8 ofm(c.ofm_shape());
+      st = run_pwdwpw_i8(dev_, a, b, c, cur,
+                         weights_i8_[static_cast<std::size_t>(i)],
+                         weights_i8_[static_cast<std::size_t>(s.layer2)],
+                         weights_i8_[static_cast<std::size_t>(s.layer3)], ep1,
+                         ep2, ep3, ofm, s.fcm_tiling);
+      cur = std::move(ofm);
+      handle_residuals(model_, s.layer3, cur, saved);
+      if (report != nullptr) {
+        report->steps.push_back(evaluate_step(dev_, "PWDWPW/" + a.name, st));
+      }
+    } else if (s.fused) {
+      const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
+      EpilogueI8 ep1(bn_[static_cast<std::size_t>(i)], a.act,
+                     quant_[static_cast<std::size_t>(i)]);
+      EpilogueI8 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act,
+                     quant_[static_cast<std::size_t>(s.layer2)]);
+      TensorI8 ofm(b.ofm_shape());
+      st = run_fcm_i8(dev_, s.fcm_kind, a, b, cur,
+                      weights_i8_[static_cast<std::size_t>(i)],
+                      weights_i8_[static_cast<std::size_t>(s.layer2)], ep1, ep2,
+                      ofm, s.fcm_tiling);
+      cur = std::move(ofm);
+      handle_residuals(model_, s.layer2, cur, saved);
+      if (report != nullptr) {
+        report->steps.push_back(evaluate_step(
+            dev_, std::string(fcm_kind_name(s.fcm_kind)) + "/" + a.name, st));
+      }
+    } else {
+      EpilogueI8 ep(bn_[static_cast<std::size_t>(i)], a.act,
+                    quant_[static_cast<std::size_t>(i)]);
+      TensorI8 ofm(a.ofm_shape());
+      st = run_lbl_i8(dev_, a, cur, weights_i8_[static_cast<std::size_t>(i)],
+                      ep, ofm, s.lbl_tiling);
+      cur = std::move(ofm);
+      handle_residuals(model_, i, cur, saved);
+      if (report != nullptr) {
+        report->steps.push_back(evaluate_step(dev_, "LBL/" + a.name, st));
+      }
+    }
+  }
+  return cur;
+}
+
+TensorF ModelRunner::run_reference_f32(const TensorF& input) const {
+  TensorF cur = input;
+  std::vector<std::optional<TensorF>> saved(
+      static_cast<std::size_t>(model_.num_layers()));
+  for (int i = 0; i < model_.num_layers(); ++i) {
+    const LayerSpec& spec = model_.layers[static_cast<std::size_t>(i)];
+    EpilogueF32 ep(bn_[static_cast<std::size_t>(i)], spec.act);
+    cur = conv_ref_f32(spec, cur, weights_f_[static_cast<std::size_t>(i)], ep);
+    handle_residuals(model_, i, cur, saved);
+  }
+  return cur;
+}
+
+TensorI8 ModelRunner::run_reference_i8(const TensorI8& input) const {
+  TensorI8 cur = input;
+  std::vector<std::optional<TensorI8>> saved(
+      static_cast<std::size_t>(model_.num_layers()));
+  for (int i = 0; i < model_.num_layers(); ++i) {
+    const LayerSpec& spec = model_.layers[static_cast<std::size_t>(i)];
+    FCM_CHECK(spec.kind != ConvKind::kStandard,
+              "run_reference_i8: INT8 standard conv unsupported");
+    EpilogueI8 ep(bn_[static_cast<std::size_t>(i)], spec.act,
+                  quant_[static_cast<std::size_t>(i)]);
+    cur = conv_ref_i8(spec, cur, weights_i8_[static_cast<std::size_t>(i)], ep);
+    handle_residuals(model_, i, cur, saved);
+  }
+  return cur;
+}
+
+}  // namespace fcm::runtime

@@ -1,0 +1,49 @@
+#include "runtime/report.hpp"
+
+#include <sstream>
+
+namespace fcm::runtime {
+
+double ModelReport::total_time_s() const {
+  double t = 0.0;
+  for (const auto& s : steps) t += s.timing.total_s;
+  return t;
+}
+
+double ModelReport::total_energy_j() const {
+  double e = 0.0;
+  for (const auto& s : steps) e += s.energy.total();
+  return e;
+}
+
+std::int64_t ModelReport::total_gma_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& s : steps) b += s.stats.gma_bytes();
+  return b;
+}
+
+std::int64_t ModelReport::total_ops() const {
+  std::int64_t n = 0;
+  for (const auto& s : steps) n += s.stats.total_ops();
+  return n;
+}
+
+std::string ModelReport::summary() const {
+  std::ostringstream os;
+  os << label << ": " << steps.size() << " kernels, time "
+     << total_time_s() * 1e3 << " ms, energy " << total_energy_j() * 1e3
+     << " mJ, GMA " << static_cast<double>(total_gma_bytes()) / 1e6 << " MB";
+  return os.str();
+}
+
+StepReport evaluate_step(const gpusim::DeviceSpec& dev, std::string name,
+                         const gpusim::KernelStats& stats) {
+  StepReport r;
+  r.name = std::move(name);
+  r.stats = stats;
+  r.timing = gpusim::estimate_time(dev, stats);
+  r.energy = gpusim::estimate_energy(dev, stats, r.timing.total_s);
+  return r;
+}
+
+}  // namespace fcm::runtime

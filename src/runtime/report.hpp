@@ -1,0 +1,39 @@
+// Aggregated evaluation reports: kernel stats → time → energy, summed over a
+// model plan. These are the numbers every bench prints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/energy_model.hpp"
+#include "gpusim/roofline.hpp"
+#include "planner/plan.hpp"
+
+namespace fcm::runtime {
+
+/// One executed (or analytically evaluated) kernel of a model run.
+struct StepReport {
+  std::string name;
+  gpusim::KernelStats stats;
+  gpusim::Timing timing;
+  gpusim::EnergyBreakdown energy;
+};
+
+/// A full model evaluation.
+struct ModelReport {
+  std::string label;
+  std::vector<StepReport> steps;
+
+  double total_time_s() const;
+  double total_energy_j() const;
+  std::int64_t total_gma_bytes() const;
+  std::int64_t total_ops() const;
+
+  std::string summary() const;
+};
+
+/// Evaluate a single kernel's stats on a device (time + energy).
+StepReport evaluate_step(const gpusim::DeviceSpec& dev, std::string name,
+                         const gpusim::KernelStats& stats);
+
+}  // namespace fcm::runtime

@@ -1,0 +1,103 @@
+// fcmplan — command-line FusePlanner.
+//
+// Derives a complete execution plan for one of the bundled models on one of
+// the paper's GPUs, prints it (or exports the serialised schedule), and
+// optionally compares it against the LBL-only plan and the TVM-like
+// compiler.
+//
+//   fcmplan --model Mob_v2 --device RTX --dtype int8 --triple
+//   fcmplan --model XCe --device GTX --export plan.txt
+//   fcmplan --model Prox --device Orin --compare
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/tvm_like.hpp"
+#include "gpusim/device_spec.hpp"
+#include "models/model_zoo.hpp"
+#include "planner/plan_io.hpp"
+#include "runtime/executor.hpp"
+
+using namespace fcm;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "fcmplan — derive an FCM/LBL execution plan for a bundled model\n"
+      "  --model  <Mob_v1|Mob_v2|XCe|Prox|CeiT|CMT|EffNet_B0>  (required)\n"
+      "  --device <GTX|RTX|Orin>        default RTX\n"
+      "  --dtype  <fp32|int8>           default fp32\n"
+      "  --triple                       enable PWDWPW triple fusion\n"
+      "  --export <file>                write the serialised schedule\n"
+      "  --compare                      compare vs LBL-only and TVM-like\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name, device = "RTX", dtype = "fp32", export_path;
+  bool triple = false, compare = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") model_name = next();
+    else if (arg == "--device") device = next();
+    else if (arg == "--dtype") dtype = next();
+    else if (arg == "--export") export_path = next();
+    else if (arg == "--triple") triple = true;
+    else if (arg == "--compare") compare = true;
+    else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (model_name.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto dev = gpusim::device_by_name(device);
+    const auto model = models::model_by_name(model_name);
+    const DType dt = dtype == "int8" ? DType::kI8 : DType::kF32;
+    planner::PlanOptions opt;
+    opt.enable_triple = triple;
+
+    const auto plan = planner::plan_model(dev, model, dt, opt);
+    std::cout << plan.describe();
+    const auto rep = runtime::evaluate_plan(dev, model, plan);
+    std::cout << "\nestimated: " << rep.total_time_s() * 1e3 << " ms, "
+              << rep.total_energy_j() * 1e3 << " mJ, "
+              << rep.total_gma_bytes() / 1e6 << " MB GMA\n";
+
+    if (compare) {
+      const auto lbl = runtime::evaluate_plan(
+          dev, model, planner::plan_model_lbl(dev, model, dt));
+      const auto tvm = runtime::evaluate_tvm(
+          dev, model, baselines::tvm_compile(dev, model, dt));
+      std::cout << "vs LBL-only: " << lbl.total_time_s() / rep.total_time_s()
+                << "x speedup, vs TVM-like: "
+                << tvm.total_time_s() / rep.total_time_s() << "x speedup, "
+                << rep.total_energy_j() / tvm.total_energy_j()
+                << " of TVM energy\n";
+    }
+
+    if (!export_path.empty()) {
+      std::ofstream out(export_path);
+      FCM_CHECK(out.good(), "cannot open " + export_path);
+      out << planner::serialize(plan);
+      std::cout << "schedule written to " << export_path << "\n";
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Baseline tests: GEMM substrate, im2col lowering, the three cuDNN-like
+// algorithms (numerics + analytic/functional stats agreement), the
+// autotuner, and the TVM-like compiler.
+#include <gtest/gtest.h>
+
+#include "baselines/autotuner.hpp"
+#include "baselines/cudnn_like.hpp"
+#include "baselines/im2col.hpp"
+#include "baselines/tvm_like.hpp"
+#include "common/random.hpp"
+#include "gpusim/device_spec.hpp"
+#include "kernels/conv_ref.hpp"
+#include "models/model_zoo.hpp"
+
+namespace fcm::baselines {
+namespace {
+
+const gpusim::DeviceSpec kDev = gpusim::gtx1660();
+
+TEST(Gemm, FunctionalMatchesNaive) {
+  const GemmDims d{5, 7, 11};
+  std::vector<float> A(static_cast<std::size_t>(d.m * d.k));
+  std::vector<float> B(static_cast<std::size_t>(d.k * d.n));
+  for (std::size_t i = 0; i < A.size(); ++i) A[i] = 0.01f * static_cast<float>(i % 17) - 0.05f;
+  for (std::size_t i = 0; i < B.size(); ++i) B[i] = 0.02f * static_cast<float>(i % 13) - 0.1f;
+  std::vector<float> C(static_cast<std::size_t>(d.m * d.n), 0.0f);
+  const auto st = run_gemm_f32(
+      kDev, "t", d, [&](std::int64_t i, std::int64_t k) { return A[static_cast<std::size_t>(i * d.k + k)]; },
+      [&](std::int64_t k, std::int64_t j) { return B[static_cast<std::size_t>(k * d.n + j)]; },
+      [&](std::int64_t i, std::int64_t j, float v) { C[static_cast<std::size_t>(i * d.n + j)] = v; },
+      GemmTiling{4, 4}, 4);
+  for (std::int64_t i = 0; i < d.m; ++i) {
+    for (std::int64_t j = 0; j < d.n; ++j) {
+      float expect = 0.0f;
+      for (std::int64_t k = 0; k < d.k; ++k) {
+        expect += A[static_cast<std::size_t>(i * d.k + k)] *
+                  B[static_cast<std::size_t>(k * d.n + j)];
+      }
+      EXPECT_NEAR(C[static_cast<std::size_t>(i * d.n + j)], expect, 1e-4f);
+    }
+  }
+  const auto predicted = gemm_stats(d, GemmTiling{4, 4}, 4);
+  EXPECT_EQ(st.global_load_bytes, predicted.global_load_bytes);
+  EXPECT_EQ(st.global_store_bytes, predicted.global_store_bytes);
+  EXPECT_EQ(st.flops, predicted.flops);
+  EXPECT_EQ(st.num_blocks, predicted.num_blocks);
+}
+
+TEST(Gemm, TrafficFollowsBlockedPattern) {
+  const GemmDims d{64, 64, 64};
+  const auto st = gemm_stats(d, GemmTiling{32, 32}, 4);
+  // ⌈64/32⌉·64·64 + ⌈64/32⌉·64·64 elements loaded.
+  EXPECT_EQ(st.global_load_bytes, (2 * 64 * 64 + 2 * 64 * 64) * 4);
+  EXPECT_EQ(st.global_store_bytes, 64 * 64 * 4);
+}
+
+TEST(Im2col, VirtualMatrixMatchesDefinition) {
+  const auto spec = LayerSpec::standard("c", 2, 4, 4, 3, 3, 1);
+  TensorF ifm(spec.ifm_shape());
+  fill_uniform(ifm, 5);
+  const auto d = im2col_dims(spec);
+  EXPECT_EQ(d.k, 2 * 9);
+  EXPECT_EQ(d.n, 16);
+  // Row (c=1, kh=2, kw=0), col (oh=3, ow=1): ih=3+2-1=4 → out of bounds → 0.
+  EXPECT_EQ(im2col_at(spec, ifm, 0, 1 * 9 + 2 * 3 + 0, 3 * 4 + 1), 0.0f);
+  // Row (c=0, kh=1, kw=1), col (oh=1, ow=1): centre tap == ifm(0,1,1).
+  EXPECT_FLOAT_EQ(im2col_at(spec, ifm, 0, 0 * 9 + 1 * 3 + 1, 1 * 4 + 1),
+                  ifm.at(0, 1, 1));
+}
+
+TEST(Im2col, MaterialisationMatchesVirtual) {
+  const auto spec = LayerSpec::standard("c", 2, 5, 5, 2, 3, 1);
+  TensorF ifm(spec.ifm_shape());
+  fill_uniform(ifm, 6);
+  std::vector<float> m;
+  const auto st = run_im2col_f32(kDev, spec, ifm, 0, m);
+  const auto d = im2col_dims(spec);
+  for (std::int64_t r = 0; r < d.k; ++r) {
+    for (std::int64_t n = 0; n < d.n; ++n) {
+      EXPECT_FLOAT_EQ(m[static_cast<std::size_t>(r * d.n + n)],
+                      im2col_at(spec, ifm, 0, r, n));
+    }
+  }
+  EXPECT_EQ(st.global_store_bytes, d.k * d.n * 4);
+  // Analytic materialisation stats agree on traffic.
+  const auto pred = im2col_stats(spec, DType::kF32);
+  EXPECT_EQ(st.global_load_bytes, pred.global_load_bytes);
+  EXPECT_EQ(st.global_store_bytes, pred.global_store_bytes);
+}
+
+struct AlgoCase {
+  CudnnAlgo algo;
+  ConvKind kind;
+};
+
+class CudnnAlgoTest : public testing::TestWithParam<AlgoCase> {};
+
+TEST_P(CudnnAlgoTest, MatchesReferenceAndAnalyticStats) {
+  const auto& p = GetParam();
+  LayerSpec spec =
+      p.kind == ConvKind::kDepthwise
+          ? LayerSpec::depthwise("l", 16, 10, 10, 3, 1)
+          : (p.kind == ConvKind::kPointwise
+                 ? LayerSpec::pointwise("l", 16, 10, 10, 24)
+                 : LayerSpec::standard("l", 8, 10, 10, 12, 3, 2));
+  TensorF ifm(spec.ifm_shape());
+  fill_uniform(ifm, 20);
+  WeightsF w(spec.filter_shape());
+  fill_uniform(w, 21, -0.5f, 0.5f);
+  const auto bn = BatchNorm::random(spec.out_c, 22);
+  const EpilogueF32 ep(bn, spec.act);
+
+  TensorF ofm(spec.ofm_shape());
+  const auto st = run_cudnn_f32(kDev, p.algo, spec, ifm, w, ep, ofm);
+  const auto ref = conv_ref_f32(spec, ifm, w, ep);
+  EXPECT_LE(max_abs_diff(ofm, ref), 1e-3f);
+
+  const auto pred = cudnn_stats(kDev, p.algo, spec, DType::kF32);
+  EXPECT_EQ(st.global_load_bytes, pred.global_load_bytes);
+  EXPECT_EQ(st.global_store_bytes, pred.global_store_bytes);
+  EXPECT_EQ(st.flops, pred.flops);
+  EXPECT_EQ(st.launches, pred.launches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgosAllKinds, CudnnAlgoTest,
+    testing::Values(AlgoCase{CudnnAlgo::kGemm, ConvKind::kPointwise},
+                    AlgoCase{CudnnAlgo::kGemm, ConvKind::kDepthwise},
+                    AlgoCase{CudnnAlgo::kGemm, ConvKind::kStandard},
+                    AlgoCase{CudnnAlgo::kImplicitGemm, ConvKind::kPointwise},
+                    AlgoCase{CudnnAlgo::kImplicitGemm, ConvKind::kDepthwise},
+                    AlgoCase{CudnnAlgo::kImplicitGemm, ConvKind::kStandard},
+                    AlgoCase{CudnnAlgo::kImplicitPrecompGemm,
+                             ConvKind::kPointwise},
+                    AlgoCase{CudnnAlgo::kImplicitPrecompGemm,
+                             ConvKind::kDepthwise},
+                    AlgoCase{CudnnAlgo::kImplicitPrecompGemm,
+                             ConvKind::kStandard}),
+    [](const testing::TestParamInfo<AlgoCase>& info) {
+      return std::string(cudnn_algo_name(info.param.algo)) + "_" +
+             conv_kind_name(info.param.kind);
+    });
+
+TEST(CudnnLike, ImplicitBeatsExplicitOnTraffic) {
+  // The paper: "Implicit GEMMs do not explicitly form the matrix ...
+  // resulting in fewer memory accesses."
+  const auto pw = LayerSpec::pointwise("pw", 128, 28, 28, 256);
+  const auto dw = LayerSpec::depthwise("dw", 256, 28, 28, 3, 1);
+  for (const auto& spec : {pw, dw}) {
+    const auto e = cudnn_stats(kDev, CudnnAlgo::kGemm, spec, DType::kF32);
+    const auto i =
+        cudnn_stats(kDev, CudnnAlgo::kImplicitGemm, spec, DType::kF32);
+    const auto p = cudnn_stats(kDev, CudnnAlgo::kImplicitPrecompGemm, spec,
+                               DType::kF32);
+    EXPECT_GT(e.gma_bytes(), i.gma_bytes());
+    EXPECT_GT(e.gma_bytes(), p.gma_bytes());
+    // Precomp trades the index arithmetic for a small offset-table load.
+    EXPECT_LT(p.flops, i.flops);
+    EXPECT_GE(p.gma_bytes(), i.gma_bytes());
+  }
+}
+
+TEST(Autotuner, DeterministicAndFeasible) {
+  const auto spec = LayerSpec::pointwise("pw", 64, 28, 28, 128);
+  const auto a = autotune_direct(kDev, spec, DType::kF32, 20, 7);
+  const auto b = autotune_direct(kDev, spec, DType::kF32, 20, 7);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->tiling.tile_h, b->tiling.tile_h);
+  EXPECT_EQ(a->time_s, b->time_s);
+  EXPECT_LE(a->stats.shared_bytes_per_block, kDev.max_shared_bytes);
+}
+
+TEST(Autotuner, MoreTrialsNeverHurt) {
+  const auto spec = LayerSpec::depthwise("dw", 128, 28, 28, 3, 1);
+  const auto few = autotune_direct(kDev, spec, DType::kF32, 3, 11);
+  const auto many = autotune_direct(kDev, spec, DType::kF32, 50, 11);
+  ASSERT_TRUE(few.has_value());
+  ASSERT_TRUE(many.has_value());
+  EXPECT_LE(many->time_s, few->time_s);
+}
+
+TEST(TvmLike, CompilesEveryLayerWithBestImpl) {
+  const auto model = models::mobilenet_v1();
+  const auto plan = tvm_compile(kDev, model, DType::kF32, 10, 3);
+  ASSERT_EQ(static_cast<int>(plan.steps.size()), model.num_layers());
+  for (const auto& s : plan.steps) {
+    EXPECT_GT(s.time_s, 0.0);
+    EXPECT_GT(s.stats.gma_bytes(), 0);
+  }
+  EXPECT_GT(plan.total_time_s(), 0.0);
+}
+
+TEST(TvmLike, NeverFusesConvolutions) {
+  // Structural: one step per layer, by construction.
+  const auto model = models::mobilenet_v2();
+  const auto plan = tvm_compile(kDev, model, DType::kF32, 5, 3);
+  EXPECT_EQ(static_cast<int>(plan.steps.size()), model.num_layers());
+}
+
+TEST(TvmLike, PrefersImplicitOverExplicitGemm) {
+  // On DW/PW-heavy nets the explicit-GEMM algorithm should essentially never
+  // win the per-layer tournament.
+  const auto model = models::mobilenet_v1();
+  const auto plan = tvm_compile(kDev, model, DType::kF32, 10, 3);
+  int explicit_wins = 0;
+  for (const auto& s : plan.steps) {
+    if (s.impl == TvmImpl::kCudnnGemm) ++explicit_wins;
+  }
+  EXPECT_LE(explicit_wins, model.num_layers() / 10);
+}
+
+}  // namespace
+}  // namespace fcm::baselines

@@ -1,0 +1,153 @@
+// Unit tests for src/common: tensors, RNG, thread pool, tables, arithmetic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "common/tensor.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace fcm {
+namespace {
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(1023, 32), 32);
+}
+
+TEST(Types, RoundUp) {
+  EXPECT_EQ(round_up(0, 32), 0);
+  EXPECT_EQ(round_up(1, 32), 32);
+  EXPECT_EQ(round_up(32, 32), 32);
+  EXPECT_EQ(round_up(33, 32), 64);
+}
+
+TEST(Types, DtypeSize) {
+  EXPECT_EQ(dtype_size(DType::kF32), 4u);
+  EXPECT_EQ(dtype_size(DType::kI8), 1u);
+  EXPECT_EQ(dtype_name(DType::kF32), "fp32");
+  EXPECT_EQ(dtype_name(DType::kI8), "int8");
+}
+
+TEST(Tensor, ShapeAndIndexing) {
+  TensorF t(3, 4, 5);
+  EXPECT_EQ(t.size(), 60);
+  EXPECT_EQ(t.shape().hw(), 20);
+  t.at(2, 3, 4) = 7.5f;
+  EXPECT_FLOAT_EQ(t[t.index(2, 3, 4)], 7.5f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);  // zero-initialised
+}
+
+TEST(Tensor, IndexIsRowMajorCHW) {
+  TensorF t(2, 3, 4);
+  EXPECT_EQ(t.index(0, 0, 0), 0);
+  EXPECT_EQ(t.index(0, 0, 1), 1);
+  EXPECT_EQ(t.index(0, 1, 0), 4);
+  EXPECT_EQ(t.index(1, 0, 0), 12);
+}
+
+TEST(Tensor, OutOfRangeThrows) {
+  TensorF t(2, 2, 2);
+  EXPECT_THROW(t.index(2, 0, 0), Error);
+  EXPECT_THROW(t.index(0, -1, 0), Error);
+}
+
+TEST(WeightTensor, ShapeAndIndexing) {
+  WeightsF w(FilterShape{8, 4, 3, 3});
+  EXPECT_EQ(w.size(), 8 * 4 * 9);
+  w.at(7, 3, 2, 2) = 1.0f;
+  EXPECT_FLOAT_EQ(w[w.size() - 1], 1.0f);
+}
+
+TEST(Tensor, MaxAbsDiffAndAllclose) {
+  TensorF a(1, 2, 2), b(1, 2, 2);
+  a.at(0, 1, 1) = 1.0f;
+  b.at(0, 1, 1) = 1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_FALSE(allclose(a, b, 0.4f));
+  EXPECT_TRUE(allclose(a, b, 0.6f));
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchThrows) {
+  TensorF a(1, 2, 2), b(1, 2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(Random, DeterministicForSeed) {
+  TensorF a(4, 8, 8), b(4, 8, 8);
+  fill_uniform(a, 123);
+  fill_uniform(b, 123);
+  EXPECT_TRUE(allclose(a, b, 0.0f));
+  fill_uniform(b, 124);
+  EXPECT_FALSE(allclose(a, b, 1e-9f));
+}
+
+TEST(Random, RespectsRange) {
+  TensorF t(2, 16, 16);
+  fill_uniform(t, 7, -0.25f, 0.25f);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.25f);
+    EXPECT_LT(t[i], 0.25f);
+  }
+}
+
+TEST(Random, Int8Range) {
+  TensorI8 t(2, 16, 16);
+  fill_uniform_i8(t, 7, -5, 5);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -5);
+    EXPECT_LE(t[i], 5);
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::int64_t i) {
+                                   if (i == 5) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, ZeroAndOneCounts) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"case", "speedup"});
+  t.add_row({"F1", "1.32"});
+  t.add_row({"F10", "0.98"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("case"), std::string::npos);
+  EXPECT_NE(s.find("F10"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_f(1.234567, 2), "1.23");
+  EXPECT_EQ(fmt_f(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_pct(0.07), "7%");
+  EXPECT_EQ(fmt_pct(0.0), "-");
+  EXPECT_EQ(fmt_pct(0.155), "16%");
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,122 @@
+// Tests for the naive reference convolutions against hand-computed cases.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "kernels/conv_ref.hpp"
+
+namespace fcm {
+namespace {
+
+TEST(ConvRef, PointwiseHandComputed) {
+  // 2 input channels, 1x1 image, 1 filter: y = 2*3 + 5*7 = 41.
+  const auto spec = LayerSpec::pointwise("pw", 2, 1, 1, 1, ActKind::kNone);
+  TensorF ifm(2, 1, 1);
+  ifm.at(0, 0, 0) = 2.0f;
+  ifm.at(1, 0, 0) = 5.0f;
+  WeightsF w(spec.filter_shape());
+  w.at(0, 0, 0, 0) = 3.0f;
+  w.at(0, 1, 0, 0) = 7.0f;
+  const auto bn = BatchNorm::identity(1);
+  const auto out = conv_ref_f32(spec, ifm, w, EpilogueF32(bn, ActKind::kNone));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 41.0f);
+}
+
+TEST(ConvRef, DepthwiseHandComputedWithPadding) {
+  // 1 channel 2x2 image, 3x3 all-ones filter, same padding: each output is
+  // the sum of the in-bounds neighbourhood.
+  const auto spec = LayerSpec::depthwise("dw", 1, 2, 2, 3, 1, ActKind::kNone);
+  TensorF ifm(1, 2, 2);
+  ifm.at(0, 0, 0) = 1.0f;
+  ifm.at(0, 0, 1) = 2.0f;
+  ifm.at(0, 1, 0) = 3.0f;
+  ifm.at(0, 1, 1) = 4.0f;
+  WeightsF w(spec.filter_shape());
+  for (int i = 0; i < 9; ++i) w[i] = 1.0f;
+  const auto bn = BatchNorm::identity(1);
+  const auto out = conv_ref_f32(spec, ifm, w, EpilogueF32(bn, ActKind::kNone));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 10.0f);  // whole image visible
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 10.0f);
+}
+
+TEST(ConvRef, DepthwiseStride2) {
+  const auto spec = LayerSpec::depthwise("dw", 1, 4, 4, 3, 2, ActKind::kNone);
+  EXPECT_EQ(spec.out_h(), 2);
+  TensorF ifm(1, 4, 4);
+  ifm.fill(1.0f);
+  WeightsF w(spec.filter_shape());
+  for (int i = 0; i < 9; ++i) w[i] = 1.0f;
+  const auto bn = BatchNorm::identity(1);
+  const auto out = conv_ref_f32(spec, ifm, w, EpilogueF32(bn, ActKind::kNone));
+  // Output (0,0) sees a 2x2 in-bounds corner (pad=1): 4 taps.
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+  // Output (1,1) sees a full 3x3 window.
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);
+}
+
+TEST(ConvRef, StandardConvHandComputed) {
+  const auto spec = LayerSpec::standard("c", 2, 1, 1, 1, 1, 1, ActKind::kNone);
+  TensorF ifm(2, 1, 1);
+  ifm.at(0, 0, 0) = 1.0f;
+  ifm.at(1, 0, 0) = -1.0f;
+  WeightsF w(spec.filter_shape());
+  w.at(0, 0, 0, 0) = 4.0f;
+  w.at(0, 1, 0, 0) = 1.0f;
+  const auto bn = BatchNorm::identity(1);
+  const auto out = conv_ref_f32(spec, ifm, w, EpilogueF32(bn, ActKind::kNone));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+}
+
+TEST(ConvRef, EpilogueAppliesBnThenAct) {
+  const auto spec = LayerSpec::pointwise("pw", 1, 1, 1, 1, ActKind::kReLU);
+  TensorF ifm(1, 1, 1);
+  ifm.at(0, 0, 0) = 1.0f;
+  WeightsF w(spec.filter_shape());
+  w[0] = -2.0f;
+  // bn: scale 3, shift 1 → 3*(-2)+1 = -5 → relu → 0
+  const auto bn = BatchNorm::fold({3.0f}, {1.0f}, {0.0f}, {1.0f}, 0.0f);
+  const auto out = conv_ref_f32(spec, ifm, w, EpilogueF32(bn, ActKind::kReLU));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+}
+
+TEST(ConvRef, Int8AccumulatorsExactlyInt32) {
+  const auto spec = LayerSpec::pointwise("pw", 3, 2, 2, 2, ActKind::kNone);
+  TensorI8 ifm(3, 2, 2);
+  fill_uniform_i8(ifm, 1, -128, 127);
+  WeightsI8 w(spec.filter_shape());
+  fill_uniform_i8(w, 2, -128, 127);
+  const auto acc = conv_ref_i8_acc(spec, ifm, w);
+  // Recompute one element by hand.
+  std::int32_t expect = 0;
+  for (int c = 0; c < 3; ++c) {
+    expect += static_cast<std::int32_t>(ifm.at(c, 1, 1)) *
+              static_cast<std::int32_t>(w.at(1, c, 0, 0));
+  }
+  EXPECT_EQ(acc.at(1, 1, 1), expect);
+}
+
+TEST(ConvRef, Int8EpilogueSaturates) {
+  const auto spec = LayerSpec::pointwise("pw", 1, 1, 1, 1, ActKind::kNone);
+  TensorI8 ifm(1, 1, 1);
+  ifm.at(0, 0, 0) = 127;
+  WeightsI8 w(spec.filter_shape());
+  w[0] = 127;
+  const auto bn = BatchNorm::identity(1);
+  QuantParams q;  // acc*0.01... defaults 1:1 scales would overflow int8
+  q.in_scale = 1.0f;
+  q.w_scale = 1.0f;
+  q.out_scale = 1.0f;
+  const auto out = conv_ref_i8(spec, ifm, w, EpilogueI8(bn, ActKind::kNone, q));
+  EXPECT_EQ(out.at(0, 0, 0), 127);  // saturated, not wrapped
+}
+
+TEST(ConvRef, ShapeMismatchThrows) {
+  const auto spec = LayerSpec::pointwise("pw", 2, 4, 4, 2, ActKind::kNone);
+  TensorF bad(3, 4, 4);
+  WeightsF w(spec.filter_shape());
+  const auto bn = BatchNorm::identity(2);
+  EXPECT_THROW(conv_ref_f32(spec, bad, w, EpilogueF32(bn, ActKind::kNone)),
+               Error);
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,60 @@
+// Tests for INT8 packing and the dp4a emulation.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "kernels/int8_pack.hpp"
+
+namespace fcm {
+namespace {
+
+TEST(Int8Pack, Pack4RoundTrip) {
+  const std::uint32_t v = pack4(-128, 127, 0, -1);
+  EXPECT_EQ(unpack_lane(v, 0), -128);
+  EXPECT_EQ(unpack_lane(v, 1), 127);
+  EXPECT_EQ(unpack_lane(v, 2), 0);
+  EXPECT_EQ(unpack_lane(v, 3), -1);
+}
+
+TEST(Int8Pack, Dp4aMatchesScalar) {
+  const std::int8_t a[4] = {-128, 127, -1, 64};
+  const std::int8_t b[4] = {127, -128, -1, 2};
+  std::int32_t expect = 0;
+  for (int i = 0; i < 4; ++i) expect += a[i] * b[i];
+  EXPECT_EQ(dp4a(pack4(a[0], a[1], a[2], a[3]), pack4(b[0], b[1], b[2], b[3]),
+                 0),
+            expect);
+  EXPECT_EQ(dp4a(pack4(a[0], a[1], a[2], a[3]), pack4(b[0], b[1], b[2], b[3]),
+                 1000),
+            expect + 1000);
+}
+
+TEST(Int8Pack, WordsRoundTripIncludingTail) {
+  std::vector<std::int8_t> data = {1, -2, 3, -4, 5, -6, 7};
+  const auto words = pack_words(data.data(), static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(words.size(), 2u);  // 7 lanes → 2 words
+  const auto back = unpack_words(words, static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(back, data);
+}
+
+TEST(Int8Pack, DotDp4aMatchesScalarForAllLengths) {
+  // Property sweep: every length 0..67 (covers tails of 1..3 lanes).
+  TensorI8 a(1, 1, 80), b(1, 1, 80);
+  fill_uniform_i8(a, 11, -128, 127);
+  fill_uniform_i8(b, 13, -128, 127);
+  for (std::int64_t n = 0; n <= 67; ++n) {
+    std::int32_t expect = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      expect += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+    }
+    EXPECT_EQ(dot_dp4a(a.data(), b.data(), n), expect) << "n=" << n;
+  }
+}
+
+TEST(Int8Pack, ExtremeAccumulationDoesNotOverflowInt32) {
+  // 4096 taps of -128*-128 stays within int32: 4096 * 16384 = 2^26.
+  std::vector<std::int8_t> a(4096, -128), b(4096, -128);
+  EXPECT_EQ(dot_dp4a(a.data(), b.data(), 4096), 4096 * 16384);
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,88 @@
+// Tests for the optional L2 absorption model and the traffic classification
+// that feeds it.
+#include <gtest/gtest.h>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/l2_model.hpp"
+#include "planner/cost_model.hpp"
+#include "planner/tile_search.hpp"
+
+namespace fcm::gpusim {
+namespace {
+
+TEST(L2Model, ClampsFittingArraysToFootprint) {
+  const auto dev = rtx_a4000();  // 4 MB L2
+  KernelStats st;
+  st.ifm_load_bytes = 10'000'000;    // 10 MB of reloads ...
+  st.weight_load_bytes = 2'000'000;  // ... of a 1 MB IFM and 0.5 MB weights
+  st.global_load_bytes = 13'000'000;  // + 1 MB unclassified
+  const auto out = apply_l2(dev, st, 1'000'000, 500'000);
+  EXPECT_EQ(out.ifm_load_bytes, 1'000'000);
+  EXPECT_EQ(out.weight_load_bytes, 500'000);
+  // Unclassified megabyte untouched.
+  EXPECT_EQ(out.global_load_bytes, 1'000'000 + 500'000 + 1'000'000);
+}
+
+TEST(L2Model, OversizedArraysAreUntouched) {
+  const auto dev = gtx1660();  // 1.5 MB L2
+  KernelStats st;
+  st.ifm_load_bytes = 10'000'000;
+  st.global_load_bytes = 10'000'000;
+  // 8 MB footprint exceeds the share of a 1.5 MB L2: all misses.
+  const auto out = apply_l2(dev, st, 8'000'000, 0);
+  EXPECT_EQ(out.global_load_bytes, 10'000'000);
+}
+
+TEST(L2Model, NeverIncreasesTraffic) {
+  const auto dev = jetson_orin();
+  KernelStats st;
+  st.ifm_load_bytes = 100;  // kernel touched less than the footprint
+  st.global_load_bytes = 100;
+  const auto out = apply_l2(dev, st, 1'000'000, 0);
+  EXPECT_EQ(out.global_load_bytes, 100);
+}
+
+TEST(L2Model, RejectsBadInputs) {
+  const auto dev = gtx1660();
+  KernelStats st;
+  st.ifm_load_bytes = 10;  // classified exceeds total
+  st.global_load_bytes = 5;
+  EXPECT_THROW(apply_l2(dev, st, 100, 0), Error);
+  KernelStats ok;
+  EXPECT_THROW(apply_l2(dev, ok, 0, 0, L2Params{0.0}), Error);
+}
+
+TEST(L2Model, CostModelClassifiesAllLoads) {
+  // Every planner stats function must classify its loads completely (the
+  // paper kernels have only feature-map and weight inputs).
+  const auto pw = LayerSpec::pointwise("pw", 64, 28, 28, 128);
+  const auto dw = LayerSpec::depthwise("dw", 128, 28, 28, 3, 1);
+  const auto spw = planner::pw_stats(pw, {7, 7, 32}, DType::kF32);
+  EXPECT_EQ(spw.ifm_load_bytes + spw.weight_load_bytes, spw.global_load_bytes);
+  const auto sdw = planner::dw_stats(dw, {7, 7, 32}, DType::kF32);
+  EXPECT_EQ(sdw.ifm_load_bytes + sdw.weight_load_bytes, sdw.global_load_bytes);
+  const auto sf = planner::fcm_stats(FcmKind::kPwDwR, pw, dw, {7, 7, 16, 0},
+                                     DType::kF32);
+  EXPECT_EQ(sf.ifm_load_bytes + sf.weight_load_bytes, sf.global_load_bytes);
+}
+
+TEST(L2Model, ShrinksPwWeightReloadPenalty) {
+  // The wide-PW pathology: weights streamed once per spatial tile. With the
+  // weights fitting L2, the effective DRAM traffic approaches the ideal
+  // "each byte once" floor.
+  const auto dev = rtx_a4000();
+  const auto pw = LayerSpec::pointwise("pw", 728, 14, 14, 728);
+  const auto choice = planner::best_lbl_tiling(dev, pw, DType::kF32);
+  ASSERT_TRUE(choice.has_value());
+  const auto raw = choice->stats;
+  const auto l2 = apply_l2(dev, raw, pw.ifm_count() * 4,
+                           pw.weights_count() * 4);
+  EXPECT_LT(l2.gma_bytes(), raw.gma_bytes());
+  const std::int64_t floor =
+      (pw.ifm_count() + pw.weights_count() + pw.ofm_count()) * 4;
+  EXPECT_GE(l2.gma_bytes(), floor);
+  EXPECT_LE(l2.gma_bytes(), 2 * floor);
+}
+
+}  // namespace
+}  // namespace fcm::gpusim

@@ -1,0 +1,137 @@
+// Model-zoo tests: every graph validates, has the expected scale, and the
+// fusion-case pairs chain correctly.
+#include <gtest/gtest.h>
+
+#include "models/fusion_cases.hpp"
+#include "models/model_zoo.hpp"
+
+namespace fcm::models {
+namespace {
+
+TEST(ModelZoo, AllModelsValidate) {
+  for (const auto& m : all_models()) {
+    EXPECT_NO_THROW(m.validate()) << m.name;
+    EXPECT_GT(m.num_layers(), 10) << m.name;
+  }
+}
+
+TEST(ModelZoo, MobileNetV1Scale) {
+  const auto m = mobilenet_v1();
+  EXPECT_EQ(m.num_layers(), 1 + 13 * 2);
+  // ~569 M MACs and ~4.2 M conv weights for width 1.0 at 224² (the published
+  // figures; conv-only so slightly below the full-model parameter count).
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 569e6, 30e6);
+  EXPECT_NEAR(static_cast<double>(m.total_weights()), 3.2e6, 1.0e6);
+}
+
+TEST(ModelZoo, MobileNetV2ScaleAndResiduals) {
+  const auto m = mobilenet_v2();
+  // ~300 M MACs (published: 300M for 1.0/224).
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 300e6, 40e6);
+  EXPECT_GT(m.residual_edges.size(), 5u);  // 10 equal-shape bottlenecks
+  for (const auto& [from, to] : m.residual_edges) {
+    EXPECT_LT(from, to);
+  }
+}
+
+TEST(ModelZoo, XceptionStructure) {
+  const auto m = xception();
+  int pools = 0, dws = 0, pws = 0;
+  for (const auto& l : m.layers) {
+    if (!l.allow_fusion && l.kind == ConvKind::kDepthwise) ++pools;
+    if (l.kind == ConvKind::kDepthwise && l.allow_fusion) ++dws;
+    if (l.kind == ConvKind::kPointwise) ++pws;
+  }
+  EXPECT_EQ(pools, 4);
+  EXPECT_EQ(dws, pws);  // every separable conv is a DW+PW pair
+  EXPECT_EQ(dws, 2 + 2 + 2 + 8 * 3 + 2 + 2);
+}
+
+TEST(ModelZoo, ProxylessUsesLargeKernels) {
+  const auto m = proxyless_nas();
+  bool has5 = false, has7 = false;
+  for (const auto& l : m.layers) {
+    if (l.kind == ConvKind::kDepthwise && l.kh == 5) has5 = true;
+    if (l.kind == ConvKind::kDepthwise && l.kh == 7) has7 = true;
+  }
+  EXPECT_TRUE(has5);
+  EXPECT_TRUE(has7);
+}
+
+TEST(ModelZoo, VitModelsHaveAttentionBoundaries) {
+  for (const auto& m : {ceit(), cmt()}) {
+    int boundaries = 0;
+    for (const auto& l : m.layers) {
+      if (!l.allow_fusion) ++boundaries;
+    }
+    EXPECT_GT(boundaries, 5) << m.name
+                             << ": per-block attention boundaries expected";
+  }
+}
+
+TEST(ModelZoo, EfficientNetExtraModel) {
+  const auto m = efficientnet_b0();
+  m.validate();
+  // ~390 M conv MACs for B0 at 224² (published figure, conv-only).
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 390e6, 60e6);
+  // Every MBConv DW output is an SE boundary: never fused forward.
+  int se_boundaries = 0;
+  for (const auto& l : m.layers) {
+    if (l.kind == ConvKind::kDepthwise) {
+      EXPECT_FALSE(l.allow_fusion) << l.name;
+      ++se_boundaries;
+    }
+  }
+  EXPECT_EQ(se_boundaries, 16);  // 16 MBConv blocks in B0
+  EXPECT_GT(m.residual_edges.size(), 5u);
+  EXPECT_EQ(model_by_name("EffNet_B0").name, "EffNet_B0");
+}
+
+TEST(ModelZoo, LookupByPaperNames) {
+  for (const char* name : {"Mob_v1", "Mob_v2", "XCe", "Prox", "CeiT", "CMT"}) {
+    EXPECT_EQ(model_by_name(name).name, name);
+  }
+  EXPECT_THROW(model_by_name("ResNet"), Error);
+  EXPECT_EQ(e2e_cnns().size(), 4u);
+}
+
+TEST(FusionCases, TwelvePerPrecisionAndChaining) {
+  const auto f = fp32_cases();
+  const auto q = int8_cases();
+  EXPECT_EQ(f.size(), 12u);
+  EXPECT_EQ(q.size(), 12u);
+  for (const auto& c : f) {
+    EXPECT_EQ(c.first.ofm_shape(), c.second.ifm_shape()) << c.id;
+    c.first.validate();
+    c.second.validate();
+  }
+  for (const auto& c : q) {
+    EXPECT_EQ(c.first.ofm_shape(), c.second.ifm_shape()) << c.id;
+  }
+  EXPECT_EQ(cases_for(DType::kF32).front().id, "F1");
+  EXPECT_EQ(cases_for(DType::kI8).front().id, "F1_8");
+}
+
+TEST(FusionCases, CoverEveryModelAndEveryFcmKind) {
+  std::set<std::string> dnns;
+  bool dwpw = false, pwdw = false, pwpw = false;
+  for (const auto& c : int8_cases()) {
+    dnns.insert(c.dnn);
+    if (c.first.kind == ConvKind::kDepthwise) dwpw = true;
+    if (c.first.kind == ConvKind::kPointwise &&
+        c.second.kind == ConvKind::kDepthwise) {
+      pwdw = true;
+    }
+    if (c.second.kind == ConvKind::kPointwise &&
+        c.first.kind == ConvKind::kPointwise) {
+      pwpw = true;
+    }
+  }
+  EXPECT_EQ(dnns.size(), 6u);
+  EXPECT_TRUE(dwpw);
+  EXPECT_TRUE(pwdw);
+  EXPECT_TRUE(pwpw);
+}
+
+}  // namespace
+}  // namespace fcm::models

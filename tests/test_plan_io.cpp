@@ -1,0 +1,110 @@
+// Plan serialisation tests: round-trip, reconciliation against the model,
+// and rejection of malformed/unsound schedules.
+#include <gtest/gtest.h>
+
+#include "gpusim/device_spec.hpp"
+#include "models/model_zoo.hpp"
+#include "planner/fuse_planner.hpp"
+#include "planner/plan_io.hpp"
+
+namespace fcm::planner {
+namespace {
+
+TEST(PlanIo, RoundTripPreservesSchedule) {
+  const auto dev = gpusim::rtx_a4000();
+  const auto model = models::mobilenet_v2();
+  PlanOptions opt;
+  opt.enable_triple = true;
+  const auto plan = plan_model(dev, model, DType::kI8, opt);
+
+  const std::string text = serialize(plan);
+  auto loaded = deserialize(text);
+  ASSERT_EQ(loaded.steps.size(), plan.steps.size());
+  EXPECT_EQ(loaded.model_name, plan.model_name);
+  EXPECT_EQ(loaded.dtype, plan.dtype);
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const auto& a = plan.steps[i];
+    const auto& b = loaded.steps[i];
+    EXPECT_EQ(a.fused, b.fused);
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.layer2, b.layer2);
+    EXPECT_EQ(a.layer3, b.layer3);
+    if (a.fused) {
+      EXPECT_EQ(a.fcm_kind, b.fcm_kind);
+      EXPECT_EQ(a.fcm_tiling.tile_h, b.fcm_tiling.tile_h);
+      EXPECT_EQ(a.fcm_tiling.tile_c, b.fcm_tiling.tile_c);
+      EXPECT_EQ(a.fcm_tiling.chunk_f, b.fcm_tiling.chunk_f);
+    } else {
+      EXPECT_EQ(a.lbl_tiling.tile_f, b.lbl_tiling.tile_f);
+    }
+  }
+
+  // Reconciliation recomputes exactly the planner's stats.
+  reconcile(dev, model, loaded);
+  EXPECT_EQ(loaded.total_gma_bytes(), plan.total_gma_bytes());
+}
+
+TEST(PlanIo, SerializedFormIsStable) {
+  Plan p;
+  p.model_name = "tiny";
+  p.device_name = "RTX-A4000";
+  p.dtype = DType::kF32;
+  PlanStep lbl;
+  lbl.layer = 0;
+  lbl.lbl_tiling = ConvTiling{4, 8, 16};
+  p.steps.push_back(lbl);
+  PlanStep fcm;
+  fcm.fused = true;
+  fcm.layer = 1;
+  fcm.layer2 = 2;
+  fcm.fcm_kind = FcmKind::kPwDwR;
+  fcm.fcm_tiling = FcmTiling{7, 7, 16, 0};
+  p.steps.push_back(fcm);
+  EXPECT_EQ(serialize(p),
+            "fcmplan v1 model=tiny device=RTX-A4000 dtype=fp32\n"
+            "lbl layer=0 th=4 tw=8 tf=16\n"
+            "fcm kind=PWDW_R layers=1,2 th=7 tw=7 tc=16 cf=0\n");
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  EXPECT_THROW(deserialize(""), Error);
+  EXPECT_THROW(deserialize("not-a-plan v1 model=x device=y dtype=fp32\n"),
+               Error);
+  EXPECT_THROW(
+      deserialize("fcmplan v1 model=x device=y dtype=fp32\nbogus layer=0\n"),
+      Error);
+  EXPECT_THROW(
+      deserialize("fcmplan v1 model=x device=y dtype=fp32\nlbl th=1 tw=1\n"),
+      Error);  // missing layer
+}
+
+TEST(PlanIo, ReconcileRejectsUnsoundSchedules) {
+  const auto dev = gpusim::gtx1660();
+  const auto model = models::mobilenet_v1();
+
+  // Missing coverage: only layer 0 planned.
+  {
+    auto p = deserialize(
+        "fcmplan v1 model=Mob_v1 device=GTX-1660 dtype=fp32\n"
+        "lbl layer=0 th=4 tw=4 tf=16\n");
+    EXPECT_THROW(reconcile(dev, model, p), Error);
+  }
+  // Double coverage.
+  {
+    auto p = plan_model(dev, model, DType::kF32);
+    auto text = serialize(p);
+    text += "lbl layer=0 th=4 tw=4 tf=16\n";
+    auto dup = deserialize(text);
+    EXPECT_THROW(reconcile(dev, model, dup), Error);
+  }
+  // Kind mismatch: layer 0 is a standard conv, cannot be in an FCM.
+  {
+    auto p = deserialize(
+        "fcmplan v1 model=Mob_v1 device=GTX-1660 dtype=fp32\n"
+        "fcm kind=DWPW layers=0,1 th=4 tw=4 tc=0 cf=8\n");
+    EXPECT_THROW(reconcile(dev, model, p), Error);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::planner

@@ -1,0 +1,126 @@
+// Tile-search tests: candidate generation, constraint enforcement,
+// optimality of the returned tiling within its own candidate set.
+#include <gtest/gtest.h>
+
+#include "gpusim/device_spec.hpp"
+#include "planner/cost_model.hpp"
+#include "planner/tile_search.hpp"
+
+namespace fcm::planner {
+namespace {
+
+TEST(TileCandidates, SpatialArePowersOfTwoPlusEvenSplits) {
+  const auto c = spatial_tile_candidates(14);
+  EXPECT_EQ(c, (std::vector<int>{1, 2, 4, 7, 8, 14}));
+  EXPECT_EQ(spatial_tile_candidates(8), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(spatial_tile_candidates(1), (std::vector<int>{1}));
+  EXPECT_EQ(spatial_tile_candidates(56),
+            (std::vector<int>{1, 2, 4, 8, 14, 16, 28, 32, 56}));
+}
+
+TEST(TileCandidates, ChannelWarpMultiplesWithSubWarpFallbacks) {
+  const auto c = channel_tile_candidates(96, true);
+  EXPECT_EQ(c, (std::vector<int>{8, 16, 32, 64, 96}));
+  const auto c2 = channel_tile_candidates(48, true);
+  EXPECT_EQ(c2, (std::vector<int>{8, 16, 32, 48}));
+  const auto c3 = channel_tile_candidates(16, true);
+  EXPECT_EQ(c3, (std::vector<int>{8, 16}));
+}
+
+TEST(TileCandidates, ChannelPowersOfTwo) {
+  EXPECT_EQ(channel_tile_candidates(24, false),
+            (std::vector<int>{1, 2, 4, 8, 16, 24}));
+}
+
+TEST(TileSearch, LblChoiceSatisfiesAllConstraints) {
+  for (const auto& dev : gpusim::paper_devices()) {
+    const auto pw = LayerSpec::pointwise("pw", 128, 28, 28, 256);
+    const auto best = best_lbl_tiling(dev, pw, DType::kF32);
+    ASSERT_TRUE(best.has_value()) << dev.name;
+    EXPECT_GE(best->stats.num_blocks, dev.num_sms);
+    EXPECT_LE(best->stats.shared_bytes_per_block, dev.max_shared_bytes);
+    EXPECT_LE(pw_l1_bytes(pw, best->tiling, DType::kF32), dev.l1_bytes);
+  }
+}
+
+TEST(TileSearch, LblChoiceIsMinimalOverCandidates) {
+  const auto dev = gpusim::gtx1660();
+  const auto dw = LayerSpec::depthwise("dw", 128, 28, 28, 3, 1);
+  const auto best = best_lbl_tiling(dev, dw, DType::kF32);
+  ASSERT_TRUE(best.has_value());
+  // Exhaustively re-enumerate and verify nothing feasible beats it.
+  for (int tf : channel_tile_candidates(dw.out_c, false)) {
+    for (int th : spatial_tile_candidates(dw.out_h())) {
+      for (int tw : spatial_tile_candidates(dw.out_w())) {
+        const ConvTiling t{th, tw, tf};
+        if (dw_l1_bytes(dw, t, DType::kF32) > dev.l1_bytes) continue;
+        const auto st = dw_stats(dw, t, DType::kF32);
+        if (st.shared_bytes_per_block > dev.max_shared_bytes) continue;
+        if (st.num_blocks < dev.num_sms) continue;
+        EXPECT_GE(st.gma_bytes(), best->stats.gma_bytes());
+      }
+    }
+  }
+}
+
+TEST(TileSearch, FcmChoiceRespectsSharedMemoryLimit) {
+  for (const auto& dev : gpusim::paper_devices()) {
+    const auto pw = LayerSpec::pointwise("pw", 192, 14, 14, 768);
+    const auto dw = LayerSpec::depthwise("dw", 768, 14, 14, 3, 1);
+    const auto best = best_fcm_tiling(dev, FcmKind::kPwDw, pw, dw, DType::kF32);
+    if (!best.has_value()) continue;  // infeasible on small-L1 devices is OK
+    EXPECT_LE(best->stats.shared_bytes_per_block, dev.max_shared_bytes)
+        << dev.name;
+    EXPECT_GE(best->stats.num_blocks, dev.num_sms) << dev.name;
+  }
+}
+
+TEST(TileSearch, PwdwSelectsRedundancyVariantByCost) {
+  // When the full-spatial commBuffer fits, the planner should find *some*
+  // feasible PWDW; the returned kind must be consistent with its tiling.
+  const auto dev = gpusim::jetson_orin();
+  const auto pw = LayerSpec::pointwise("pw", 64, 14, 14, 128);
+  const auto dw = LayerSpec::depthwise("dw", 128, 14, 14, 3, 1);
+  const auto best = best_fcm_tiling(dev, FcmKind::kPwDw, pw, dw, DType::kF32);
+  ASSERT_TRUE(best.has_value());
+  if (best->kind == FcmKind::kPwDw) {
+    EXPECT_EQ(best->tiling.tile_h, dw.out_h());
+    EXPECT_EQ(best->tiling.tile_w, dw.out_w());
+    EXPECT_EQ(best->stats.redundant_flops, 0);
+  } else {
+    EXPECT_TRUE(best->tiling.tile_h < dw.out_h() ||
+                best->tiling.tile_w < dw.out_w());
+  }
+}
+
+TEST(TileSearch, EarlyLayerPwdwInfeasibleOnSmallSharedMem) {
+  // A 112×112 intermediate cannot fit a full-spatial commBuffer slice on the
+  // GTX-1660's 64 KB shared portion in FP32 together with the L1 constraint
+  // on the full-depth IFM tile — the paper's reason PWDW (non-R) only shows
+  // up in late layers / INT8.
+  const auto dev = gpusim::gtx1660();
+  const auto pw = LayerSpec::pointwise("pw", 32, 112, 112, 64);
+  const auto dw = LayerSpec::depthwise("dw", 64, 112, 112, 3, 1);
+  const auto best = best_fcm_tiling(dev, FcmKind::kPwDw, pw, dw, DType::kF32);
+  if (best.has_value()) {
+    EXPECT_NE(best->kind, FcmKind::kPwDw)
+        << "full-spatial PWDW should be infeasible at 112x112 FP32";
+  }
+}
+
+TEST(TileSearch, Int8AdmitsLargerTilesThanF32) {
+  // Smaller data → larger feasible tiles → at least as good GMA in elements.
+  const auto dev = gpusim::gtx1660();
+  const auto pw1 = LayerSpec::pointwise("a", 96, 14, 14, 384);
+  const auto pw2 = LayerSpec::pointwise("b", 384, 14, 14, 96);
+  const auto f = best_fcm_tiling(dev, FcmKind::kPwPw, pw1, pw2, DType::kF32);
+  const auto q = best_fcm_tiling(dev, FcmKind::kPwPw, pw1, pw2, DType::kI8);
+  ASSERT_TRUE(q.has_value());
+  if (f.has_value()) {
+    // Element-normalised traffic must not be worse under INT8.
+    EXPECT_LE(q->stats.gma_bytes(), f->stats.gma_bytes() / 4);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::planner

@@ -1,0 +1,217 @@
+// Tests for the PWDWPW triple-fusion extension: numerics against the
+// three-kernel reference chain (FP32 tolerance / INT8 bit-exact), cost-model
+// agreement, redundancy accounting, planner integration, and functional
+// whole-model execution with triples enabled.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "gpusim/device_spec.hpp"
+#include "kernels/conv_ref.hpp"
+#include "kernels/fcm_pwdwpw.hpp"
+#include "models/model_zoo.hpp"
+#include "planner/cost_model.hpp"
+#include "planner/fuse_planner.hpp"
+#include "runtime/executor.hpp"
+
+namespace fcm {
+namespace {
+
+const gpusim::DeviceSpec kDev = gpusim::jetson_orin();
+
+struct TripleCase {
+  int c1, c2, c3;  // in → bottleneck → out channels
+  int h, w, k, stride;
+  FcmTiling tiling;
+};
+
+std::string triple_name(const testing::TestParamInfo<TripleCase>& info) {
+  const auto& c = info.param;
+  return "c" + std::to_string(c.c1) + "m" + std::to_string(c.c2) + "o" +
+         std::to_string(c.c3) + "h" + std::to_string(c.h) + "k" +
+         std::to_string(c.k) + "s" + std::to_string(c.stride) + "t" +
+         std::to_string(c.tiling.tile_h) + "x" +
+         std::to_string(c.tiling.tile_w) + "cf" +
+         std::to_string(c.tiling.chunk_f);
+}
+
+struct Triple {
+  LayerSpec pw1, dw, pw2;
+};
+
+Triple make_triple(const TripleCase& c) {
+  auto pw1 = LayerSpec::pointwise("a", c.c1, c.h, c.w, c.c2, ActKind::kReLU6);
+  auto dw = LayerSpec::depthwise("b", c.c2, c.h, c.w, c.k, c.stride,
+                                 ActKind::kReLU6);
+  auto pw2 = LayerSpec::pointwise("c", c.c2, dw.out_h(), dw.out_w(), c.c3,
+                                  ActKind::kNone);
+  return {pw1, dw, pw2};
+}
+
+class TripleFusionTest : public testing::TestWithParam<TripleCase> {};
+
+TEST_P(TripleFusionTest, F32EqualsThreeKernelReference) {
+  const auto& c = GetParam();
+  const auto [pw1, dw, pw2] = make_triple(c);
+  TensorF ifm(pw1.ifm_shape());
+  fill_uniform(ifm, 3);
+  WeightsF w1(pw1.filter_shape()), wd(dw.filter_shape()), w2(pw2.filter_shape());
+  fill_uniform(w1, 4, -0.5f, 0.5f);
+  fill_uniform(wd, 5, -0.5f, 0.5f);
+  fill_uniform(w2, 6, -0.5f, 0.5f);
+  const auto bn1 = BatchNorm::random(pw1.out_c, 7);
+  const auto bnd = BatchNorm::random(dw.out_c, 8);
+  const auto bn2 = BatchNorm::random(pw2.out_c, 9);
+  const EpilogueF32 ep1(bn1, pw1.act), epd(bnd, dw.act), ep2(bn2, pw2.act);
+
+  TensorF ofm(pw2.ofm_shape());
+  const auto st = run_pwdwpw_f32(kDev, pw1, dw, pw2, ifm, w1, wd, w2, ep1, epd,
+                                 ep2, ofm, c.tiling);
+  const auto mid1 = conv_ref_f32(pw1, ifm, w1, ep1);
+  const auto mid2 = conv_ref_f32(dw, mid1, wd, epd);
+  const auto ref = conv_ref_f32(pw2, mid2, w2, ep2);
+  EXPECT_LE(max_abs_diff(ofm, ref), 5e-2f);
+
+  const auto predicted =
+      planner::pwdwpw_stats(pw1, dw, pw2, c.tiling, DType::kF32);
+  EXPECT_EQ(st.global_load_bytes, predicted.global_load_bytes);
+  EXPECT_EQ(st.global_store_bytes, predicted.global_store_bytes);
+  EXPECT_EQ(st.flops, predicted.flops);
+  EXPECT_EQ(st.redundant_flops, predicted.redundant_flops);
+  EXPECT_EQ(st.shared_load_bytes, predicted.shared_load_bytes);
+  EXPECT_EQ(st.shared_store_bytes, predicted.shared_store_bytes);
+  EXPECT_EQ(st.num_blocks, predicted.num_blocks);
+  EXPECT_EQ(st.shared_bytes_per_block, predicted.shared_bytes_per_block);
+}
+
+TEST_P(TripleFusionTest, I8EqualsThreeKernelReferenceBitExactly) {
+  const auto& c = GetParam();
+  const auto [pw1, dw, pw2] = make_triple(c);
+  TensorI8 ifm(pw1.ifm_shape());
+  fill_uniform_i8(ifm, 3);
+  WeightsI8 w1(pw1.filter_shape()), wd(dw.filter_shape()), w2(pw2.filter_shape());
+  fill_uniform_i8(w1, 4);
+  fill_uniform_i8(wd, 5);
+  fill_uniform_i8(w2, 6);
+  const auto bn1 = BatchNorm::random(pw1.out_c, 7);
+  const auto bnd = BatchNorm::random(dw.out_c, 8);
+  const auto bn2 = BatchNorm::random(pw2.out_c, 9);
+  const QuantParams q{0.1f, 0.02f, 0.1f};
+  const EpilogueI8 ep1(bn1, pw1.act, q), epd(bnd, dw.act, q), ep2(bn2, pw2.act, q);
+
+  TensorI8 ofm(pw2.ofm_shape());
+  run_pwdwpw_i8(kDev, pw1, dw, pw2, ifm, w1, wd, w2, ep1, epd, ep2, ofm,
+                c.tiling);
+  const auto mid1 = conv_ref_i8(pw1, ifm, w1, ep1);
+  const auto mid2 = conv_ref_i8(dw, mid1, wd, epd);
+  const auto ref = conv_ref_i8(pw2, mid2, w2, ep2);
+  for (std::int64_t i = 0; i < ofm.size(); ++i) {
+    ASSERT_EQ(ofm[i], ref[i]) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TripleFusionTest,
+    testing::Values(
+        TripleCase{16, 48, 24, 12, 12, 3, 1, {4, 4, 0, 16}},
+        TripleCase{16, 48, 24, 12, 12, 3, 2, {3, 3, 0, 24}},
+        TripleCase{8, 32, 16, 10, 10, 3, 1, {5, 10, 0, 8}},
+        TripleCase{24, 72, 24, 14, 14, 5, 1, {7, 7, 0, 24}},
+        TripleCase{12, 36, 20, 8, 8, 3, 2, {4, 4, 0, 36}}),
+    triple_name);
+
+TEST(TripleFusion, EliminatesBothIntermediates) {
+  // The triple's traffic beats the best pairwise plan by at least the second
+  // intermediate's round-trip for a bandwidth-friendly bottleneck.
+  const auto pw1 = LayerSpec::pointwise("a", 24, 28, 28, 144, ActKind::kReLU6);
+  const auto dw = LayerSpec::depthwise("b", 144, 28, 28, 3, 1, ActKind::kReLU6);
+  const auto pw2 = LayerSpec::pointwise("c", 144, 28, 28, 32, ActKind::kNone);
+  const auto dev = gpusim::rtx_a4000();
+
+  const auto triple =
+      planner::best_pwdwpw_tiling(dev, pw1, dw, pw2, DType::kI8);
+  ASSERT_TRUE(triple.has_value());
+  // Pairwise best: fuse (pw1,dw) + LBL pw2, or LBL pw1 + fuse (dw,pw2).
+  const auto d12 = planner::plan_pair(dev, pw1, dw, DType::kI8);
+  const auto d23 = planner::plan_pair(dev, dw, pw2, DType::kI8);
+  const auto lbl1 = planner::best_lbl_tiling(dev, pw1, DType::kI8);
+  const auto lbl3 = planner::best_lbl_tiling(dev, pw2, DType::kI8);
+  ASSERT_TRUE(lbl1 && lbl3);
+  std::int64_t best_pairwise = d12.lbl_gma() + lbl3->stats.gma_bytes();
+  if (d12.fcm) {
+    best_pairwise = std::min(best_pairwise, d12.fcm->stats.gma_bytes() +
+                                                lbl3->stats.gma_bytes());
+  }
+  if (d23.fcm) {
+    best_pairwise = std::min(best_pairwise, lbl1->stats.gma_bytes() +
+                                                d23.fcm->stats.gma_bytes());
+  }
+  EXPECT_LT(triple->stats.gma_bytes(), best_pairwise);
+}
+
+TEST(TripleFusion, PlannerUsesTriplesWhenEnabled) {
+  const auto dev = gpusim::rtx_a4000();
+  const auto model = models::mobilenet_v2();
+  const auto base = planner::plan_model(dev, model, DType::kI8);
+  planner::PlanOptions opt;
+  opt.enable_triple = true;
+  const auto ext = planner::plan_model(dev, model, DType::kI8, opt);
+  EXPECT_LE(ext.total_gma_bytes(), base.total_gma_bytes());
+  int triples = 0;
+  for (const auto& s : ext.steps) {
+    if (s.layer3 >= 0) {
+      ++triples;
+      EXPECT_EQ(s.fcm_kind, FcmKind::kPwDwPw);
+      EXPECT_EQ(s.layer2, s.layer + 1);
+      EXPECT_EQ(s.layer3, s.layer + 2);
+    }
+  }
+  EXPECT_GT(triples, 0) << "expected at least one fused triple in Mob_v2 INT8";
+}
+
+TEST(TripleFusion, FunctionalModelRunMatchesReference) {
+  // Small bottleneck chain executed with triples enabled, both precisions.
+  ModelGraph g;
+  g.name = "triple-small";
+  g.layers.push_back(LayerSpec::pointwise("exp", 8, 16, 16, 32, ActKind::kReLU6));
+  g.layers.push_back(LayerSpec::depthwise("dw", 32, 16, 16, 3, 1, ActKind::kReLU6));
+  g.layers.push_back(LayerSpec::pointwise("proj", 32, 16, 16, 16, ActKind::kNone));
+  g.layers.push_back(LayerSpec::pointwise("exp2", 16, 16, 16, 48, ActKind::kReLU6));
+  g.layers.push_back(LayerSpec::depthwise("dw2", 48, 16, 16, 3, 2, ActKind::kReLU6));
+  g.layers.push_back(LayerSpec::pointwise("proj2", 48, 8, 8, 24, ActKind::kNone));
+  g.validate();
+
+  auto dev = gpusim::jetson_orin();
+  dev.num_sms = 2;  // tiny grids feasible
+  planner::PlanOptions opt;
+  opt.enable_triple = true;
+  const auto plan = planner::plan_model(dev, g, DType::kF32, opt);
+
+  runtime::ModelRunner runner(dev, g, 77);
+  TensorF in_f(g.layers.front().ifm_shape());
+  fill_uniform(in_f, 1);
+  const auto out = runner.run_f32(plan, in_f);
+  const auto ref = runner.run_reference_f32(in_f);
+  EXPECT_LE(max_abs_diff(out, ref), 5e-2f);
+
+  const auto plan_q = planner::plan_model(dev, g, DType::kI8, opt);
+  TensorI8 in_q(g.layers.front().ifm_shape());
+  fill_uniform_i8(in_q, 1);
+  const auto out_q = runner.run_i8(plan_q, in_q);
+  const auto ref_q = runner.run_reference_i8(in_q);
+  for (std::int64_t i = 0; i < out_q.size(); ++i) {
+    ASSERT_EQ(out_q[i], ref_q[i]);
+  }
+}
+
+TEST(TripleFusion, RedundancyOnlyWithSpatialTiling) {
+  const auto pw1 = LayerSpec::pointwise("a", 16, 12, 12, 32);
+  const auto dw = LayerSpec::depthwise("b", 32, 12, 12, 3, 1);
+  const auto pw2 = LayerSpec::pointwise("c", 32, 12, 12, 16);
+  const auto full = planner::pwdwpw_stats(pw1, dw, pw2, {12, 12, 0, 16}, DType::kF32);
+  EXPECT_EQ(full.redundant_flops, 0);
+  const auto tiled = planner::pwdwpw_stats(pw1, dw, pw2, {4, 4, 0, 16}, DType::kF32);
+  EXPECT_GT(tiled.redundant_flops, 0);
+}
+
+}  // namespace
+}  // namespace fcm
