@@ -15,8 +15,11 @@ int main() {
   bench::print_header("Ablation: FCM kernel design choices (FP32, RTX)");
   const auto dev = gpusim::rtx_a4000();
   Table t({"case", "baseline", "strided comm", "no prefetch", "two launches"});
-  for (const auto& c : models::fp32_cases()) {
-    const auto r = bench::eval_case(dev, c, DType::kF32);
+  const auto cases = models::fp32_cases();
+  const auto results = bench::eval_cases(dev, cases, DType::kF32);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& c = cases[ci];
+    const auto& r = results[ci];
     if (!r.fused) continue;
     const auto& st = r.decision.fcm->stats;
     const double base = bench::time_of(dev, st);

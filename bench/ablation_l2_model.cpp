@@ -28,8 +28,11 @@ int main() {
   const auto dev = gpusim::rtx_a4000();
   Table t({"case", "speedup (no L2)", "speedup (L2)", "LBL GMA shrink",
            "FCM GMA shrink"});
-  for (const auto& c : models::fp32_cases()) {
-    const auto r = bench::eval_case(dev, c, DType::kF32);
+  const auto cases = models::fp32_cases();
+  const auto results = bench::eval_cases(dev, cases, DType::kF32);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& c = cases[ci];
+    const auto& r = results[ci];
     if (!r.fused) continue;
     const auto& l1 = r.decision.lbl_first.stats;
     const auto& l2s = r.decision.lbl_second.stats;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/roofline.hpp"
 #include "models/fusion_cases.hpp"
@@ -46,6 +47,39 @@ inline CaseResult eval_case(const gpusim::DeviceSpec& dev,
   r.fused = r.decision.fuse();
   r.impl_time = r.fused ? time_of(dev, r.decision.fcm->stats) : r.lbl_time;
   return r;
+}
+
+/// Evaluate every case on one device, fanned out over the global pool. Each
+/// worker writes only its own slot, so the returned order matches `cases`
+/// exactly and results are independent of the worker count.
+inline std::vector<CaseResult> eval_cases(
+    const gpusim::DeviceSpec& dev, const std::vector<models::FusionCase>& cases,
+    DType dt) {
+  std::vector<CaseResult> out(cases.size());
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(cases.size()), [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] =
+            eval_case(dev, cases[static_cast<std::size_t>(i)], dt);
+      });
+  return out;
+}
+
+/// Evaluate the full case × device grid in parallel; result[c][d] is
+/// cases[c] on devices()[d]. The figure benches iterate this grid — one flat
+/// parallel_for keeps all cores busy even when one device/case dominates.
+inline std::vector<std::vector<CaseResult>> eval_case_grid(
+    const std::vector<models::FusionCase>& cases, DType dt) {
+  const auto devs = devices();
+  std::vector<std::vector<CaseResult>> out(
+      cases.size(), std::vector<CaseResult>(devs.size()));
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(cases.size() * devs.size()),
+      [&](std::int64_t i) {
+        const std::size_t c = static_cast<std::size_t>(i) / devs.size();
+        const std::size_t d = static_cast<std::size_t>(i) % devs.size();
+        out[c][d] = eval_case(devs[d].second, cases[c], dt);
+      });
+  return out;
 }
 
 inline void print_header(const std::string& title) {

@@ -9,10 +9,11 @@ int main() {
   Table t({"case", "GTX", "RTX", "Orin"});
   double sum = 0.0, maxv = 0.0;
   int n = 0;
-  for (const auto& c : models::fp32_cases()) {
-    std::vector<std::string> row{c.id};
-    for (const auto& [name, dev] : bench::devices()) {
-      const auto r = bench::eval_case(dev, c, DType::kF32);
+  const auto cases = models::fp32_cases();
+  const auto grid = bench::eval_case_grid(cases, DType::kF32);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    std::vector<std::string> row{cases[ci].id};
+    for (const auto& r : grid[ci]) {
       const double sp = r.speedup();
       row.push_back(fmt_f(sp, 2) + (r.fused ? "" : "*"));
       sum += sp;

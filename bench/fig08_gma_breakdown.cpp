@@ -7,12 +7,15 @@ using namespace fcm;
 int main() {
   bench::print_header(
       "Fig. 8: normalised GM access time, read/write breakdown (FP32)");
+  const auto cases = models::fp32_cases();
   for (const auto& [name, dev] : bench::devices()) {
     if (name == "Orin") continue;  // paper reports GTX and RTX
     Table t({"case", "LBL read", "LBL write", "FCM read", "FCM write",
              "FCM total"});
-    for (const auto& c : models::fp32_cases()) {
-      const auto r = bench::eval_case(dev, c, DType::kF32);
+    const auto results = bench::eval_cases(dev, cases, DType::kF32);
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      const auto& c = cases[ci];
+      const auto& r = results[ci];
       const auto& l1 = r.decision.lbl_first.stats;
       const auto& l2 = r.decision.lbl_second.stats;
       const double lbl_ld =

@@ -15,11 +15,16 @@ int main() {
   double max_sp_fcm = 0.0, max_sp_lbl = 0.0, sum_sp = 0.0;
   double max_save_lbl = 0.0, max_save_fcm = 0.0;
   int n = 0;
-  for (const auto& [name, dev] : bench::devices()) {
+  const auto cases = models::fp32_cases();
+  const auto grid = bench::eval_case_grid(cases, DType::kF32);
+  const auto devs = bench::devices();
+  for (std::size_t di = 0; di < devs.size(); ++di) {
+    const auto& [name, dev] = devs[di];
     Table t({"case", "GEMM", "IMPL_GEMM", "LBL", "FCM", "GMA save LBL",
              "GMA save FCM"});
-    for (const auto& c : models::fp32_cases()) {
-      const auto r = bench::eval_case(dev, c, DType::kF32);
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      const auto& c = cases[ci];
+      const auto& r = grid[ci][di];
       auto pair_stats = [&](CudnnAlgo a) {
         return cudnn_stats(dev, a, c.first, DType::kF32) +
                cudnn_stats(dev, a, c.second, DType::kF32);

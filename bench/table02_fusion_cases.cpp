@@ -13,13 +13,15 @@ void table_for(DType dt) {
   bench::print_header(std::string("Table II (") + dtype_name(dt) +
                       "): FusePlanner-selected FCM type and redundancy");
   Table t({"case", "DNN", "pair", "GTX", "RTX", "Orin", "redundancy"});
-  for (const auto& c : models::cases_for(dt)) {
+  const auto cases = models::cases_for(dt);
+  const auto grid = bench::eval_case_grid(cases, dt);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& c = cases[ci];
     std::vector<std::string> row{c.id, c.dnn,
                                  std::string(conv_kind_name(c.first.kind)) +
                                      "->" + conv_kind_name(c.second.kind)};
     double red = 0.0;
-    for (const auto& [name, dev] : bench::devices()) {
-      const auto r = bench::eval_case(dev, c, dt);
+    for (const auto& r : grid[ci]) {
       if (r.fused) {
         row.push_back(fcm_kind_name(r.decision.fcm->kind));
         const auto& st = r.decision.fcm->stats;

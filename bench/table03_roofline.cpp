@@ -8,11 +8,14 @@ using namespace fcm;
 
 int main() {
   bench::print_header("Table III: roofline categorisation (FP32)");
+  const auto cases = models::fp32_cases();
   for (const auto& [name, dev] : bench::devices()) {
     if (name == "Orin") continue;  // paper reports GTX and RTX
     Table t({"case", "LBL", "FCM"});
-    for (const auto& c : models::fp32_cases()) {
-      const auto r = bench::eval_case(dev, c, DType::kF32);
+    const auto results = bench::eval_cases(dev, cases, DType::kF32);
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      const auto& c = cases[ci];
+      const auto& r = results[ci];
       const auto b1 = gpusim::estimate_time(dev, r.decision.lbl_first.stats);
       const auto b2 = gpusim::estimate_time(dev, r.decision.lbl_second.stats);
       std::string lbl = std::string(gpusim::bound_name(b1.bound)) + ", " +

@@ -6,6 +6,13 @@
 
 namespace fcm {
 
+namespace {
+/// Set while a thread runs pool work so nested parallel_for calls inline.
+thread_local bool t_on_worker = false;
+
+std::atomic<ThreadPool*> g_override{nullptr};
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -26,6 +33,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker = true;
   for (;;) {
     Task task;
     {
@@ -43,8 +51,9 @@ void ThreadPool::parallel_for(std::int64_t count,
                               const std::function<void(std::int64_t)>& fn) {
   if (count <= 0) return;
   const std::int64_t nworkers = static_cast<std::int64_t>(size());
-  // Small grids or a single worker: run inline, no synchronisation cost.
-  if (count == 1 || nworkers <= 1) {
+  // Small grids, a single worker, or a nested call from inside a worker: run
+  // inline — the last case would deadlock if it queued and waited.
+  if (count == 1 || nworkers <= 1 || t_on_worker) {
     for (std::int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -52,6 +61,7 @@ void ThreadPool::parallel_for(std::int64_t count,
   const std::int64_t chunks = std::min<std::int64_t>(nworkers, count);
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> done{0};
+  std::atomic<bool> aborted{false};
   std::exception_ptr first_error;
   std::mutex err_mu;
   std::condition_variable done_cv;
@@ -59,11 +69,14 @@ void ThreadPool::parallel_for(std::int64_t count,
 
   auto body = [&] {
     for (;;) {
+      // Fail fast: once any index threw, stop claiming the rest.
+      if (aborted.load(std::memory_order_relaxed)) break;
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       try {
         fn(i);
       } catch (...) {
+        aborted.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
@@ -88,8 +101,13 @@ void ThreadPool::parallel_for(std::int64_t count,
 }
 
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* p = g_override.load(std::memory_order_acquire)) return *p;
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool* ThreadPool::set_global_override(ThreadPool* pool) {
+  return g_override.exchange(pool, std::memory_order_acq_rel);
 }
 
 }  // namespace fcm

@@ -30,12 +30,26 @@ class ThreadPool {
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
   /// Run fn(i) for every i in [0, count). Blocks until done. Exceptions from
-  /// workers are rethrown on the calling thread (first one wins).
+  /// workers are rethrown on the calling thread. After the first throw the
+  /// remaining indices are abandoned (fail fast); when several indices would
+  /// throw, *which* exception surfaces depends on scheduling — only the
+  /// fact of failure is deterministic, not the message.
+  ///
+  /// Re-entrant: a parallel_for issued from inside a worker runs inline on
+  /// that worker. Nested parallel sections (planner layer loop → tile search
+  /// → simulated kernel launch) would otherwise deadlock, with every worker
+  /// blocked waiting for queued sub-tasks no one is free to run.
   void parallel_for(std::int64_t count,
                     const std::function<void(std::int64_t)>& fn);
 
-  /// Process-wide pool shared by all simulator launches.
+  /// Process-wide pool shared by the planner, runtime and simulator.
   static ThreadPool& global();
+
+  /// Redirect global() to `pool` (nullptr restores the default pool) and
+  /// return the previous override. Lets tests and CLIs pin the worker count —
+  /// e.g. force a 1-worker pool to compare against a parallel run. Must not
+  /// race with concurrent global() users.
+  static ThreadPool* set_global_override(ThreadPool* pool);
 
  private:
   struct Task {
@@ -49,6 +63,22 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+/// RAII pool override: global() returns `pool` for this object's lifetime,
+/// then the previous pool again — exception-safe, unlike calling
+/// set_global_override by hand around code that may throw.
+class ScopedPoolOverride {
+ public:
+  explicit ScopedPoolOverride(ThreadPool& pool)
+      : prev_(ThreadPool::set_global_override(&pool)) {}
+  ~ScopedPoolOverride() { ThreadPool::set_global_override(prev_); }
+
+  ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+  ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+ private:
+  ThreadPool* prev_;
 };
 
 }  // namespace fcm

@@ -77,6 +77,8 @@ std::int64_t pwpw_shared_bytes(const LayerSpec& pw1, const LayerSpec& pw2,
 std::int64_t pwdwpw_shared_bytes(const LayerSpec& pw1, const LayerSpec& dw,
                                  const LayerSpec& pw2, const FcmTiling& t,
                                  DType dt) {
+  FCM_ASSERT(pw1.out_c == pw2.in_c,
+             "pwdwpw_shared_bytes: pw1/pw2 do not chain through the DW stage");
   const int C2 = pw1.out_c;  // == dw channels == pw2.in_c
   const std::int64_t mid_h = in_extent(t.tile_h, dw.kh, dw.stride);
   const std::int64_t mid_w = in_extent(t.tile_w, dw.kw, dw.stride);

@@ -1,6 +1,7 @@
 #include "planner/fuse_planner.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "kernels/kernel_registry.hpp"
 
 namespace fcm::planner {
@@ -122,32 +123,29 @@ Plan plan_model(const gpusim::DeviceSpec& dev, const ModelGraph& model,
 
   const int n = model.num_layers();
 
-  // Per-layer LBL costs, per-pair fused costs, per-triple fused costs.
-  std::vector<LblChoice> lbl;
-  lbl.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    lbl.push_back(lbl_choice_for(dev, model.layers[static_cast<std::size_t>(i)], dt));
-  }
+  // Per-layer LBL costs, per-pair fused costs, per-triple fused costs. Every
+  // layer/pair/triple is an independent tile search, so the whole estimator
+  // pass fans out over the global pool: each worker writes only its own slot
+  // and the DP below runs after the join, so plans are identical to a serial
+  // pass for any worker count.
+  std::vector<LblChoice> lbl(static_cast<std::size_t>(n));
   std::vector<std::optional<FcmChoice>> fused(static_cast<std::size_t>(n));
-  for (int i = 0; i + 1 < n; ++i) {
-    if (!model_pair_fusable(model, i)) continue;
-    FcmKind kind;
-    fcm_kind_for(model.layers[static_cast<std::size_t>(i)],
-                 model.layers[static_cast<std::size_t>(i + 1)], kind);
-    fused[static_cast<std::size_t>(i)] =
-        best_fcm_tiling(dev, kind, model.layers[static_cast<std::size_t>(i)],
-                        model.layers[static_cast<std::size_t>(i + 1)], dt);
-  }
   std::vector<std::optional<Fcm3Choice>> triple(static_cast<std::size_t>(n));
-  if (options.enable_triple) {
-    for (int i = 0; i + 2 < n; ++i) {
-      if (!model_triple_fusable(model, i)) continue;
-      triple[static_cast<std::size_t>(i)] = best_pwdwpw_tiling(
-          dev, model.layers[static_cast<std::size_t>(i)],
-          model.layers[static_cast<std::size_t>(i + 1)],
-          model.layers[static_cast<std::size_t>(i + 2)], dt);
+  ThreadPool::global().parallel_for(n, [&](std::int64_t idx) {
+    const int i = static_cast<int>(idx);
+    const std::size_t s = static_cast<std::size_t>(i);
+    lbl[s] = lbl_choice_for(dev, model.layers[s], dt);
+    if (model_pair_fusable(model, i)) {
+      FcmKind kind;
+      fcm_kind_for(model.layers[s], model.layers[s + 1], kind);
+      fused[s] = best_fcm_tiling(dev, kind, model.layers[s],
+                                 model.layers[s + 1], dt);
     }
-  }
+    if (options.enable_triple && model_triple_fusable(model, i)) {
+      triple[s] = best_pwdwpw_tiling(dev, model.layers[s], model.layers[s + 1],
+                                     model.layers[s + 2], dt);
+    }
+  });
 
   // DP over the chain: dp[i] = min GMA for layers i..n-1; take[i] is the
   // number of layers the winning step at i covers.
@@ -248,14 +246,19 @@ Plan plan_model_lbl(const gpusim::DeviceSpec& dev, const ModelGraph& model,
   plan.model_name = model.name + "(LBL)";
   plan.device_name = dev.name;
   plan.dtype = dt;
-  for (int i = 0; i < model.num_layers(); ++i) {
+  const int n = model.num_layers();
+  std::vector<LblChoice> lbl(static_cast<std::size_t>(n));
+  ThreadPool::global().parallel_for(n, [&](std::int64_t i) {
     const LayerSpec& cur = model.layers[static_cast<std::size_t>(i)];
     const DType layer_dt =
         cur.kind == ConvKind::kStandard ? DType::kF32 : dt;
-    auto lbl = best_lbl_tiling(dev, cur, layer_dt);
-    FCM_CHECK(lbl.has_value(), "plan_model_lbl: no feasible LBL tiling for " +
-                                   cur.name + " on " + dev.name);
-    plan.steps.push_back(make_lbl_step(i, *lbl));
+    auto best = best_lbl_tiling(dev, cur, layer_dt);
+    FCM_CHECK(best.has_value(), "plan_model_lbl: no feasible LBL tiling for " +
+                                    cur.name + " on " + dev.name);
+    lbl[static_cast<std::size_t>(i)] = *best;
+  });
+  for (int i = 0; i < n; ++i) {
+    plan.steps.push_back(make_lbl_step(i, lbl[static_cast<std::size_t>(i)]));
   }
   return plan;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "planner/cost_model.hpp"
 
 namespace fcm::planner {
@@ -28,6 +29,30 @@ bool lbl_feasible(const gpusim::DeviceSpec& dev, const LayerSpec& spec,
   if (st.shared_bytes_per_block > dev.max_shared_bytes) return false;
   if (st.num_blocks < dev.num_sms) return false;
   return true;
+}
+
+/// Score `cands` on the global pool, one slot per candidate, then pick the
+/// winner by a serial scan after the join. The scan visits slots in candidate
+/// enumeration order and only replaces on strictly-better, so the result is
+/// bit-identical to the original sequential loop regardless of worker count
+/// or scheduling.
+template <typename Candidate, typename Choice, typename Score>
+std::optional<Choice> search_candidates(const std::vector<Candidate>& cands,
+                                        const Score& score) {
+  std::vector<std::optional<Choice>> slot(cands.size());
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(cands.size()),
+      [&](std::int64_t i) {
+        slot[static_cast<std::size_t>(i)] =
+            score(cands[static_cast<std::size_t>(i)]);
+      });
+  std::optional<Choice> best;
+  for (auto& s : slot) {
+    if (s.has_value() && (!best || better(s->stats, best->stats))) {
+      best = std::move(*s);
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -66,7 +91,6 @@ std::vector<int> channel_tile_candidates(int extent, bool warp_multiples_only) {
 
 std::optional<LblChoice> best_lbl_tiling(const gpusim::DeviceSpec& dev,
                                          const LayerSpec& spec, DType dt) {
-  std::optional<LblChoice> best;
   // Filter tiles: warp multiples for PW/standard (a warp computes one output
   // channel column), power-of-two channel groups for DW (channel count need
   // not be warp-aligned since each channel is independent).
@@ -74,31 +98,39 @@ std::optional<LblChoice> best_lbl_tiling(const gpusim::DeviceSpec& dev,
   const auto f_cands = channel_tile_candidates(spec.out_c, warp_only);
   const auto h_cands = spatial_tile_candidates(spec.out_h());
   const auto w_cands = spatial_tile_candidates(spec.out_w());
+  std::vector<ConvTiling> cands;
+  cands.reserve(f_cands.size() * h_cands.size() * w_cands.size());
   for (int tf : f_cands) {
     for (int th : h_cands) {
-      for (int tw : w_cands) {
-        const ConvTiling t{th, tw, tf};
-        const auto st = lbl_stats(spec, t, dt);
-        if (!lbl_feasible(dev, spec, t, dt, st)) continue;
-        if (!best || better(st, best->stats)) best = LblChoice{t, st};
-      }
+      for (int tw : w_cands) cands.push_back(ConvTiling{th, tw, tf});
     }
   }
-  return best;
+  return search_candidates<ConvTiling, LblChoice>(
+      cands, [&](const ConvTiling& t) -> std::optional<LblChoice> {
+        const auto st = lbl_stats(spec, t, dt);
+        if (!lbl_feasible(dev, spec, t, dt, st)) return std::nullopt;
+        return LblChoice{t, st};
+      });
 }
 
 namespace {
 
-void consider_fcm(const gpusim::DeviceSpec& dev, FcmKind kind,
-                  const LayerSpec& first, const LayerSpec& second,
-                  const FcmTiling& t, DType dt,
-                  std::optional<FcmChoice>& best) {
-  const std::int64_t l1 = fcm_l1_bytes(kind, first, second, t, dt);
-  if (l1 > dev.l1_bytes) return;
-  const auto st = fcm_stats(kind, first, second, t, dt);
-  if (st.shared_bytes_per_block > dev.max_shared_bytes) return;
-  if (st.num_blocks < dev.num_sms) return;
-  if (!best || better(st, best->stats)) best = FcmChoice{kind, t, st};
+/// One fused-tiling candidate; `kind` matters for the PWDW/PWDW_R split.
+struct FcmCandidate {
+  FcmKind kind;
+  FcmTiling tiling;
+};
+
+std::optional<FcmChoice> score_fcm(const gpusim::DeviceSpec& dev,
+                                   const LayerSpec& first,
+                                   const LayerSpec& second,
+                                   const FcmCandidate& c, DType dt) {
+  const std::int64_t l1 = fcm_l1_bytes(c.kind, first, second, c.tiling, dt);
+  if (l1 > dev.l1_bytes) return std::nullopt;
+  const auto st = fcm_stats(c.kind, first, second, c.tiling, dt);
+  if (st.shared_bytes_per_block > dev.max_shared_bytes) return std::nullopt;
+  if (st.num_blocks < dev.num_sms) return std::nullopt;
+  return FcmChoice{c.kind, c.tiling, st};
 }
 
 }  // namespace
@@ -106,11 +138,11 @@ void consider_fcm(const gpusim::DeviceSpec& dev, FcmKind kind,
 std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
                                          FcmKind kind, const LayerSpec& first,
                                          const LayerSpec& second, DType dt) {
-  std::optional<FcmChoice> best;
   const int H = second.out_h();
   const int W = second.out_w();
   const auto h_cands = spatial_tile_candidates(H);
   const auto w_cands = spatial_tile_candidates(W);
+  std::vector<FcmCandidate> cands;
 
   switch (kind) {
     case FcmKind::kDwPw: {
@@ -118,8 +150,8 @@ std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
       for (int th : h_cands) {
         for (int tw : w_cands) {
           for (int cf : f_cands) {
-            FcmTiling t{th, tw, /*tile_c=*/0, /*chunk_f=*/cf};
-            consider_fcm(dev, kind, first, second, t, dt, best);
+            cands.push_back(
+                {kind, FcmTiling{th, tw, /*tile_c=*/0, /*chunk_f=*/cf}});
           }
         }
       }
@@ -130,16 +162,14 @@ std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
       const auto c_cands = channel_tile_candidates(first.out_c, false);
       // Redundancy-free variant: full spatial extent per block.
       for (int tc : c_cands) {
-        FcmTiling t{H, W, tc, 0};
-        consider_fcm(dev, FcmKind::kPwDw, first, second, t, dt, best);
+        cands.push_back({FcmKind::kPwDw, FcmTiling{H, W, tc, 0}});
       }
       // PWDW_R: spatial tiling with halo recompute.
       for (int th : h_cands) {
         for (int tw : w_cands) {
           if (th == H && tw == W) continue;  // covered above
           for (int tc : c_cands) {
-            FcmTiling t{th, tw, tc, 0};
-            consider_fcm(dev, FcmKind::kPwDwR, first, second, t, dt, best);
+            cands.push_back({FcmKind::kPwDwR, FcmTiling{th, tw, tc, 0}});
           }
         }
       }
@@ -151,8 +181,7 @@ std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
       for (int th : h_cands) {
         for (int tw : w_cands) {
           for (int cf : f_cands) {
-            FcmTiling t{th, tw, 0, cf};
-            consider_fcm(dev, kind, first, second, t, dt, best);
+            cands.push_back({kind, FcmTiling{th, tw, 0, cf}});
           }
         }
       }
@@ -161,31 +190,39 @@ std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
     case FcmKind::kPwDwPw:
       throw Error("best_fcm_tiling: use best_pwdwpw_tiling for triples");
   }
-  return best;
+
+  return search_candidates<FcmCandidate, FcmChoice>(
+      cands, [&](const FcmCandidate& c) {
+        return score_fcm(dev, first, second, c, dt);
+      });
 }
 
 std::optional<Fcm3Choice> best_pwdwpw_tiling(const gpusim::DeviceSpec& dev,
                                              const LayerSpec& pw1,
                                              const LayerSpec& dw,
                                              const LayerSpec& pw2, DType dt) {
-  std::optional<Fcm3Choice> best;
   const int H = pw2.out_h();
   const int W = pw2.out_w();
   const auto f_cands =
       channel_tile_candidates(std::max(pw1.out_c, pw2.out_c), true);
+  std::vector<FcmTiling> cands;
   for (int th : spatial_tile_candidates(H)) {
     for (int tw : spatial_tile_candidates(W)) {
-      for (int cf : f_cands) {
-        const FcmTiling t{th, tw, 0, cf};
-        if (pwdwpw_l1_bytes(pw1, dw, pw2, t, dt) > dev.l1_bytes) continue;
-        const auto st = pwdwpw_stats(pw1, dw, pw2, t, dt);
-        if (st.shared_bytes_per_block > dev.max_shared_bytes) continue;
-        if (st.num_blocks < dev.num_sms) continue;
-        if (!best || better(st, best->stats)) best = Fcm3Choice{t, st};
-      }
+      for (int cf : f_cands) cands.push_back(FcmTiling{th, tw, 0, cf});
     }
   }
-  return best;
+  return search_candidates<FcmTiling, Fcm3Choice>(
+      cands, [&](const FcmTiling& t) -> std::optional<Fcm3Choice> {
+        if (pwdwpw_l1_bytes(pw1, dw, pw2, t, dt) > dev.l1_bytes) {
+          return std::nullopt;
+        }
+        const auto st = pwdwpw_stats(pw1, dw, pw2, t, dt);
+        if (st.shared_bytes_per_block > dev.max_shared_bytes) {
+          return std::nullopt;
+        }
+        if (st.num_blocks < dev.num_sms) return std::nullopt;
+        return Fcm3Choice{t, st};
+      });
 }
 
 }  // namespace fcm::planner

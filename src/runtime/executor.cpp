@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "kernels/conv_ref.hpp"
 #include "kernels/fcm_pwdwpw.hpp"
 #include "kernels/kernel_registry.hpp"
@@ -48,30 +49,33 @@ ModelRunner::ModelRunner(gpusim::DeviceSpec dev, ModelGraph model,
     : dev_(std::move(dev)), model_(std::move(model)) {
   model_.validate();
   const int n = model_.num_layers();
-  weights_f_.reserve(static_cast<std::size_t>(n));
-  weights_i8_.reserve(static_cast<std::size_t>(n));
-  bn_.reserve(static_cast<std::size_t>(n));
-  quant_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const LayerSpec& spec = model_.layers[static_cast<std::size_t>(i)];
+  weights_f_.resize(static_cast<std::size_t>(n));
+  weights_i8_.resize(static_cast<std::size_t>(n));
+  bn_.resize(static_cast<std::size_t>(n));
+  quant_.resize(static_cast<std::size_t>(n));
+  // Each layer's fill is seeded independently from (seed, i), so the layers
+  // can be materialised in parallel with the same result as a serial loop.
+  ThreadPool::global().parallel_for(n, [&](std::int64_t idx) {
+    const std::size_t i = static_cast<std::size_t>(idx);
+    const LayerSpec& spec = model_.layers[i];
     WeightsF wf(spec.filter_shape());
     fill_uniform(wf, seed + static_cast<std::uint64_t>(i) * 7919u, -0.5f, 0.5f);
-    weights_f_.push_back(std::move(wf));
+    weights_f_[i] = std::move(wf);
     WeightsI8 wq(spec.filter_shape());
     fill_uniform_i8(wq, seed + static_cast<std::uint64_t>(i) * 104729u, -8, 8);
-    weights_i8_.push_back(std::move(wq));
-    bn_.push_back(spec.has_bn
-                      ? BatchNorm::random(spec.out_c,
-                                          seed + static_cast<std::uint64_t>(i))
-                      : BatchNorm::identity(spec.out_c));
+    weights_i8_[i] = std::move(wq);
+    bn_[i] = spec.has_bn
+                 ? BatchNorm::random(spec.out_c,
+                                     seed + static_cast<std::uint64_t>(i))
+                 : BatchNorm::identity(spec.out_c);
     // Symmetric per-tensor scales; chained so layer i+1 consumes layer i's
     // output scale.
     QuantParams q;
     q.in_scale = 0.1f;
     q.w_scale = 0.02f;
     q.out_scale = 0.1f;
-    quant_.push_back(q);
-  }
+    quant_[i] = q;
+  });
 }
 
 namespace {

@@ -80,7 +80,9 @@ TEST(CostModel, PwGmaMonotoneInFilterTileSize) {
   std::int64_t prev = -1;
   for (int tf : {32, 64, 128, 256}) {
     const auto st = pw_stats(pw, {14, 14, tf}, DType::kF32);
-    if (prev > 0) EXPECT_LT(st.gma_bytes(), prev);
+    if (prev > 0) {
+      EXPECT_LT(st.gma_bytes(), prev);
+    }
     prev = st.gma_bytes();
   }
 }

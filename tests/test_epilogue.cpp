@@ -35,7 +35,9 @@ TEST_P(EpilogueActTest, I8RoundsAndSaturates) {
   const std::int8_t hi = ep.apply(0, 100);
   EXPECT_GE(hi, -128);
   EXPECT_LE(hi, 127);
-  if (act == ActKind::kNone) EXPECT_EQ(hi, 127);
+  if (act == ActKind::kNone) {
+    EXPECT_EQ(hi, 127);
+  }
   if (act == ActKind::kReLU6) {
     // clipped to 6 → 6/0.1 = 60
     EXPECT_EQ(hi, 60);

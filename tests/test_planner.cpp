@@ -2,12 +2,23 @@
 // (residuals, non-fusable layers), and the plan's accounting.
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "gpusim/device_spec.hpp"
 #include "models/model_zoo.hpp"
 #include "planner/fuse_planner.hpp"
+#include "planner/plan_io.hpp"
 
 namespace fcm::planner {
 namespace {
+
+/// Run `fn` with ThreadPool::global() redirected to a fresh pool of
+/// `workers` threads, restoring the previous pool on exit (even on throw).
+template <typename Fn>
+auto with_pool(unsigned workers, Fn&& fn) {
+  ThreadPool pool(workers);
+  ScopedPoolOverride guard(pool);
+  return fn();
+}
 
 TEST(FusePlanner, PairDecisionPrefersFusionWhenItSavesTraffic) {
   // A memory-bound DSC pair mid-network (MobileNetV2 dw3+proj3): fusion must
@@ -127,6 +138,50 @@ TEST(FusePlanner, PlanIsDeterministic) {
     EXPECT_EQ(a.steps[i].fused, b.steps[i].fused);
     EXPECT_EQ(a.steps[i].stats.gma_bytes(), b.steps[i].stats.gma_bytes());
   }
+}
+
+TEST(FusePlanner, ParallelPlanBitIdenticalToSingleThread) {
+  // The whole-model estimator pass fans out per layer over the global pool
+  // (and each layer's tile search fans out again); the resulting plan must be
+  // bit-identical to a forced 1-worker run — same schedule, same tilings,
+  // same predicted stats — for any worker count.
+  PlanOptions opt;
+  opt.enable_triple = true;
+  for (const auto& dev : {gpusim::gtx1660(), gpusim::rtx_a4000()}) {
+    for (DType dt : {DType::kF32, DType::kI8}) {
+      const auto model = models::mobilenet_v2();
+      const auto serial =
+          with_pool(1, [&] { return plan_model(dev, model, dt, opt); });
+      const auto parallel =
+          with_pool(8, [&] { return plan_model(dev, model, dt, opt); });
+      // serialize() captures the full schedule: step kinds, layer coverage
+      // and every tile size.
+      EXPECT_EQ(serialize(serial), serialize(parallel)) << dev.name;
+      ASSERT_EQ(serial.steps.size(), parallel.steps.size()) << dev.name;
+      for (std::size_t i = 0; i < serial.steps.size(); ++i) {
+        const auto& a = serial.steps[i].stats;
+        const auto& b = parallel.steps[i].stats;
+        EXPECT_EQ(a.global_load_bytes, b.global_load_bytes);
+        EXPECT_EQ(a.global_store_bytes, b.global_store_bytes);
+        EXPECT_EQ(a.flops, b.flops);
+        EXPECT_EQ(a.int_ops, b.int_ops);
+        EXPECT_EQ(a.redundant_flops, b.redundant_flops);
+        EXPECT_EQ(a.num_blocks, b.num_blocks);
+        EXPECT_EQ(a.shared_bytes_per_block, b.shared_bytes_per_block);
+      }
+    }
+  }
+}
+
+TEST(FusePlanner, LblPlanDeterministicAcrossWorkerCounts) {
+  const auto dev = gpusim::jetson_orin();
+  const auto model = models::mobilenet_v1();
+  const auto serial =
+      with_pool(1, [&] { return plan_model_lbl(dev, model, DType::kF32); });
+  const auto parallel =
+      with_pool(5, [&] { return plan_model_lbl(dev, model, DType::kF32); });
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+  EXPECT_EQ(serial.total_gma_bytes(), parallel.total_gma_bytes());
 }
 
 TEST(FusePlanner, DescribeMentionsEveryStepKind) {

@@ -2,12 +2,38 @@
 // optimality of the returned tiling within its own candidate set.
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "gpusim/device_spec.hpp"
 #include "planner/cost_model.hpp"
 #include "planner/tile_search.hpp"
 
 namespace fcm::planner {
 namespace {
+
+/// Run `fn` with ThreadPool::global() redirected to a fresh pool of
+/// `workers` threads, restoring the previous pool on exit (even on throw).
+template <typename Fn>
+auto with_pool(unsigned workers, Fn&& fn) {
+  ThreadPool pool(workers);
+  ScopedPoolOverride guard(pool);
+  return fn();
+}
+
+void expect_stats_identical(const gpusim::KernelStats& a,
+                            const gpusim::KernelStats& b) {
+  EXPECT_EQ(a.global_load_bytes, b.global_load_bytes);
+  EXPECT_EQ(a.global_store_bytes, b.global_store_bytes);
+  EXPECT_EQ(a.ifm_load_bytes, b.ifm_load_bytes);
+  EXPECT_EQ(a.weight_load_bytes, b.weight_load_bytes);
+  EXPECT_EQ(a.shared_load_bytes, b.shared_load_bytes);
+  EXPECT_EQ(a.shared_store_bytes, b.shared_store_bytes);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.int_ops, b.int_ops);
+  EXPECT_EQ(a.redundant_flops, b.redundant_flops);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+  EXPECT_EQ(a.threads_per_block, b.threads_per_block);
+  EXPECT_EQ(a.shared_bytes_per_block, b.shared_bytes_per_block);
+}
 
 TEST(TileCandidates, SpatialArePowersOfTwoPlusEvenSplits) {
   const auto c = spatial_tile_candidates(14);
@@ -105,6 +131,54 @@ TEST(TileSearch, EarlyLayerPwdwInfeasibleOnSmallSharedMem) {
   if (best.has_value()) {
     EXPECT_NE(best->kind, FcmKind::kPwDw)
         << "full-spatial PWDW should be infeasible at 112x112 FP32";
+  }
+}
+
+TEST(TileSearch, ParallelSearchBitIdenticalToSingleThread) {
+  // The searches fan out over the global pool; the winner must be
+  // bit-identical to a forced 1-worker (serial) run for every search kind.
+  const auto dev = gpusim::rtx_a4000();
+  const auto pw1 = LayerSpec::pointwise("pw1", 96, 28, 28, 192);
+  const auto dw = LayerSpec::depthwise("dw", 192, 28, 28, 3, 1);
+  const auto pw2 = LayerSpec::pointwise("pw2", 192, 28, 28, 96);
+
+  for (DType dt : {DType::kF32, DType::kI8}) {
+    const auto lbl_s = with_pool(1, [&] { return best_lbl_tiling(dev, pw1, dt); });
+    const auto lbl_p = with_pool(7, [&] { return best_lbl_tiling(dev, pw1, dt); });
+    ASSERT_EQ(lbl_s.has_value(), lbl_p.has_value());
+    if (lbl_s.has_value()) {
+      EXPECT_EQ(lbl_s->tiling.tile_h, lbl_p->tiling.tile_h);
+      EXPECT_EQ(lbl_s->tiling.tile_w, lbl_p->tiling.tile_w);
+      EXPECT_EQ(lbl_s->tiling.tile_f, lbl_p->tiling.tile_f);
+      expect_stats_identical(lbl_s->stats, lbl_p->stats);
+    }
+
+    const auto fcm_s = with_pool(
+        1, [&] { return best_fcm_tiling(dev, FcmKind::kPwDw, pw1, dw, dt); });
+    const auto fcm_p = with_pool(
+        7, [&] { return best_fcm_tiling(dev, FcmKind::kPwDw, pw1, dw, dt); });
+    ASSERT_EQ(fcm_s.has_value(), fcm_p.has_value());
+    if (fcm_s.has_value()) {
+      EXPECT_EQ(fcm_s->kind, fcm_p->kind);
+      EXPECT_EQ(fcm_s->tiling.tile_h, fcm_p->tiling.tile_h);
+      EXPECT_EQ(fcm_s->tiling.tile_w, fcm_p->tiling.tile_w);
+      EXPECT_EQ(fcm_s->tiling.tile_c, fcm_p->tiling.tile_c);
+      EXPECT_EQ(fcm_s->tiling.chunk_f, fcm_p->tiling.chunk_f);
+      expect_stats_identical(fcm_s->stats, fcm_p->stats);
+    }
+
+    const auto t3_s =
+        with_pool(1, [&] { return best_pwdwpw_tiling(dev, pw1, dw, pw2, dt); });
+    const auto t3_p =
+        with_pool(7, [&] { return best_pwdwpw_tiling(dev, pw1, dw, pw2, dt); });
+    ASSERT_EQ(t3_s.has_value(), t3_p.has_value());
+    if (t3_s.has_value()) {
+      EXPECT_EQ(t3_s->tiling.tile_h, t3_p->tiling.tile_h);
+      EXPECT_EQ(t3_s->tiling.tile_w, t3_p->tiling.tile_w);
+      EXPECT_EQ(t3_s->tiling.tile_c, t3_p->tiling.tile_c);
+      EXPECT_EQ(t3_s->tiling.chunk_f, t3_p->tiling.chunk_f);
+      expect_stats_identical(t3_s->stats, t3_p->stats);
+    }
   }
 }
 
