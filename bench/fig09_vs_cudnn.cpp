@@ -1,7 +1,9 @@
 // Fig. 9 — speedup of the cuDNN-like algorithms, our LBL kernels and the
-// FCMs over the best cuDNN algorithm (IMPLICIT_PRECOMP_GEMM), FP32, per
-// fusion case and GPU. Also reports the global-memory-access savings of LBL
-// and FCM vs that baseline (paper: up to 63% / 83%).
+// FCMs over the best cuDNN algorithm (IMPLICIT_PRECOMP_GEMM), per fusion
+// case and GPU. Also reports the global-memory-access savings of LBL and FCM
+// vs that baseline (paper: up to 63% / 83% in FP32). The paper's figure is
+// FP32; the INT8 tables extend it through the same dp4a stats plumbing the
+// INT8 kernels use (cases F1_8..F12_8).
 #include "baselines/cudnn_like.hpp"
 #include "bench_util.hpp"
 
@@ -11,55 +13,66 @@ using baselines::cudnn_stats;
 
 int main() {
   bench::print_header(
-      "Fig. 9: speedup over cuDNN IMPL_PRECOMP_GEMM (FP32), per case");
-  double max_sp_fcm = 0.0, max_sp_lbl = 0.0, sum_sp = 0.0;
-  double max_save_lbl = 0.0, max_save_fcm = 0.0;
-  int n = 0;
-  const auto cases = models::fp32_cases();
-  const auto grid = bench::eval_case_grid(cases, DType::kF32);
-  const auto devs = bench::devices();
-  for (std::size_t di = 0; di < devs.size(); ++di) {
-    const auto& [name, dev] = devs[di];
-    Table t({"case", "GEMM", "IMPL_GEMM", "LBL", "FCM", "GMA save LBL",
-             "GMA save FCM"});
-    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-      const auto& c = cases[ci];
-      const auto& r = grid[ci][di];
-      auto pair_stats = [&](CudnnAlgo a) {
-        return cudnn_stats(dev, a, c.first, DType::kF32) +
-               cudnn_stats(dev, a, c.second, DType::kF32);
-      };
-      const auto base = pair_stats(CudnnAlgo::kImplicitPrecompGemm);
-      const double t_base = bench::time_of(dev, base);
-      const double sp_gemm = t_base / bench::time_of(dev, pair_stats(CudnnAlgo::kGemm));
-      const double sp_impl =
-          t_base / bench::time_of(dev, pair_stats(CudnnAlgo::kImplicitGemm));
-      const double sp_lbl = t_base / r.lbl_time;
-      const double sp_fcm = t_base / r.impl_time;
-      const double save_lbl =
-          1.0 - static_cast<double>(r.decision.lbl_gma()) /
-                    static_cast<double>(base.gma_bytes());
-      const double fcm_gma = static_cast<double>(
-          r.fused ? r.decision.fcm->stats.gma_bytes() : r.decision.lbl_gma());
-      const double save_fcm =
-          1.0 - fcm_gma / static_cast<double>(base.gma_bytes());
-      t.add_row({c.id, fmt_f(sp_gemm, 2), fmt_f(sp_impl, 2), fmt_f(sp_lbl, 2),
-                 fmt_f(sp_fcm, 2), fmt_pct(save_lbl), fmt_pct(save_fcm)});
-      max_sp_fcm = std::max(max_sp_fcm, sp_fcm);
-      max_sp_lbl = std::max(max_sp_lbl, sp_lbl);
-      max_save_lbl = std::max(max_save_lbl, save_lbl);
-      max_save_fcm = std::max(max_save_fcm, save_fcm);
-      sum_sp += sp_fcm;
-      ++n;
+      "Fig. 9: speedup over cuDNN IMPL_PRECOMP_GEMM, per case (fp32 + int8)");
+  for (const DType dt : {DType::kF32, DType::kI8}) {
+    double max_sp_fcm = 0.0, max_sp_lbl = 0.0, sum_sp = 0.0;
+    double max_save_lbl = 0.0, max_save_fcm = 0.0;
+    int n = 0;
+    const auto cases = models::cases_for(dt);
+    const auto grid = bench::eval_case_grid(cases, dt);
+    const auto devs = bench::devices();
+    for (std::size_t di = 0; di < devs.size(); ++di) {
+      const auto& [name, dev] = devs[di];
+      Table t({"case", "GEMM", "IMPL_GEMM", "LBL", "FCM", "GMA save LBL",
+               "GMA save FCM"});
+      for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+        const auto& c = cases[ci];
+        const auto& r = grid[ci][di];
+        auto pair_stats = [&](CudnnAlgo a) {
+          return cudnn_stats(dev, a, c.first, dt) +
+                 cudnn_stats(dev, a, c.second, dt);
+        };
+        const auto base = pair_stats(CudnnAlgo::kImplicitPrecompGemm);
+        const double t_base = bench::time_of(dev, base);
+        const double sp_gemm =
+            t_base / bench::time_of(dev, pair_stats(CudnnAlgo::kGemm));
+        const double sp_impl =
+            t_base / bench::time_of(dev, pair_stats(CudnnAlgo::kImplicitGemm));
+        const double sp_lbl = t_base / r.lbl_time;
+        const double sp_fcm = t_base / r.impl_time;
+        const double save_lbl =
+            1.0 - static_cast<double>(r.decision.lbl_gma()) /
+                      static_cast<double>(base.gma_bytes());
+        const double fcm_gma = static_cast<double>(
+            r.fused ? r.decision.fcm->stats.gma_bytes() : r.decision.lbl_gma());
+        const double save_fcm =
+            1.0 - fcm_gma / static_cast<double>(base.gma_bytes());
+        t.add_row({c.id, fmt_f(sp_gemm, 2), fmt_f(sp_impl, 2), fmt_f(sp_lbl, 2),
+                   fmt_f(sp_fcm, 2), fmt_pct(save_lbl), fmt_pct(save_fcm)});
+        max_sp_fcm = std::max(max_sp_fcm, sp_fcm);
+        max_sp_lbl = std::max(max_sp_lbl, sp_lbl);
+        max_save_lbl = std::max(max_save_lbl, save_lbl);
+        max_save_fcm = std::max(max_save_fcm, save_fcm);
+        sum_sp += sp_fcm;
+        ++n;
+      }
+      std::cout << "\n[" << name << ", " << dtype_name(dt) << "]\n" << t.str();
     }
-    std::cout << "\n[" << name << "]\n" << t.str();
+    if (dt == DType::kF32) {
+      std::cout << "\nFCM vs best cuDNN: max " << fmt_f(max_sp_fcm, 2)
+                << "x, average " << fmt_f(sum_sp / n, 2)
+                << "x   [paper: max 3.7x, average 2x]\n";
+      std::cout << "LBL vs best cuDNN: max " << fmt_f(max_sp_lbl, 2)
+                << "x   [paper: max 3x, average 1.5x]\n";
+      std::cout << "max GMA savings: LBL " << fmt_pct(max_save_lbl) << ", FCM "
+                << fmt_pct(max_save_fcm) << "   [paper: 63% / 83%]\n";
+    } else {
+      std::cout << "\nINT8 (beyond the paper's Fig. 9): FCM vs best cuDNN max "
+                << fmt_f(max_sp_fcm, 2) << "x, average " << fmt_f(sum_sp / n, 2)
+                << "x; LBL max " << fmt_f(max_sp_lbl, 2)
+                << "x; max GMA savings LBL " << fmt_pct(max_save_lbl)
+                << ", FCM " << fmt_pct(max_save_fcm) << "\n";
+    }
   }
-  std::cout << "\nFCM vs best cuDNN: max " << fmt_f(max_sp_fcm, 2)
-            << "x, average " << fmt_f(sum_sp / n, 2)
-            << "x   [paper: max 3.7x, average 2x]\n";
-  std::cout << "LBL vs best cuDNN: max " << fmt_f(max_sp_lbl, 2)
-            << "x   [paper: max 3x, average 1.5x]\n";
-  std::cout << "max GMA savings: LBL " << fmt_pct(max_save_lbl) << ", FCM "
-            << fmt_pct(max_save_fcm) << "   [paper: 63% / 83%]\n";
   return 0;
 }

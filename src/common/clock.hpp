@@ -1,0 +1,20 @@
+// Host wall-clock helpers shared by the serving subsystem, CLIs, benches
+// and tests (simulated GPU time comes from gpusim/roofline, never from
+// here).
+#pragma once
+
+#include <chrono>
+
+namespace fcm {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+inline SteadyTime steady_now() { return std::chrono::steady_clock::now(); }
+
+/// Seconds elapsed since `t0`.
+inline double seconds_since(SteadyTime t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace fcm

@@ -1,8 +1,10 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "common/error.hpp"
+#include "common/types.hpp"
 
 namespace fcm {
 
@@ -48,7 +50,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::int64_t count,
-                              const std::function<void(std::int64_t)>& fn) {
+                              const std::function<void(std::int64_t)>& fn,
+                              std::int64_t grain) {
   if (count <= 0) return;
   const std::int64_t nworkers = static_cast<std::int64_t>(size());
   // Small grids, a single worker, or a nested call from inside a worker: run
@@ -58,7 +61,10 @@ void ThreadPool::parallel_for(std::int64_t count,
     return;
   }
 
-  const std::int64_t chunks = std::min<std::int64_t>(nworkers, count);
+  // Auto grain: ~8 chunks per worker balances load vs dispatch overhead.
+  if (grain <= 0) grain = std::max<std::int64_t>(1, count / (8 * nworkers));
+  const std::int64_t chunks =
+      std::min<std::int64_t>(nworkers, ceil_div(count, grain));
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> done{0};
   std::atomic<bool> aborted{false};
@@ -71,10 +77,14 @@ void ThreadPool::parallel_for(std::int64_t count,
     for (;;) {
       // Fail fast: once any index threw, stop claiming the rest.
       if (aborted.load(std::memory_order_relaxed)) break;
-      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
+      const std::int64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::int64_t end = std::min(count, begin + grain);
       try {
-        fn(i);
+        for (std::int64_t i = begin; i < end; ++i) {
+          if (aborted.load(std::memory_order_relaxed)) break;
+          fn(i);
+        }
       } catch (...) {
         aborted.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lk(err_mu);

@@ -35,12 +35,23 @@ class ThreadPool {
   /// throw, *which* exception surfaces depends on scheduling — only the
   /// fact of failure is deterministic, not the message.
   ///
+  /// Workers claim contiguous [i, i+grain) chunks off one shared atomic
+  /// cursor, so the synchronisation cost is one fetch_add per `grain`
+  /// indices instead of one per index. `grain` <= 0 picks an automatic
+  /// size: count / (8 * workers), clamped to >= 1 — small enough to keep
+  /// load balanced when per-index cost varies, large enough to amortise the
+  /// atomic for the planner's big candidate sweeps. Which indices land on
+  /// which worker never affects results for the sharded-slot-write pattern
+  /// all callers use, so outputs stay bit-identical to a serial loop for
+  /// any grain and worker count.
+  ///
   /// Re-entrant: a parallel_for issued from inside a worker runs inline on
   /// that worker. Nested parallel sections (planner layer loop → tile search
   /// → simulated kernel launch) would otherwise deadlock, with every worker
   /// blocked waiting for queued sub-tasks no one is free to run.
   void parallel_for(std::int64_t count,
-                    const std::function<void(std::int64_t)>& fn);
+                    const std::function<void(std::int64_t)>& fn,
+                    std::int64_t grain = 0);
 
   /// Process-wide pool shared by the planner, runtime and simulator.
   static ThreadPool& global();

@@ -50,6 +50,13 @@ PairDecision plan_pair(const gpusim::DeviceSpec& dev, const LayerSpec& first,
 /// beyond the paper's two-conv FCMs).
 struct PlanOptions {
   bool enable_triple = false;
+
+  /// Member-wise equality — serving/PlanCache keys include the options. A
+  /// field added here is picked up by the in-memory key automatically (this
+  /// defaulted operator); PlanKeyHash and PlanKey::slug() in
+  /// serving/plan_cache must be extended by hand so hashing and the on-disk
+  /// file name distinguish it too.
+  friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
 };
 
 /// Plan a whole model. Examines every legal fusion (paper §IV: FusePlanner

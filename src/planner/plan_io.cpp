@@ -32,10 +32,27 @@ std::map<std::string, std::string> parse_fields(std::istringstream& line) {
   return out;
 }
 
+/// stoi that reports malformed numerics as fcm::Error (std::stoi throws
+/// std::invalid_argument/out_of_range, which would escape callers that only
+/// handle library errors — e.g. a corrupt plan-cache file must be rejected,
+/// not abort the process).
+int parse_int(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(s, &used);
+    FCM_CHECK(used == s.size(), "plan_io: bad integer '" + s + "'");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("plan_io: bad integer '" + s + "'");
+  }
+}
+
 int to_int(const std::map<std::string, std::string>& f, const std::string& k) {
   const auto it = f.find(k);
   FCM_CHECK(it != f.end(), "plan_io: missing field '" + k + "'");
-  return std::stoi(it->second);
+  return parse_int(it->second);
 }
 
 std::string get(const std::map<std::string, std::string>& f,
@@ -104,7 +121,7 @@ Plan deserialize(const std::string& text) {
         std::istringstream lls(layers);
         std::string part;
         std::vector<int> idx;
-        while (std::getline(lls, part, ',')) idx.push_back(std::stoi(part));
+        while (std::getline(lls, part, ',')) idx.push_back(parse_int(part));
         FCM_CHECK(idx.size() == 2 || idx.size() == 3,
                   "plan_io: bad layers list '" + layers + "'");
         s.layer = idx[0];

@@ -1,0 +1,121 @@
+#include "serving/inference_engine.hpp"
+
+#include "common/clock.hpp"
+#include "common/random.hpp"
+#include "common/thread_pool.hpp"
+#include "models/model_zoo.hpp"
+
+namespace fcm::serving {
+
+InferenceEngine::InferenceEngine(gpusim::DeviceSpec dev, EngineOptions opt)
+    : dev_(std::move(dev)),
+      opt_(std::move(opt)),
+      cache_(opt_.plan_cache_capacity, opt_.cache_dir) {}
+
+std::shared_ptr<const runtime::ModelRunner> InferenceEngine::runner(
+    const std::string& model_name) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = runners_.find(model_name);
+    if (it == runners_.end()) break;  // this thread becomes the builder
+    if (it->second.ready) return it->second.runner;
+    cv_.wait(lk);  // another thread is materialising the weights
+  }
+  runners_.emplace(model_name, RunnerSlot{});
+  lk.unlock();
+
+  std::shared_ptr<const runtime::ModelRunner> built;
+  try {
+    built = std::make_shared<const runtime::ModelRunner>(
+        dev_, models::model_by_name(model_name), opt_.seed);
+  } catch (...) {
+    // Unknown model or invalid graph: free the slot so a later (corrected)
+    // request does not wait forever on a builder that gave up.
+    lk.lock();
+    runners_.erase(model_name);
+    cv_.notify_all();
+    throw;
+  }
+
+  lk.lock();
+  RunnerSlot& slot = runners_[model_name];
+  slot.runner = built;
+  slot.ready = true;
+  cv_.notify_all();
+  return built;
+}
+
+std::shared_ptr<const planner::Plan> InferenceEngine::plan_for(
+    const std::string& model_name) {
+  // Plan against the bare graph — plan-only flows (fcmserve --plan-only,
+  // cache warm-up) must not pay runner weight materialisation.
+  return cache_.get_or_plan(dev_, models::model_by_name(model_name),
+                            DType::kF32, opt_.plan_options);
+}
+
+InferenceEngine::Result InferenceEngine::submit(const std::string& model_name,
+                                                const TensorF& input) {
+  const auto t0 = steady_now();
+  const auto r = runner(model_name);
+  const auto plan =
+      cache_.get_or_plan(dev_, r->model(), DType::kF32, opt_.plan_options);
+
+  runtime::ModelReport report;
+  Result res;
+  res.output = r->run_f32(*plan, input, &report);
+  res.sim_time_s = report.total_time_s();
+  res.gma_bytes = report.total_gma_bytes();
+  res.latency_s = seconds_since(t0);
+  return res;
+}
+
+ServingReport InferenceEngine::replay(const std::vector<Request>& mix) {
+  struct Sample {
+    double latency_s = 0.0;
+    double sim_time_s = 0.0;
+    std::int64_t gma_bytes = 0;
+  };
+  std::vector<Sample> samples(mix.size());
+  const CacheStats cache_before = cache_.stats();
+
+  const auto t0 = steady_now();
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(mix.size()), [&](std::int64_t idx) {
+        const std::size_t i = static_cast<std::size_t>(idx);
+        const Request& q = mix[i];
+        TensorF input(runner(q.model)->model().layers.front().ifm_shape());
+        fill_uniform(input, q.input_seed);
+        const Result res = submit(q.model, input);
+        samples[i] = Sample{res.latency_s, res.sim_time_s, res.gma_bytes};
+      });
+
+  ServingReport report;
+  report.device = dev_.name;
+  report.wall_s = seconds_since(t0);
+  // Counter deltas over this replay only — the engine may have served other
+  // traffic (e.g. a warm-up loop) before.
+  const CacheStats after = cache_.stats();
+  report.cache.hits = after.hits - cache_before.hits;
+  report.cache.misses = after.misses - cache_before.misses;
+  report.cache.evictions = after.evictions - cache_before.evictions;
+  report.cache.disk_hits = after.disk_hits - cache_before.disk_hits;
+  report.cache.coalesced = after.coalesced - cache_before.coalesced;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    ModelServingStats* stats = nullptr;
+    for (auto& m : report.models) {
+      if (m.model == mix[i].model) stats = &m;
+    }
+    if (stats == nullptr) {
+      report.models.push_back(ModelServingStats{});
+      stats = &report.models.back();
+      stats->model = mix[i].model;
+    }
+    ++stats->requests;
+    stats->latency_s.push_back(samples[i].latency_s);
+    stats->sim_time_s += samples[i].sim_time_s;
+    stats->gma_bytes += samples[i].gma_bytes;
+  }
+  return report;
+}
+
+}  // namespace fcm::serving

@@ -1,0 +1,99 @@
+// Concurrent inference engine over the plan cache.
+//
+// InferenceEngine owns one PlanCache and one ModelRunner per served model
+// (weights materialised once, shared by every request — ModelRunner
+// execution is const and thread-safe). submit() may be called from any
+// number of client threads: the plan comes from the cache (cold on the first
+// request per key, a hash lookup afterwards), the kernels run functionally
+// on the simulator. replay() drives a whole synthetic request mix
+// concurrently over ThreadPool::global() and aggregates a ServingReport.
+// Results are bit-identical to a serial ModelRunner::run_f32 of the same
+// plan — concurrency never changes numerics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "serving/plan_cache.hpp"
+#include "serving/serving_report.hpp"
+
+namespace fcm::serving {
+
+struct EngineOptions {
+  /// LRU bound of the plan cache.
+  std::size_t plan_cache_capacity = 32;
+  /// Non-empty: persistent plan-cache directory (survives restarts).
+  std::string cache_dir;
+  /// Seed for every ModelRunner's deterministic weights.
+  std::uint64_t seed = 2024;
+  /// Planner options baked into every cache key.
+  planner::PlanOptions plan_options;
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(gpusim::DeviceSpec dev, EngineOptions opt = {});
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Outcome of one request.
+  struct Result {
+    TensorF output;
+    /// Host wall-clock latency, seconds (plan lookup + execution).
+    double latency_s = 0.0;
+    /// Simulated GPU time and traffic of the executed plan.
+    double sim_time_s = 0.0;
+    std::int64_t gma_bytes = 0;
+  };
+
+  /// One request in a replayed mix; the input tensor is generated
+  /// deterministically from `input_seed`.
+  struct Request {
+    std::string model;
+    std::uint64_t input_seed = 1;
+  };
+
+  /// Execute one FP32 inference of `model_name` (zoo short name) on `input`.
+  /// Thread-safe; throws fcm::Error for unknown models or bad input shapes.
+  Result submit(const std::string& model_name, const TensorF& input);
+
+  /// Replay `mix` concurrently over ThreadPool::global() (request i runs as
+  /// grid index i) and aggregate per-model stats in first-appearance order.
+  /// Outputs are discarded — submit() is the API for callers that need them.
+  ServingReport replay(const std::vector<Request>& mix);
+
+  /// The plan this engine executes `model_name` with (through the cache).
+  std::shared_ptr<const planner::Plan> plan_for(const std::string& model_name);
+
+  /// The shared runner for `model_name`, constructed on first use.
+  std::shared_ptr<const runtime::ModelRunner> runner(
+      const std::string& model_name);
+
+  const gpusim::DeviceSpec& device() const { return dev_; }
+  const EngineOptions& options() const { return opt_; }
+  PlanCache& plan_cache() { return cache_; }
+
+ private:
+  gpusim::DeviceSpec dev_;
+  EngineOptions opt_;
+  PlanCache cache_;
+
+  /// Lazily-built runner pool. A runner under construction is represented by
+  /// a pending slot other threads wait on, so weights materialise once.
+  struct RunnerSlot {
+    std::shared_ptr<const runtime::ModelRunner> runner;
+    bool ready = false;
+  };
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, RunnerSlot> runners_;
+};
+
+}  // namespace fcm::serving

@@ -1,0 +1,220 @@
+#include "serving/plan_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "planner/plan_io.hpp"
+
+namespace fcm::serving {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Keep [A-Za-z0-9_.-], replace everything else — model/device names feed
+/// straight into file names.
+std::string sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::string PlanKey::slug() const {
+  std::ostringstream os;
+  os << sanitize(model) << "__" << sanitize(device) << "__"
+     << dtype_name(dtype) << "__"
+     << (options.enable_triple ? "triple" : "pair");
+  return os.str();
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  std::size_t h = std::hash<std::string>{}(k.model);
+  hash_combine(h, std::hash<std::string>{}(k.device));
+  hash_combine(h, static_cast<std::size_t>(k.dtype));
+  hash_combine(h, static_cast<std::size_t>(k.options.enable_triple));
+  return h;
+}
+
+PlanCache::PlanCache(std::size_t capacity, std::string cache_dir)
+    : capacity_(capacity),
+      cache_dir_(std::move(cache_dir)),
+      plan_fn_([](const gpusim::DeviceSpec& dev, const ModelGraph& model,
+                  DType dt, const planner::PlanOptions& opt) {
+        return planner::plan_model(dev, model, dt, opt);
+      }) {
+  FCM_CHECK(capacity_ >= 1, "PlanCache capacity must be >= 1");
+}
+
+std::string PlanCache::file_path(const PlanKey& key) const {
+  return (fs::path(cache_dir_) / (key.slug() + ".plan")).string();
+}
+
+std::shared_ptr<const planner::Plan> PlanCache::produce(
+    const gpusim::DeviceSpec& dev, const ModelGraph& model, DType dt,
+    const PlanKey& key) {
+  if (!cache_dir_.empty()) {
+    std::ifstream in(file_path(key));
+    if (in.good()) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        auto plan = planner::deserialize(text.str());
+        FCM_CHECK(plan.model_name == key.model && plan.dtype == key.dtype,
+                  "plan cache file does not match its key");
+        planner::reconcile(dev, model, plan);
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++stats_.disk_hits;
+        }
+        return std::make_shared<const planner::Plan>(std::move(plan));
+      } catch (const Error&) {
+        // Stale or foreign file (model changed, truncated write, wrong
+        // dtype): fall through and replan; the store below repairs it.
+      }
+    }
+  }
+
+  PlanFn fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn = plan_fn_;
+  }
+  auto plan = std::make_shared<const planner::Plan>(
+      fn(dev, model, dt, key.options));
+
+  if (!cache_dir_.empty()) {
+    // Best-effort persistence: a read-only or full cache directory must not
+    // fail the request. Write-then-rename keeps concurrent processes from
+    // observing half-written plans.
+    std::error_code ec;
+    fs::create_directories(cache_dir_, ec);
+    const std::string path = file_path(key);
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp);
+    bool ok = out.good();
+    if (ok) {
+      out << planner::serialize(*plan);
+      out.close();
+      ok = out.good();
+    }
+    if (ok) {
+      fs::rename(tmp, path, ec);
+      ok = !ec;
+    }
+    if (!ok) fs::remove(tmp, ec);  // never leave a partial .tmp behind
+  }
+  return plan;
+}
+
+void PlanCache::insert_locked(const PlanKey& key,
+                              std::shared_ptr<const planner::Plan> plan) {
+  lru_.push_front(Entry{key, std::move(plan)});
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const planner::Plan> PlanCache::get_or_plan(
+    const gpusim::DeviceSpec& dev, const ModelGraph& model, DType dt,
+    const planner::PlanOptions& opt) {
+  const PlanKey key{model.name, dev.name, dt, opt};
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      return it->second->plan;
+    }
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      ++stats_.coalesced;
+      flight = it->second;
+    } else {
+      ++stats_.misses;
+      flight = std::make_shared<InFlight>();
+      inflight_[key] = flight;
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lk(flight->m);
+    flight->cv.wait(lk, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->plan;
+  }
+
+  // This thread plans (or loads) the key; every other thread waits on the
+  // flight. The planner runs outside the cache lock so unrelated keys stay
+  // servable.
+  std::shared_ptr<const planner::Plan> plan;
+  std::exception_ptr error;
+  try {
+    plan = produce(dev, model, dt, key);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error) insert_locked(key, plan);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lk(flight->m);
+    flight->done = true;
+    flight->plan = plan;
+    flight->error = error;
+  }
+  flight->cv.notify_all();
+
+  if (error) std::rethrow_exception(error);
+  return plan;
+}
+
+bool PlanCache::contains(const PlanKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.find(key) != map_.end();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+void PlanCache::set_plan_fn(PlanFn fn) {
+  FCM_CHECK(static_cast<bool>(fn), "PlanCache::set_plan_fn: empty function");
+  std::lock_guard<std::mutex> lk(mu_);
+  plan_fn_ = std::move(fn);
+}
+
+}  // namespace fcm::serving

@@ -1,0 +1,138 @@
+// Keyed, thread-safe memoisation of FusePlanner plans.
+//
+// The paper's workflow derives a complete execution plan offline and then
+// implements the network from it — a serve-shape: plan once, execute many
+// times. PlanCache makes that explicit. Plans are keyed on (model name,
+// device name, dtype, PlanOptions); lookups are O(1) under a mutex, capacity
+// is bounded by LRU eviction, and a cache directory (via plan_io
+// serialize/deserialize + reconcile) lets a warm cache survive process
+// restarts. Concurrent misses on the same key are single-flighted: one
+// thread plans, the rest wait and share the result.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gpusim/device_spec.hpp"
+#include "layers/model_graph.hpp"
+#include "planner/fuse_planner.hpp"
+
+namespace fcm::serving {
+
+/// Identity of one cached plan. Two requests share a plan exactly when all
+/// four components match (PlanOptions compares member-wise).
+struct PlanKey {
+  std::string model;
+  std::string device;
+  DType dtype = DType::kF32;
+  planner::PlanOptions options;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+
+  /// Filesystem-safe slug, e.g. "Mob_v2__RTX-A4000__fp32__pair" — the stem
+  /// of the file a persistent cache directory stores this plan under. Every
+  /// PlanOptions field must appear here (and in PlanKeyHash): two keys that
+  /// compare unequal but share a slug would alias one disk file.
+  std::string slug() const;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept;
+};
+
+/// Cache counters. `misses` counts every lookup that had to leave the
+/// in-memory map; of those, `disk_hits` were satisfied by the cache
+/// directory and the rest ran the planner. `coalesced` lookups piggybacked
+/// on another thread's in-flight planning of the same key.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t disk_hits = 0;
+  std::int64_t coalesced = 0;
+};
+
+/// Thread-safe LRU cache of FusePlanner plans.
+class PlanCache {
+ public:
+  /// Signature of the planning function memoised by the cache.
+  using PlanFn = std::function<planner::Plan(
+      const gpusim::DeviceSpec&, const ModelGraph&, DType,
+      const planner::PlanOptions&)>;
+
+  /// `capacity` bounds the number of in-memory plans (>= 1). A non-empty
+  /// `cache_dir` enables persistence: fresh plans are serialised into it and
+  /// misses consult it before planning (deserialize + reconcile against the
+  /// live model, so stale or foreign files are rejected, then replanned).
+  /// The directory is created on first store; eviction never deletes files —
+  /// the directory is the durable tier, the LRU bounds memory only.
+  explicit PlanCache(std::size_t capacity = 64, std::string cache_dir = {});
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Return the cached plan for (model.name, dev.name, dt, opt), planning it
+  /// on first use. Safe to call from any number of threads; the planner runs
+  /// outside the cache lock and at most once per key.
+  std::shared_ptr<const planner::Plan> get_or_plan(
+      const gpusim::DeviceSpec& dev, const ModelGraph& model, DType dt,
+      const planner::PlanOptions& opt = {});
+
+  /// True when the key is resident in memory (does not touch LRU order).
+  bool contains(const PlanKey& key) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+  CacheStats stats() const;
+
+  /// Drop every in-memory entry (stats and on-disk files are kept).
+  void clear();
+
+  /// Replace the planning function (default: planner::plan_model). Lets
+  /// tests instrument call counts and inject synthetic planners; must not
+  /// race with in-flight get_or_plan calls.
+  void set_plan_fn(PlanFn fn);
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const planner::Plan> plan;
+  };
+  /// One in-flight planning of a key; later arrivals block on `cv`.
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const planner::Plan> plan;
+    std::exception_ptr error;
+  };
+
+  /// Insert under the lock, evicting LRU tails beyond capacity.
+  void insert_locked(const PlanKey& key,
+                     std::shared_ptr<const planner::Plan> plan);
+  /// Produce the plan for a key: disk first (when enabled), planner second.
+  std::shared_ptr<const planner::Plan> produce(const gpusim::DeviceSpec& dev,
+                                               const ModelGraph& model,
+                                               DType dt, const PlanKey& key);
+  std::string file_path(const PlanKey& key) const;
+
+  const std::size_t capacity_;
+  const std::string cache_dir_;
+  PlanFn plan_fn_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  std::unordered_map<PlanKey, std::shared_ptr<InFlight>, PlanKeyHash>
+      inflight_;
+  CacheStats stats_;
+};
+
+}  // namespace fcm::serving

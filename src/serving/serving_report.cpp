@@ -1,0 +1,63 @@
+#include "serving/serving_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace fcm::serving {
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  // Nearest-rank: smallest value with at least p% of the sample at or below.
+  const auto n = static_cast<double>(xs.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+double ModelServingStats::mean_latency_s() const {
+  if (latency_s.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : latency_s) sum += v;
+  return sum / static_cast<double>(latency_s.size());
+}
+
+int ServingReport::total_requests() const {
+  int n = 0;
+  for (const auto& m : models) n += m.requests;
+  return n;
+}
+
+double ServingReport::throughput_rps() const {
+  return wall_s > 0.0 ? total_requests() / wall_s : 0.0;
+}
+
+std::string ServingReport::table() const {
+  Table t({"model", "reqs", "req/s", "mean ms", "p50 ms", "p95 ms", "p99 ms",
+           "sim ms/req", "GMA MB/req"});
+  for (const auto& m : models) {
+    const double n = std::max(1, m.requests);
+    t.add_row({m.model, std::to_string(m.requests),
+               fmt_f(wall_s > 0.0 ? m.requests / wall_s : 0.0, 1),
+               fmt_f(m.mean_latency_s() * 1e3, 2), fmt_f(m.p50_s() * 1e3, 2),
+               fmt_f(m.p95_s() * 1e3, 2), fmt_f(m.p99_s() * 1e3, 2),
+               fmt_f(m.sim_time_s / n * 1e3, 3),
+               fmt_f(static_cast<double>(m.gma_bytes) / n / 1e6, 2)});
+  }
+  return t.str();
+}
+
+std::string ServingReport::summary() const {
+  std::ostringstream os;
+  os << total_requests() << " requests on " << device << " in "
+     << fmt_f(wall_s * 1e3, 1) << " ms (" << fmt_f(throughput_rps(), 1)
+     << " req/s); plan cache: " << cache.hits << " hits, " << cache.misses
+     << " misses (" << cache.disk_hits << " from disk), " << cache.evictions
+     << " evictions";
+  return os.str();
+}
+
+}  // namespace fcm::serving

@@ -1,0 +1,56 @@
+// Aggregated serving metrics: per-model request counts, host latency
+// percentiles, simulated GPU time and traffic (from runtime/report), plus a
+// snapshot of the plan-cache counters — the numbers fcmserve and the
+// serving-throughput bench print.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/plan_cache.hpp"
+
+namespace fcm::serving {
+
+/// Nearest-rank percentile of `xs` (p in [0, 100]); 0 for an empty sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Request statistics aggregated for one model.
+struct ModelServingStats {
+  std::string model;
+  int requests = 0;
+  /// Host wall-clock latency of each request, seconds (includes the plan
+  /// lookup — the first request of a cold model pays the planning cost).
+  std::vector<double> latency_s;
+  /// Summed simulated GPU time and traffic over all requests.
+  double sim_time_s = 0.0;
+  std::int64_t gma_bytes = 0;
+
+  double mean_latency_s() const;
+  double p50_s() const { return percentile(latency_s, 50.0); }
+  double p95_s() const { return percentile(latency_s, 95.0); }
+  double p99_s() const { return percentile(latency_s, 99.0); }
+};
+
+/// One replayed request mix, aggregated per model.
+struct ServingReport {
+  std::string device;
+  /// Host wall-clock time of the whole replay, seconds.
+  double wall_s = 0.0;
+  /// Plan-cache counter deltas attributable to this replay alone (not the
+  /// engine's lifetime totals).
+  CacheStats cache;
+  std::vector<ModelServingStats> models;
+
+  int total_requests() const;
+  /// Aggregate host throughput of the replay, requests/second.
+  double throughput_rps() const;
+
+  /// Per-model table: requests, throughput, mean/p50/p95/p99 latency,
+  /// simulated GPU time per request.
+  std::string table() const;
+  /// One-line roll-up including cache hit/miss counters.
+  std::string summary() const;
+};
+
+}  // namespace fcm::serving

@@ -1,0 +1,32 @@
+// Shared helpers for the fcmplan/fcmserve argv loops.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace fcm::cli {
+
+/// Parse a non-negative integer CLI value in [0, max]. Malformed or
+/// out-of-range input is a usage error: print a note + the tool's usage and
+/// exit 2 (std::stoull alone would escape main as std::invalid_argument, and
+/// silent narrowing would mangle oversized values).
+inline std::uint64_t parse_u64_or_usage_exit(const std::string& s,
+                                             std::uint64_t max,
+                                             void (*usage)()) {
+  try {
+    if (!s.empty() && s[0] != '-') {  // stoull wraps negatives silently
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(s, &used);
+      if (used == s.size() && v <= max) return v;
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << "bad numeric argument '" << s << "' (expected 0.." << max
+            << ")\n";
+  usage();
+  std::exit(2);
+}
+
+}  // namespace fcm::cli

@@ -3,16 +3,23 @@
 // Derives a complete execution plan for one of the bundled models on one of
 // the paper's GPUs, prints it (or exports the serialised schedule), and
 // optionally compares it against the LBL-only plan and the TVM-like
-// compiler.
+// compiler. --import closes the export round-trip: a previously exported
+// schedule is parsed and reconciled (stats recomputed, soundness validated)
+// for the chosen device instead of being replanned.
 //
 //   fcmplan --model Mob_v2 --device RTX --dtype int8 --triple
 //   fcmplan --model XCe --device GTX --export plan.txt
-//   fcmplan --model Prox --device Orin --compare
+//   fcmplan --import plan.txt --device GTX --compare
+//   fcmplan --model Prox --device Orin --compare --threads 8
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "baselines/tvm_like.hpp"
+#include "common/thread_pool.hpp"
+#include "tools/cli_util.hpp"
 #include "gpusim/device_spec.hpp"
 #include "models/model_zoo.hpp"
 #include "planner/plan_io.hpp"
@@ -25,10 +32,14 @@ namespace {
 void usage() {
   std::cout <<
       "fcmplan — derive an FCM/LBL execution plan for a bundled model\n"
-      "  --model  <Mob_v1|Mob_v2|XCe|Prox|CeiT|CMT|EffNet_B0>  (required)\n"
+      "  --model  <Mob_v1|Mob_v2|XCe|Prox|CeiT|CMT|EffNet_B0>\n"
+      "                                 (required unless --import)\n"
       "  --device <GTX|RTX|Orin>        default RTX\n"
       "  --dtype  <fp32|int8>           default fp32\n"
       "  --triple                       enable PWDWPW triple fusion\n"
+      "  --threads <n>                  worker threads (default: hardware)\n"
+      "  --import <file>                load + reconcile an exported schedule\n"
+      "                                 instead of planning\n"
       "  --export <file>                write the serialised schedule\n"
       "  --compare                      compare vs LBL-only and TVM-like\n";
 }
@@ -36,7 +47,10 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string model_name, device = "RTX", dtype = "fp32", export_path;
+  // dtype stays empty unless the user passes --dtype (empty == fp32), so the
+  // import path can tell an explicit request apart from the default.
+  std::string model_name, device = "RTX", dtype, export_path, import_path;
+  unsigned threads = 0;
   bool triple = false, compare = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -51,6 +65,11 @@ int main(int argc, char** argv) {
     else if (arg == "--device") device = next();
     else if (arg == "--dtype") dtype = next();
     else if (arg == "--export") export_path = next();
+    else if (arg == "--import") import_path = next();
+    else if (arg == "--threads") {
+      threads = static_cast<unsigned>(
+          cli::parse_u64_or_usage_exit(next(), 1024, usage));
+    }
     else if (arg == "--triple") triple = true;
     else if (arg == "--compare") compare = true;
     else {
@@ -58,19 +77,55 @@ int main(int argc, char** argv) {
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
-  if (model_name.empty()) {
+  if (model_name.empty() && import_path.empty()) {
     usage();
     return 2;
   }
 
   try {
-    const auto dev = gpusim::device_by_name(device);
-    const auto model = models::model_by_name(model_name);
-    const DType dt = dtype == "int8" ? DType::kI8 : DType::kF32;
-    planner::PlanOptions opt;
-    opt.enable_triple = triple;
+    // 0 keeps the default (hardware concurrency) pool.
+    std::unique_ptr<ThreadPool> own_pool;
+    std::unique_ptr<ScopedPoolOverride> pool_guard;
+    if (threads > 0) {
+      own_pool = std::make_unique<ThreadPool>(threads);
+      pool_guard = std::make_unique<ScopedPoolOverride>(*own_pool);
+    }
 
-    const auto plan = planner::plan_model(dev, model, dt, opt);
+    const auto dev = gpusim::device_by_name(device);
+
+    planner::Plan plan;
+    DType dt = dtype == "int8" ? DType::kI8 : DType::kF32;
+    ModelGraph model;
+    if (!import_path.empty()) {
+      std::ifstream in(import_path);
+      FCM_CHECK(in.good(), "cannot open " + import_path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      plan = planner::deserialize(text.str());
+      // The imported header names the model and dtype; --model may override
+      // the model (reconcile rejects the schedule if it does not fit), but
+      // the plan's dtype always wins and planning options don't apply.
+      if (model_name.empty()) model_name = plan.model_name;
+      if (!dtype.empty() && plan.dtype != dt) {
+        std::cerr << "note: --dtype ignored, imported plan is "
+                  << dtype_name(plan.dtype) << "\n";
+      }
+      if (triple) {
+        std::cerr << "note: --triple ignored, the imported schedule already "
+                     "fixes all fusions\n";
+      }
+      dt = plan.dtype;
+      model = models::model_by_name(model_name);
+      planner::reconcile(dev, model, plan);
+      std::cout << "imported " << import_path << " (reconciled for "
+                << dev.name << ")\n";
+    } else {
+      model = models::model_by_name(model_name);
+      planner::PlanOptions opt;
+      opt.enable_triple = triple;
+      plan = planner::plan_model(dev, model, dt, opt);
+    }
+
     std::cout << plan.describe();
     const auto rep = runtime::evaluate_plan(dev, model, plan);
     std::cout << "\nestimated: " << rep.total_time_s() * 1e3 << " ms, "

@@ -122,6 +122,30 @@ TEST(ThreadPool, PropagatesExceptions) {
                Error);
 }
 
+TEST(ThreadPool, ChunkedDispatchRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Explicit grains around the edge cases: 1 (old behaviour), a divisor,
+  // a non-divisor, larger than count, and auto (0).
+  for (std::int64_t grain : {1, 7, 32, 1000, 0}) {
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(
+        100, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+        grain);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, ChunkedDispatchPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [](std::int64_t i) {
+                     if (i == 63) throw Error("boom");
+                   },
+                   16),
+               Error);
+}
+
 TEST(ThreadPool, ZeroAndOneCounts) {
   ThreadPool pool(2);
   int calls = 0;

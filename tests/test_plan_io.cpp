@@ -76,6 +76,17 @@ TEST(PlanIo, RejectsMalformedInput) {
   EXPECT_THROW(
       deserialize("fcmplan v1 model=x device=y dtype=fp32\nlbl th=1 tw=1\n"),
       Error);  // missing layer
+  // Malformed numerics must surface as fcm::Error, not std::invalid_argument
+  // (a corrupt plan-cache file is recovered by catching Error and replanning).
+  EXPECT_THROW(deserialize("fcmplan v1 model=x device=y dtype=fp32\n"
+                           "lbl layer=abc th=1 tw=1 tf=1\n"),
+               Error);
+  EXPECT_THROW(deserialize("fcmplan v1 model=x device=y dtype=fp32\n"
+                           "lbl layer= th=1 tw=1 tf=1\n"),
+               Error);
+  EXPECT_THROW(deserialize("fcmplan v1 model=x device=y dtype=fp32\n"
+                           "fcm kind=DWPW layers=1,x th=1 tw=1 tc=0 cf=8\n"),
+               Error);
 }
 
 TEST(PlanIo, ReconcileRejectsUnsoundSchedules) {
