@@ -6,15 +6,40 @@
 // path must be orders of magnitude (>= 10x) faster — it is a mutex + hash
 // lookup.
 //
-// Part 2 replays a concurrent synthetic request mix through the
-// InferenceEngine on one device and prints the per-model throughput/latency
-// table (functional execution of every kernel on the simulator).
+// Part 2 is the batching acceptance: one batch-8 FP32 ServeRequest vs eight
+// sequential single-image submits of the same inputs. Outputs must be
+// bit-identical; throughput on the simulated device must favour the batch —
+// the batch runs each plan step back to back, so items 2..8 read the step's
+// weights from L2 instead of DRAM (the executor's cross-item reuse term).
+// Host wall time is reported alongside (functional simulation cost; the
+// same work runs in both paths, so it is parity, not speedup).
+//
+// Part 3 sweeps offered load x batch size x dtype through the bounded
+// admission queue (depth 8, reject policy) on the Tiny model and reports
+// achieved throughput, latency percentiles and queue/reject counters — the
+// open-loop traffic model the ROADMAP's admission-control item asked for.
 #include "bench_util.hpp"
 #include "common/clock.hpp"
+#include "common/random.hpp"
 #include "models/model_zoo.hpp"
 #include "serving/inference_engine.hpp"
 
 using namespace fcm;
+
+namespace {
+
+std::vector<TensorF> batch_f32(const FmShape& shape, int n,
+                               std::uint64_t seed0) {
+  std::vector<TensorF> batch;
+  for (int i = 0; i < n; ++i) {
+    TensorF in(shape);
+    fill_uniform(in, seed0 + static_cast<std::uint64_t>(i));
+    batch.push_back(std::move(in));
+  }
+  return batch;
+}
+
+}  // namespace
 
 int main() {
   const std::vector<std::string> zoo = {"Mob_v1", "Mob_v2", "XCe",      "Prox",
@@ -47,18 +72,105 @@ int main() {
   std::cout << "\nworst warm-cache speedup: " << fmt_f(worst_speedup, 0)
             << "x   [acceptance: >= 10x]\n";
 
-  bench::print_header("Serving: concurrent request mix (RTX, fp32, functional)");
-  serving::EngineOptions opt;
-  serving::InferenceEngine engine(gpusim::rtx_a4000(), opt);
-  std::vector<serving::InferenceEngine::Request> mix;
-  for (int r = 0; r < 3; ++r) {
-    for (const auto& name : zoo) {
-      mix.push_back({name, 1000 + static_cast<std::uint64_t>(mix.size())});
+  bench::print_header(
+      "Serving: batch-8 ServeRequest vs 8 sequential submits (RTX, fp32)");
+  {
+    serving::EngineOptions opt;
+    serving::InferenceEngine engine(gpusim::rtx_a4000(), opt);
+    Table t({"model", "seq sim ms", "batch sim ms", "sim speedup",
+             "seq wall ms", "batch wall ms", "identical"});
+    bool all_identical = true;
+    double worst_sim_speedup = 1e300;
+    for (const std::string name : {"Tiny", "Mob_v1"}) {
+      const auto shape =
+          models::model_by_name(name).layers.front().ifm_shape();
+      const auto inputs = batch_f32(shape, 8, 42);
+      engine.submit(serving::ServeRequest::f32(name, inputs));  // warm-up
+
+      // Eight sequential single-image submits of the same inputs.
+      auto t0 = steady_now();
+      std::vector<TensorF> seq_outputs;
+      double seq_sim_s = 0.0;
+      for (const auto& in : inputs) {
+        auto res = engine.submit(name, in);
+        seq_sim_s += res.sim_time_s;
+        seq_outputs.push_back(std::move(res.output));
+      }
+      const double seq_wall_s = seconds_since(t0);
+
+      // One batched request over the identical inputs.
+      t0 = steady_now();
+      const auto batched =
+          engine.submit(serving::ServeRequest::f32(name, inputs));
+      const double batch_wall_s = seconds_since(t0);
+
+      bool identical = true;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        identical &=
+            max_abs_diff(batched.outputs_f32[i], seq_outputs[i]) == 0.0f;
+      }
+      all_identical &= identical;
+      const double sim_speedup = seq_sim_s / batched.sim_time_s;
+      worst_sim_speedup = std::min(worst_sim_speedup, sim_speedup);
+      t.add_row({name, fmt_f(seq_sim_s * 1e3, 3),
+                 fmt_f(batched.sim_time_s * 1e3, 3),
+                 fmt_f(sim_speedup, 2) + "x", fmt_f(seq_wall_s * 1e3, 1),
+                 fmt_f(batch_wall_s * 1e3, 1), identical ? "yes" : "NO"});
     }
+    std::cout << t.str() << "batch-8 simulated throughput exceeds 8 sequential "
+              << "submits: " << (worst_sim_speedup > 1.0 ? "yes" : "NO")
+              << " (worst " << fmt_f(worst_sim_speedup, 2)
+              << "x)   [acceptance: > 1x, bit-identical: "
+              << (all_identical ? "yes" : "NO") << "]\n";
   }
-  const auto report = engine.replay(mix);
-  std::cout << report.table() << report.summary() << "\n"
-            << "note: request 1 of each model pays the cold plan; the "
-               "p50/p95 spread shows the warm path\n";
+
+  bench::print_header(
+      "Serving: offered load x batch x dtype sweep (RTX, Tiny, queue depth 8, "
+      "reject)");
+  {
+    Table t({"dtype", "batch", "offered req/s", "achieved req/s", "items/s",
+             "p50 ms", "p95 ms", "accepted", "rejected", "max depth"});
+    for (const DType dt : {DType::kF32, DType::kI8}) {
+      for (const int batch : {1, 8}) {
+        serving::EngineOptions opt;
+        opt.queue_depth = 8;
+        opt.policy = serving::AdmissionPolicy::kReject;
+        opt.queue_workers = 1;
+        serving::InferenceEngine engine(gpusim::rtx_a4000(), opt);
+
+        // Calibrate this cell's service capacity with a short unpaced burst.
+        std::vector<serving::InferenceEngine::Request> calib(
+            6, {"Tiny", 1, dt, batch});
+        const auto base = engine.replay(calib);
+        const double capacity_rps = base.throughput_rps();
+
+        for (const double load : {0.5, 1.0, 2.0}) {
+          const double offered = load * capacity_rps;
+          std::vector<serving::InferenceEngine::Request> mix;
+          for (int i = 0; i < 24; ++i) {
+            mix.push_back({"Tiny",
+                           1000 + static_cast<std::uint64_t>(i) *
+                                      static_cast<std::uint64_t>(batch),
+                           dt, batch});
+          }
+          const auto rep = engine.replay(mix, offered);
+          t.add_row({dtype_name(dt), std::to_string(batch), fmt_f(offered, 1),
+                     fmt_f(rep.throughput_rps(), 1),
+                     fmt_f(rep.throughput_items_per_s(), 1),
+                     rep.groups.empty() ? "-"
+                                        : fmt_f(rep.groups[0].p50_s() * 1e3, 2),
+                     rep.groups.empty() ? "-"
+                                        : fmt_f(rep.groups[0].p95_s() * 1e3, 2),
+                     std::to_string(rep.queue.accepted),
+                     std::to_string(rep.queue.rejected),
+                     std::to_string(rep.queue.max_depth)});
+        }
+      }
+    }
+    std::cout << t.str()
+              << "note: at 2x offered load the reject policy sheds requests "
+                 "instead of queueing unboundedly;\nthe block policy would "
+                 "instead backpressure the producer (see EngineOptions)\n";
+  }
   return 0;
 }

@@ -133,11 +133,53 @@ class WeightTensor {
   std::vector<T> data_;
 };
 
+/// Non-owning view over a batch of equally-shaped feature maps — what the
+/// serving API's batched requests carry. The view points at contiguous
+/// Tensor<T> items (e.g. a std::vector's storage) and validates the shared
+/// FmShape once at construction, so downstream code can loop items and hand
+/// each one to the existing single-image kernels unchanged: batching is a
+/// property of the run loop, not of the tensors.
+template <typename T>
+class BatchView {
+ public:
+  BatchView() = default;
+
+  /// View over `items[0..n)`; all items must share one shape and n >= 1.
+  BatchView(const Tensor<T>* items, std::size_t n) : items_(items), n_(n) {
+    FCM_CHECK(n >= 1, "BatchView: batch must hold at least one tensor");
+    for (std::size_t i = 1; i < n; ++i) {
+      FCM_CHECK(items[i].shape() == items[0].shape(),
+                "BatchView: all batch items must share one FmShape");
+    }
+  }
+
+  /// View over a whole vector (the common serving case).
+  explicit BatchView(const std::vector<Tensor<T>>& items)
+      : BatchView(items.data(), items.size()) {}
+
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  const Tensor<T>& operator[](std::size_t i) const { return items_[i]; }
+
+  /// The shape every item shares.
+  const FmShape& shape() const { return items_[0].shape(); }
+
+  const Tensor<T>* begin() const noexcept { return items_; }
+  const Tensor<T>* end() const noexcept { return items_ + n_; }
+
+ private:
+  const Tensor<T>* items_ = nullptr;
+  std::size_t n_ = 0;
+};
+
 using TensorF = Tensor<float>;
 using TensorI8 = Tensor<std::int8_t>;
 using TensorI32 = Tensor<std::int32_t>;
 using WeightsF = WeightTensor<float>;
 using WeightsI8 = WeightTensor<std::int8_t>;
+using BatchViewF = BatchView<float>;
+using BatchViewI8 = BatchView<std::int8_t>;
 
 /// Largest absolute element-wise difference between two float tensors of the
 /// same shape; used by tests to compare kernels against the reference.

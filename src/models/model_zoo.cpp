@@ -21,6 +21,7 @@ ModelGraph model_by_name(const std::string& name) {
   if (name == "CeiT") return ceit();
   if (name == "CMT") return cmt();
   if (name == "EffNet_B0") return efficientnet_b0();
+  if (name == "Tiny") return tiny();
   throw Error("unknown model: " + name);
 }
 

@@ -44,6 +44,11 @@ ModelGraph cmt();
 /// modules are fusion boundaries).
 ModelGraph efficientnet_b0();
 
+/// "Tiny": compact DW/PW-only stack (no standard-conv stem) used by serving
+/// tests, CI smokes and load sweeps — the one zoo model the INT8 functional
+/// path can execute end to end. Not part of all_models().
+ModelGraph tiny();
+
 /// All six paper models, paper order.
 std::vector<ModelGraph> all_models();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.hpp"
+#include "gpusim/l2_model.hpp"
 #include "kernels/conv_ref.hpp"
 #include "kernels/fcm_pwdwpw.hpp"
 #include "kernels/kernel_registry.hpp"
@@ -45,7 +46,7 @@ ModelReport evaluate_tvm(const gpusim::DeviceSpec& dev,
 }
 
 ModelRunner::ModelRunner(gpusim::DeviceSpec dev, ModelGraph model,
-                         std::uint64_t seed)
+                         std::uint64_t seed, std::optional<QuantParams> quant)
     : dev_(std::move(dev)), model_(std::move(model)) {
   model_.validate();
   const int n = model_.num_layers();
@@ -74,7 +75,7 @@ ModelRunner::ModelRunner(gpusim::DeviceSpec dev, ModelGraph model,
     q.in_scale = 0.1f;
     q.w_scale = 0.02f;
     q.out_scale = 0.1f;
-    quant_[i] = q;
+    quant_[i] = quant.value_or(q);
   });
 }
 
@@ -111,138 +112,186 @@ void handle_residuals(const ModelGraph& model, int layer, Tensor<T>& out,
 
 }  // namespace
 
-TensorF ModelRunner::run_f32(const planner::Plan& plan, const TensorF& input,
-                             ModelReport* report) const {
-  FCM_CHECK(input.shape() == model_.layers.front().ifm_shape(),
-            "run_f32: input shape mismatch");
-  TensorF cur = input;
-  std::vector<std::optional<TensorF>> saved(
-      static_cast<std::size_t>(model_.num_layers()));
+template <typename T>
+std::vector<Tensor<T>> ModelRunner::run_batch_impl(const planner::Plan& plan,
+                                                   const BatchView<T>& inputs,
+                                                   ModelReport* report) const {
+  constexpr bool kIsF32 = std::is_same_v<T, float>;
+  const char* const who = kIsF32 ? "run_f32" : "run_i8";
+  FCM_CHECK(!inputs.empty(), std::string(who) + ": empty batch");
+  FCM_CHECK(inputs.shape() == model_.layers.front().ifm_shape(),
+            std::string(who) + ": input shape mismatch");
+
+  const std::size_t n = inputs.size();
+  std::vector<Tensor<T>> cur(inputs.begin(), inputs.end());
+  std::vector<std::vector<std::optional<Tensor<T>>>> saved(
+      n, std::vector<std::optional<Tensor<T>>>(
+             static_cast<std::size_t>(model_.num_layers())));
   if (report != nullptr) {
-    report->label = plan.model_name + " on " + dev_.name + " (fp32, functional)";
+    report->label = plan.model_name + " on " + dev_.name +
+                    (kIsF32 ? " (fp32, functional" : " (int8, functional");
+    report->label += n > 1 ? ", batch=" + std::to_string(n) + ")" : ")";
     report->steps.clear();
   }
+
+  // Per-layer weight/epilogue selection shared by every step shape below.
+  const auto& weights = [this]() -> const auto& {
+    if constexpr (kIsF32) {
+      return weights_f_;
+    } else {
+      return weights_i8_;
+    }
+  }();
+  auto epilogue = [this](int layer) {
+    const auto l = static_cast<std::size_t>(layer);
+    const ActKind act = model_.layers[l].act;
+    if constexpr (kIsF32) {
+      return EpilogueF32(bn_[l], act);
+    } else {
+      return EpilogueI8(bn_[l], act, quant_[l]);
+    }
+  };
+  auto weight_bytes = [&weights](int layer) {
+    return static_cast<std::int64_t>(
+               weights[static_cast<std::size_t>(layer)].size()) *
+           static_cast<std::int64_t>(sizeof(T));
+  };
 
   for (const auto& s : plan.steps) {
     const int i = s.layer;
     const LayerSpec& a = model_.layers[static_cast<std::size_t>(i)];
-    gpusim::KernelStats st;
+    if constexpr (!kIsF32) {
+      FCM_CHECK(a.kind != ConvKind::kStandard,
+                "run_i8: INT8 standard conv unsupported");
+    }
+    // The plan step — layer specs, weights, epilogues, tilings — is resolved
+    // once here and reused across every batch item; only the feature maps
+    // change inside the item loop.
+    std::string name;
+    gpusim::KernelStats step_stats;
+    std::int64_t step_weight_bytes = 0;
     if (s.fused && s.layer3 >= 0) {
       const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
       const LayerSpec& c = model_.layers[static_cast<std::size_t>(s.layer3)];
-      EpilogueF32 ep1(bn_[static_cast<std::size_t>(i)], a.act);
-      EpilogueF32 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act);
-      EpilogueF32 ep3(bn_[static_cast<std::size_t>(s.layer3)], c.act);
-      TensorF ofm(c.ofm_shape());
-      st = run_pwdwpw_f32(dev_, a, b, c, cur,
-                          weights_f_[static_cast<std::size_t>(i)],
-                          weights_f_[static_cast<std::size_t>(s.layer2)],
-                          weights_f_[static_cast<std::size_t>(s.layer3)], ep1,
-                          ep2, ep3, ofm, s.fcm_tiling);
-      cur = std::move(ofm);
-      handle_residuals(model_, s.layer3, cur, saved);
-      if (report != nullptr) {
-        report->steps.push_back(evaluate_step(dev_, "PWDWPW/" + a.name, st));
+      const auto ep1 = epilogue(i);
+      const auto ep2 = epilogue(s.layer2);
+      const auto ep3 = epilogue(s.layer3);
+      name = "PWDWPW/" + a.name;
+      step_weight_bytes =
+          weight_bytes(i) + weight_bytes(s.layer2) + weight_bytes(s.layer3);
+      for (std::size_t item = 0; item < n; ++item) {
+        Tensor<T> ofm(c.ofm_shape());
+        gpusim::KernelStats st;
+        if constexpr (kIsF32) {
+          st = run_pwdwpw_f32(dev_, a, b, c, cur[item],
+                              weights[static_cast<std::size_t>(i)],
+                              weights[static_cast<std::size_t>(s.layer2)],
+                              weights[static_cast<std::size_t>(s.layer3)], ep1,
+                              ep2, ep3, ofm, s.fcm_tiling);
+        } else {
+          st = run_pwdwpw_i8(dev_, a, b, c, cur[item],
+                             weights[static_cast<std::size_t>(i)],
+                             weights[static_cast<std::size_t>(s.layer2)],
+                             weights[static_cast<std::size_t>(s.layer3)], ep1,
+                             ep2, ep3, ofm, s.fcm_tiling);
+        }
+        step_stats += st;
+        cur[item] = std::move(ofm);
+        handle_residuals(model_, s.layer3, cur[item], saved[item]);
       }
     } else if (s.fused) {
       const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
-      EpilogueF32 ep1(bn_[static_cast<std::size_t>(i)], a.act);
-      EpilogueF32 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act);
-      TensorF ofm(b.ofm_shape());
-      st = run_fcm_f32(dev_, s.fcm_kind, a, b, cur,
-                       weights_f_[static_cast<std::size_t>(i)],
-                       weights_f_[static_cast<std::size_t>(s.layer2)], ep1, ep2,
-                       ofm, s.fcm_tiling);
-      cur = std::move(ofm);
-      handle_residuals(model_, s.layer2, cur, saved);
-      if (report != nullptr) {
-        report->steps.push_back(evaluate_step(
-            dev_, std::string(fcm_kind_name(s.fcm_kind)) + "/" + a.name, st));
+      const auto ep1 = epilogue(i);
+      const auto ep2 = epilogue(s.layer2);
+      name = std::string(fcm_kind_name(s.fcm_kind)) + "/" + a.name;
+      step_weight_bytes = weight_bytes(i) + weight_bytes(s.layer2);
+      for (std::size_t item = 0; item < n; ++item) {
+        Tensor<T> ofm(b.ofm_shape());
+        gpusim::KernelStats st;
+        if constexpr (kIsF32) {
+          st = run_fcm_f32(dev_, s.fcm_kind, a, b, cur[item],
+                           weights[static_cast<std::size_t>(i)],
+                           weights[static_cast<std::size_t>(s.layer2)], ep1,
+                           ep2, ofm, s.fcm_tiling);
+        } else {
+          st = run_fcm_i8(dev_, s.fcm_kind, a, b, cur[item],
+                          weights[static_cast<std::size_t>(i)],
+                          weights[static_cast<std::size_t>(s.layer2)], ep1, ep2,
+                          ofm, s.fcm_tiling);
+        }
+        step_stats += st;
+        cur[item] = std::move(ofm);
+        handle_residuals(model_, s.layer2, cur[item], saved[item]);
       }
     } else {
-      EpilogueF32 ep(bn_[static_cast<std::size_t>(i)], a.act);
-      TensorF ofm(a.ofm_shape());
-      st = run_lbl_f32(dev_, a, cur, weights_f_[static_cast<std::size_t>(i)],
-                       ep, ofm, s.lbl_tiling);
-      cur = std::move(ofm);
-      handle_residuals(model_, i, cur, saved);
-      if (report != nullptr) {
-        report->steps.push_back(evaluate_step(dev_, "LBL/" + a.name, st));
+      const auto ep = epilogue(i);
+      name = "LBL/" + a.name;
+      step_weight_bytes = weight_bytes(i);
+      for (std::size_t item = 0; item < n; ++item) {
+        Tensor<T> ofm(a.ofm_shape());
+        gpusim::KernelStats st;
+        if constexpr (kIsF32) {
+          st = run_lbl_f32(dev_, a, cur[item],
+                           weights[static_cast<std::size_t>(i)], ep, ofm,
+                           s.lbl_tiling);
+        } else {
+          st = run_lbl_i8(dev_, a, cur[item],
+                          weights[static_cast<std::size_t>(i)], ep, ofm,
+                          s.lbl_tiling);
+        }
+        step_stats += st;
+        cur[item] = std::move(ofm);
+        handle_residuals(model_, i, cur[item], saved[item]);
       }
+    }
+    // Batching's cost-model reuse term: the batch executes a step's kernel
+    // back to back with unchanged weights, so when the step's weight
+    // footprint fits the device's L2 share, items 2..n read weights from L2
+    // and only item 1 touches DRAM (the same first-fetch-only accounting as
+    // gpusim::apply_l2, restricted to the cross-item reloads — within each
+    // item the paper's per-kernel accounting is kept, and a batch of one is
+    // bit-identical to the unbatched report).
+    if (n > 1 && step_weight_bytes > 0) {
+      const gpusim::L2Params l2{};
+      const auto budget = static_cast<std::int64_t>(
+          static_cast<double>(dev_.l2_bytes) * l2.l2_share);
+      if (step_weight_bytes <= budget) {
+        const std::int64_t per_item_w =
+            step_stats.weight_load_bytes / static_cast<std::int64_t>(n);
+        const std::int64_t absorbed = step_stats.weight_load_bytes - per_item_w;
+        step_stats.weight_load_bytes = per_item_w;
+        step_stats.global_load_bytes -= absorbed;
+      }
+    }
+    if (report != nullptr) {
+      report->steps.push_back(evaluate_step(dev_, std::move(name), step_stats));
     }
   }
   return cur;
 }
 
+TensorF ModelRunner::run_f32(const planner::Plan& plan, const TensorF& input,
+                             ModelReport* report) const {
+  auto out = run_batch_impl<float>(plan, BatchViewF(&input, 1), report);
+  return std::move(out.front());
+}
+
 TensorI8 ModelRunner::run_i8(const planner::Plan& plan, const TensorI8& input,
                              ModelReport* report) const {
-  FCM_CHECK(input.shape() == model_.layers.front().ifm_shape(),
-            "run_i8: input shape mismatch");
-  TensorI8 cur = input;
-  std::vector<std::optional<TensorI8>> saved(
-      static_cast<std::size_t>(model_.num_layers()));
-  if (report != nullptr) {
-    report->label = plan.model_name + " on " + dev_.name + " (int8, functional)";
-    report->steps.clear();
-  }
+  auto out = run_batch_impl<std::int8_t>(plan, BatchViewI8(&input, 1), report);
+  return std::move(out.front());
+}
 
-  for (const auto& s : plan.steps) {
-    const int i = s.layer;
-    const LayerSpec& a = model_.layers[static_cast<std::size_t>(i)];
-    FCM_CHECK(a.kind != ConvKind::kStandard,
-              "run_i8: INT8 standard conv unsupported");
-    gpusim::KernelStats st;
-    if (s.fused && s.layer3 >= 0) {
-      const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
-      const LayerSpec& c = model_.layers[static_cast<std::size_t>(s.layer3)];
-      EpilogueI8 ep1(bn_[static_cast<std::size_t>(i)], a.act,
-                     quant_[static_cast<std::size_t>(i)]);
-      EpilogueI8 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act,
-                     quant_[static_cast<std::size_t>(s.layer2)]);
-      EpilogueI8 ep3(bn_[static_cast<std::size_t>(s.layer3)], c.act,
-                     quant_[static_cast<std::size_t>(s.layer3)]);
-      TensorI8 ofm(c.ofm_shape());
-      st = run_pwdwpw_i8(dev_, a, b, c, cur,
-                         weights_i8_[static_cast<std::size_t>(i)],
-                         weights_i8_[static_cast<std::size_t>(s.layer2)],
-                         weights_i8_[static_cast<std::size_t>(s.layer3)], ep1,
-                         ep2, ep3, ofm, s.fcm_tiling);
-      cur = std::move(ofm);
-      handle_residuals(model_, s.layer3, cur, saved);
-      if (report != nullptr) {
-        report->steps.push_back(evaluate_step(dev_, "PWDWPW/" + a.name, st));
-      }
-    } else if (s.fused) {
-      const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
-      EpilogueI8 ep1(bn_[static_cast<std::size_t>(i)], a.act,
-                     quant_[static_cast<std::size_t>(i)]);
-      EpilogueI8 ep2(bn_[static_cast<std::size_t>(s.layer2)], b.act,
-                     quant_[static_cast<std::size_t>(s.layer2)]);
-      TensorI8 ofm(b.ofm_shape());
-      st = run_fcm_i8(dev_, s.fcm_kind, a, b, cur,
-                      weights_i8_[static_cast<std::size_t>(i)],
-                      weights_i8_[static_cast<std::size_t>(s.layer2)], ep1, ep2,
-                      ofm, s.fcm_tiling);
-      cur = std::move(ofm);
-      handle_residuals(model_, s.layer2, cur, saved);
-      if (report != nullptr) {
-        report->steps.push_back(evaluate_step(
-            dev_, std::string(fcm_kind_name(s.fcm_kind)) + "/" + a.name, st));
-      }
-    } else {
-      EpilogueI8 ep(bn_[static_cast<std::size_t>(i)], a.act,
-                    quant_[static_cast<std::size_t>(i)]);
-      TensorI8 ofm(a.ofm_shape());
-      st = run_lbl_i8(dev_, a, cur, weights_i8_[static_cast<std::size_t>(i)],
-                      ep, ofm, s.lbl_tiling);
-      cur = std::move(ofm);
-      handle_residuals(model_, i, cur, saved);
-      if (report != nullptr) {
-        report->steps.push_back(evaluate_step(dev_, "LBL/" + a.name, st));
-      }
-    }
-  }
-  return cur;
+std::vector<TensorF> ModelRunner::run_f32_batch(const planner::Plan& plan,
+                                                const BatchViewF& inputs,
+                                                ModelReport* report) const {
+  return run_batch_impl<float>(plan, inputs, report);
+}
+
+std::vector<TensorI8> ModelRunner::run_i8_batch(const planner::Plan& plan,
+                                                const BatchViewI8& inputs,
+                                                ModelReport* report) const {
+  return run_batch_impl<std::int8_t>(plan, inputs, report);
 }
 
 TensorF ModelRunner::run_reference_f32(const TensorF& input) const {

@@ -34,7 +34,11 @@ ModelReport evaluate_tvm(const gpusim::DeviceSpec& dev,
 class ModelRunner {
  public:
   /// Materialise deterministic random weights/norm parameters for `model`.
-  ModelRunner(gpusim::DeviceSpec dev, ModelGraph model, std::uint64_t seed);
+  /// `quant` overrides the per-layer INT8 quantisation parameters uniformly
+  /// when set (serving requests carry per-model quant params); the default
+  /// keeps the library-wide 0.1/0.02/0.1 symmetric scales.
+  ModelRunner(gpusim::DeviceSpec dev, ModelGraph model, std::uint64_t seed,
+              std::optional<QuantParams> quant = std::nullopt);
 
   const ModelGraph& model() const { return model_; }
 
@@ -49,6 +53,19 @@ class ModelRunner {
   TensorI8 run_i8(const planner::Plan& plan, const TensorI8& input,
                   ModelReport* report = nullptr) const;
 
+  /// Execute `plan` once per batch item, reusing the plan (and the per-step
+  /// epilogues) across the whole batch. Outputs are bit-identical to running
+  /// each item through run_f32/run_i8 on its own — batching changes the run
+  /// loop, never the numerics. `report` (when non-null) holds one step per
+  /// plan step with kernel stats summed over the batch items, so its totals
+  /// are the whole batch's simulated time and traffic.
+  std::vector<TensorF> run_f32_batch(const planner::Plan& plan,
+                                     const BatchViewF& inputs,
+                                     ModelReport* report = nullptr) const;
+  std::vector<TensorI8> run_i8_batch(const planner::Plan& plan,
+                                     const BatchViewI8& inputs,
+                                     ModelReport* report = nullptr) const;
+
   /// Naive reference output (layer-by-layer conv_ref) for validation.
   TensorF run_reference_f32(const TensorF& input) const;
   TensorI8 run_reference_i8(const TensorI8& input) const;
@@ -57,6 +74,13 @@ class ModelRunner {
   const QuantParams& quant(int layer) const { return quant_[static_cast<std::size_t>(layer)]; }
 
  private:
+  /// The one run loop behind every functional entry point: step-outer,
+  /// item-inner, dtype selected by T (float or std::int8_t).
+  template <typename T>
+  std::vector<Tensor<T>> run_batch_impl(const planner::Plan& plan,
+                                        const BatchView<T>& inputs,
+                                        ModelReport* report) const;
+
   gpusim::DeviceSpec dev_;
   ModelGraph model_;
   std::vector<WeightsF> weights_f_;

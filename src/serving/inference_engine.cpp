@@ -1,119 +1,450 @@
 #include "serving/inference_engine.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <thread>
+#include <utility>
+
 #include "common/clock.hpp"
 #include "common/random.hpp"
-#include "common/thread_pool.hpp"
 #include "models/model_zoo.hpp"
 
 namespace fcm::serving {
 
+const char* admission_policy_name(AdmissionPolicy p) {
+  return p == AdmissionPolicy::kBlock ? "block" : "reject";
+}
+
+const char* serve_status_name(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kExpired: return "expired";
+  }
+  return "?";
+}
+
+ServeRequest ServeRequest::f32(std::string model, std::vector<TensorF> batch) {
+  ServeRequest r;
+  r.model = std::move(model);
+  r.dtype = DType::kF32;
+  r.batch_f32 = std::move(batch);
+  return r;
+}
+
+ServeRequest ServeRequest::i8(std::string model, std::vector<TensorI8> batch,
+                              std::optional<QuantParams> quant) {
+  ServeRequest r;
+  r.model = std::move(model);
+  r.dtype = DType::kI8;
+  r.batch_i8 = std::move(batch);
+  r.quant = quant;
+  return r;
+}
+
 InferenceEngine::InferenceEngine(gpusim::DeviceSpec dev, EngineOptions opt)
     : dev_(std::move(dev)),
       opt_(std::move(opt)),
-      cache_(opt_.plan_cache_capacity, opt_.cache_dir) {}
+      cache_(opt_.plan_cache_capacity, opt_.cache_dir) {
+  FCM_CHECK(opt_.queue_depth >= 1, "EngineOptions::queue_depth must be >= 1");
+}
 
-std::shared_ptr<const runtime::ModelRunner> InferenceEngine::runner(
-    const std::string& model_name) {
+InferenceEngine::~InferenceEngine() {
+  {
+    std::unique_lock<std::mutex> lk(qmu_);
+    stopping_ = true;
+    q_not_empty_.notify_all();
+    q_not_full_.notify_all();
+    // Producers parked in submit_async (kBlock backpressure) wake, resolve
+    // their futures as kRejected and leave; only then is it safe to tear the
+    // queue state down. Threads *entering* submit_async concurrently with
+    // destruction remain the caller's responsibility, as for any member.
+    q_producers_done_.wait(lk, [this] { return producers_ == 0; });
+  }
+  for (auto& w : workers_) w.join();
+}
+
+namespace {
+
+/// Runner-pool key: the model name, plus a bit-exact rendering of the quant
+/// override when present — requests differing in any scale bit must not
+/// share a runner.
+std::string runner_key(const std::string& model,
+                       const std::optional<QuantParams>& quant) {
+  if (!quant.has_value()) return model;
+  auto bits = [](float f) {
+    return std::to_string(std::bit_cast<std::uint32_t>(f));
+  };
+  return model + "|q:" + bits(quant->in_scale) + "," + bits(quant->w_scale) +
+         "," + bits(quant->out_scale);
+}
+
+}  // namespace
+
+std::shared_ptr<const runtime::ModelRunner> InferenceEngine::runner_keyed(
+    const std::string& model_name, const std::optional<QuantParams>& quant) {
+  const std::string key = runner_key(model_name, quant);
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    auto it = runners_.find(model_name);
+    auto it = runners_.find(key);
     if (it == runners_.end()) break;  // this thread becomes the builder
     if (it->second.ready) return it->second.runner;
     cv_.wait(lk);  // another thread is materialising the weights
   }
-  runners_.emplace(model_name, RunnerSlot{});
+  runners_.emplace(key, RunnerSlot{});
   lk.unlock();
 
   std::shared_ptr<const runtime::ModelRunner> built;
   try {
     built = std::make_shared<const runtime::ModelRunner>(
-        dev_, models::model_by_name(model_name), opt_.seed);
+        dev_, models::model_by_name(model_name), opt_.seed, quant);
   } catch (...) {
     // Unknown model or invalid graph: free the slot so a later (corrected)
     // request does not wait forever on a builder that gave up.
     lk.lock();
-    runners_.erase(model_name);
+    runners_.erase(key);
     cv_.notify_all();
     throw;
   }
 
   lk.lock();
-  RunnerSlot& slot = runners_[model_name];
+  RunnerSlot& slot = runners_[key];
   slot.runner = built;
   slot.ready = true;
   cv_.notify_all();
   return built;
 }
 
-std::shared_ptr<const planner::Plan> InferenceEngine::plan_for(
+std::shared_ptr<const runtime::ModelRunner> InferenceEngine::runner(
     const std::string& model_name) {
+  return runner_keyed(model_name, std::nullopt);
+}
+
+std::shared_ptr<const planner::Plan> InferenceEngine::plan_for(
+    const std::string& model_name, DType dtype) {
   // Plan against the bare graph — plan-only flows (fcmserve --plan-only,
   // cache warm-up) must not pay runner weight materialisation.
-  return cache_.get_or_plan(dev_, models::model_by_name(model_name),
-                            DType::kF32, opt_.plan_options);
+  return cache_.get_or_plan(dev_, models::model_by_name(model_name), dtype,
+                            opt_.plan_options);
+}
+
+ServeResponse InferenceEngine::make_response_stub(const ServeRequest& req,
+                                                  ServeStatus status) {
+  ServeResponse resp;
+  resp.status = status;
+  resp.model = req.model;
+  resp.dtype = req.dtype;
+  resp.batch = req.batch();
+  return resp;
+}
+
+ServeResponse InferenceEngine::submit(const ServeRequest& req) {
+  FCM_CHECK(req.batch() >= 1, "ServeRequest: empty batch");
+  FCM_CHECK(req.dtype == DType::kF32 ? req.batch_i8.empty()
+                                     : req.batch_f32.empty(),
+            "ServeRequest: batch dtype does not match the dtype tag");
+  const auto t0 = steady_now();
+  const auto r = runner_keyed(req.model, req.dtype == DType::kI8
+                                             ? req.quant
+                                             : std::nullopt);
+  const auto plan =
+      cache_.get_or_plan(dev_, r->model(), req.dtype, opt_.plan_options);
+
+  runtime::ModelReport report;
+  ServeResponse resp = make_response_stub(req, ServeStatus::kOk);
+  if (req.dtype == DType::kF32) {
+    resp.outputs_f32 =
+        r->run_f32_batch(*plan, BatchViewF(req.batch_f32), &report);
+  } else {
+    resp.outputs_i8 = r->run_i8_batch(*plan, BatchViewI8(req.batch_i8), &report);
+  }
+  resp.sim_time_s = report.total_time_s();
+  resp.gma_bytes = report.total_gma_bytes();
+  resp.latency_s = seconds_since(t0);
+  return resp;
 }
 
 InferenceEngine::Result InferenceEngine::submit(const std::string& model_name,
                                                 const TensorF& input) {
-  const auto t0 = steady_now();
-  const auto r = runner(model_name);
-  const auto plan =
-      cache_.get_or_plan(dev_, r->model(), DType::kF32, opt_.plan_options);
-
-  runtime::ModelReport report;
+  ServeRequest req = ServeRequest::f32(model_name, {});
+  req.batch_f32.push_back(input);
+  ServeResponse resp = submit(req);
   Result res;
-  res.output = r->run_f32(*plan, input, &report);
-  res.sim_time_s = report.total_time_s();
-  res.gma_bytes = report.total_gma_bytes();
-  res.latency_s = seconds_since(t0);
+  res.output = std::move(resp.outputs_f32.front());
+  res.latency_s = resp.latency_s;
+  res.sim_time_s = resp.sim_time_s;
+  res.gma_bytes = resp.gma_bytes;
   return res;
 }
 
-ServingReport InferenceEngine::replay(const std::vector<Request>& mix) {
-  struct Sample {
+void InferenceEngine::ensure_workers() {
+  std::lock_guard<std::mutex> lk(qmu_);
+  if (!workers_.empty() || stopping_) return;
+  unsigned n = opt_.queue_workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::future<ServeResponse> InferenceEngine::submit_async(ServeRequest req) {
+  ensure_workers();
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> fut = promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(qmu_);
+    ++producers_;
+    const auto leave = [this] {
+      // Last producer out wakes a destructor waiting to tear the queue down.
+      --producers_;
+      if (producers_ == 0 && stopping_) q_producers_done_.notify_all();
+    };
+    const auto reject_now = [&] {
+      ++qstats_.rejected;
+      promise.set_value(make_response_stub(req, ServeStatus::kRejected));
+      leave();
+    };
+    if (stopping_) {
+      // A shutting-down engine has no workers left to resolve the future —
+      // reject instead of enqueueing a request no one will ever pop.
+      reject_now();
+      return fut;
+    }
+    if (queue_.size() >= opt_.queue_depth) {
+      if (opt_.policy == AdmissionPolicy::kReject) {
+        reject_now();
+        return fut;
+      }
+      ++qstats_.blocked;
+      q_not_full_.wait(lk, [this] {
+        return queue_.size() < opt_.queue_depth || stopping_;
+      });
+      if (stopping_) {
+        reject_now();
+        return fut;
+      }
+    }
+    ++qstats_.accepted;
+    queue_.push_back(QueueItem{std::move(req), std::move(promise),
+                               std::chrono::steady_clock::now()});
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    qstats_.max_depth = std::max(qstats_.max_depth, depth);
+    depth_watermark_ = std::max(depth_watermark_, depth);
+    leave();
+  }
+  q_not_empty_.notify_one();
+  return fut;
+}
+
+void InferenceEngine::worker_loop() {
+  for (;;) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lk(qmu_);
+      q_not_empty_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to drain
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      if (stopping_) {
+        // Shutdown drains the backlog as rejected rather than executing it
+        // (accepted stays monotonic; see the QueueStats contract).
+        ++qstats_.rejected;
+        item.promise.set_value(
+            make_response_stub(item.req, ServeStatus::kRejected));
+        continue;
+      }
+    }
+    q_not_full_.notify_one();
+
+    const double wait_s = seconds_since(item.enqueued);
+    if (item.req.deadline_s > 0.0 && wait_s > item.req.deadline_s) {
+      {
+        std::lock_guard<std::mutex> lk(qmu_);
+        ++qstats_.expired;
+      }
+      ServeResponse resp = make_response_stub(item.req, ServeStatus::kExpired);
+      resp.queue_wait_s = wait_s;
+      resp.latency_s = wait_s;
+      item.promise.set_value(std::move(resp));
+      continue;
+    }
+
+    try {
+      ServeResponse resp = submit(item.req);
+      if (item.req.discard_outputs) {
+        resp.outputs_f32.clear();
+        resp.outputs_i8.clear();
+      }
+      resp.queue_wait_s = wait_s;
+      resp.latency_s += wait_s;
+      {
+        std::lock_guard<std::mutex> lk(qmu_);
+        ++qstats_.completed;
+      }
+      item.promise.set_value(std::move(resp));
+    } catch (...) {
+      item.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+QueueStats InferenceEngine::queue_stats() const {
+  std::lock_guard<std::mutex> lk(qmu_);
+  return qstats_;
+}
+
+ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
+                                      double offered_rps) {
+  // Input shapes are resolved once per distinct model (a mix is typically
+  // thousands of requests over a handful of models); each request's tensors
+  // are generated just before its submission, so replay's resident set is
+  // bounded by the queue depth + in-flight requests, never by mix.size().
+  std::unordered_map<std::string, FmShape> shapes;
+  for (const Request& q : mix) {
+    FCM_CHECK(q.batch >= 1, "replay: request batch must be >= 1");
+    if (shapes.find(q.model) == shapes.end()) {
+      shapes.emplace(
+          q.model, models::model_by_name(q.model).layers.front().ifm_shape());
+    }
+  }
+  auto materialise = [&shapes](const Request& q) {
+    const FmShape& shape = shapes.at(q.model);
+    ServeRequest r;
+    r.model = q.model;
+    r.dtype = q.dtype;
+    r.discard_outputs = true;  // replay aggregates metrics, never outputs
+    for (int j = 0; j < q.batch; ++j) {
+      const std::uint64_t seed = q.input_seed + static_cast<std::uint64_t>(j);
+      if (q.dtype == DType::kF32) {
+        TensorF in(shape);
+        fill_uniform(in, seed);
+        r.batch_f32.push_back(std::move(in));
+      } else {
+        TensorI8 in(shape);
+        fill_uniform_i8(in, seed);
+        r.batch_i8.push_back(std::move(in));
+      }
+    }
+    return r;
+  };
+
+  const CacheStats cache_before = cache_.stats();
+  const QueueStats queue_before = queue_stats();
+  {
+    // Start this replay's depth watermark at the backlog it inherits.
+    std::lock_guard<std::mutex> lk(qmu_);
+    depth_watermark_ = static_cast<std::int64_t>(queue_.size());
+  }
+
+  // Responses come back output-free (discard_outputs above drops the batch
+  // tensors in the worker), so a resolved-but-unharvested future holds only
+  // scalar stats; the incremental in-order harvest below just keeps the
+  // outcome records current while submission is still running.
+  struct Outcome {
+    ServeStatus status = ServeStatus::kOk;
     double latency_s = 0.0;
     double sim_time_s = 0.0;
     std::int64_t gma_bytes = 0;
   };
-  std::vector<Sample> samples(mix.size());
-  const CacheStats cache_before = cache_.stats();
+  std::vector<std::future<ServeResponse>> futures(mix.size());
+  std::vector<Outcome> outcomes(mix.size());
+  std::size_t submitted = 0, harvested = 0;
+  auto harvest = [&](bool drain_all) {
+    while (harvested < submitted) {
+      auto& f = futures[harvested];
+      if (!drain_all &&
+          f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        break;
+      }
+      const ServeResponse resp = f.get();
+      outcomes[harvested] =
+          Outcome{resp.status, resp.latency_s, resp.sim_time_s, resp.gma_bytes};
+      ++harvested;
+    }
+  };
 
   const auto t0 = steady_now();
-  ThreadPool::global().parallel_for(
-      static_cast<std::int64_t>(mix.size()), [&](std::int64_t idx) {
-        const std::size_t i = static_cast<std::size_t>(idx);
-        const Request& q = mix[i];
-        TensorF input(runner(q.model)->model().layers.front().ifm_shape());
-        fill_uniform(input, q.input_seed);
-        const Result res = submit(q.model, input);
-        samples[i] = Sample{res.latency_s, res.sim_time_s, res.gma_bytes};
-      });
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    // Generate before the pacing wait: the generation cost overlaps the
+    // idle gap instead of skewing the offered inter-arrival times.
+    ServeRequest req = materialise(mix[i]);
+    if (offered_rps > 0.0) {
+      const double due_s = static_cast<double>(i) / offered_rps;
+      while (seconds_since(t0) < due_s) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    futures[i] = submit_async(std::move(req));
+    submitted = i + 1;
+    harvest(false);
+  }
+  harvest(true);
 
   ServingReport report;
   report.device = dev_.name;
   report.wall_s = seconds_since(t0);
   // Counter deltas over this replay only — the engine may have served other
   // traffic (e.g. a warm-up loop) before.
-  const CacheStats after = cache_.stats();
-  report.cache.hits = after.hits - cache_before.hits;
-  report.cache.misses = after.misses - cache_before.misses;
-  report.cache.evictions = after.evictions - cache_before.evictions;
-  report.cache.disk_hits = after.disk_hits - cache_before.disk_hits;
-  report.cache.coalesced = after.coalesced - cache_before.coalesced;
+  const CacheStats cache_after = cache_.stats();
+  report.cache.hits = cache_after.hits - cache_before.hits;
+  report.cache.misses = cache_after.misses - cache_before.misses;
+  report.cache.evictions = cache_after.evictions - cache_before.evictions;
+  report.cache.disk_hits = cache_after.disk_hits - cache_before.disk_hits;
+  report.cache.coalesced = cache_after.coalesced - cache_before.coalesced;
+  report.cache.lock_waits = cache_after.lock_waits - cache_before.lock_waits;
+  const QueueStats queue_after = queue_stats();
+  report.queue.accepted = queue_after.accepted - queue_before.accepted;
+  report.queue.rejected = queue_after.rejected - queue_before.rejected;
+  report.queue.expired = queue_after.expired - queue_before.expired;
+  report.queue.completed = queue_after.completed - queue_before.completed;
+  report.queue.blocked = queue_after.blocked - queue_before.blocked;
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    report.queue.max_depth = depth_watermark_;
+  }
+
   for (std::size_t i = 0; i < mix.size(); ++i) {
+    const Request& q = mix[i];
+    const Outcome& resp = outcomes[i];
+
+    GroupServingStats* group = nullptr;
+    for (auto& g : report.groups) {
+      if (g.dtype == q.dtype && g.batch == q.batch) group = &g;
+    }
+    if (group == nullptr) {
+      report.groups.push_back(GroupServingStats{});
+      group = &report.groups.back();
+      group->dtype = q.dtype;
+      group->batch = q.batch;
+    }
+    if (resp.status == ServeStatus::kRejected) {
+      ++group->rejected;
+      continue;
+    }
+    if (resp.status == ServeStatus::kExpired) {
+      ++group->expired;
+      continue;
+    }
+    ++group->requests;
+    group->items += q.batch;
+    group->latency_s.push_back(resp.latency_s);
+    group->sim_time_s += resp.sim_time_s;
+
     ModelServingStats* stats = nullptr;
     for (auto& m : report.models) {
-      if (m.model == mix[i].model) stats = &m;
+      if (m.model == q.model) stats = &m;
     }
     if (stats == nullptr) {
       report.models.push_back(ModelServingStats{});
       stats = &report.models.back();
-      stats->model = mix[i].model;
+      stats->model = q.model;
     }
     ++stats->requests;
-    stats->latency_s.push_back(samples[i].latency_s);
-    stats->sim_time_s += samples[i].sim_time_s;
-    stats->gma_bytes += samples[i].gma_bytes;
+    stats->items += q.batch;
+    stats->latency_s.push_back(resp.latency_s);
+    stats->sim_time_s += resp.sim_time_s;
+    stats->gma_bytes += resp.gma_bytes;
   }
   return report;
 }

@@ -1,9 +1,19 @@
 #include "serving/plan_cache.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <thread>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 #include "planner/plan_io.hpp"
@@ -28,6 +38,48 @@ std::string sanitize(const std::string& s) {
 
 void hash_combine(std::size_t& seed, std::size_t v) {
   seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Outcome of one lock-file claim attempt. kBusy means another process holds
+/// the lock (the only case worth waiting on); kUnavailable means the
+/// directory cannot host a lock at all (read-only, missing, ENOSPC) — the
+/// caller must plan locally without coordination, because persistence is
+/// best-effort and a broken cache dir must never fail or hang a request.
+enum class LockClaim { kOwner, kBusy, kUnavailable };
+
+/// Atomically claim `path` as this process's planning lock. O_CREAT|O_EXCL
+/// succeeds for exactly one contender — the POSIX primitive behind classic
+/// lock files. On platforms without it every process claims successfully,
+/// degrading to the pre-lock behaviour (duplicate planning, still correct).
+LockClaim claim_lock(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+  return LockClaim::kOwner;
+#else
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd >= 0) {
+    ::close(fd);
+    return LockClaim::kOwner;
+  }
+  return errno == EEXIST ? LockClaim::kBusy : LockClaim::kUnavailable;
+#endif
+}
+
+/// A lock whose mtime is older than this is presumed abandoned (owner
+/// crashed mid-planning) and may be stolen. Far above any real planning
+/// time, so a healthy owner is never robbed.
+constexpr auto kStaleLockAge = std::chrono::seconds(60);
+
+/// Per-process staging suffix: concurrent writers of one plan file (stale
+/// steal, lock-unavailable fallback, platforms without O_EXCL claiming)
+/// must never interleave writes in a shared tmp file. Within one process
+/// the cache single-flights each key, so the pid is discriminator enough.
+std::string tmp_suffix() {
+#if defined(_WIN32)
+  return ".tmp." + std::to_string(_getpid());
+#else
+  return ".tmp." + std::to_string(::getpid());
+#endif
 }
 
 }  // namespace
@@ -62,29 +114,97 @@ std::string PlanCache::file_path(const PlanKey& key) const {
   return (fs::path(cache_dir_) / (key.slug() + ".plan")).string();
 }
 
+std::string PlanCache::lock_path(const PlanKey& key) const {
+  return file_path(key) + ".lock";
+}
+
+std::shared_ptr<const planner::Plan> PlanCache::try_load_disk(
+    const gpusim::DeviceSpec& dev, const ModelGraph& model,
+    const PlanKey& key) {
+  std::ifstream in(file_path(key));
+  if (!in.good()) return nullptr;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    auto plan = planner::deserialize(text.str());
+    FCM_CHECK(plan.model_name == key.model && plan.dtype == key.dtype,
+              "plan cache file does not match its key");
+    planner::reconcile(dev, model, plan);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.disk_hits;
+    }
+    return std::make_shared<const planner::Plan>(std::move(plan));
+  } catch (const Error&) {
+    // Stale or foreign file (model changed, truncated write, wrong dtype):
+    // the caller replans and the store below repairs it.
+    return nullptr;
+  }
+}
+
 std::shared_ptr<const planner::Plan> PlanCache::produce(
     const gpusim::DeviceSpec& dev, const ModelGraph& model, DType dt,
     const PlanKey& key) {
-  if (!cache_dir_.empty()) {
-    std::ifstream in(file_path(key));
-    if (in.good()) {
-      std::ostringstream text;
-      text << in.rdbuf();
-      try {
-        auto plan = planner::deserialize(text.str());
-        FCM_CHECK(plan.model_name == key.model && plan.dtype == key.dtype,
-                  "plan cache file does not match its key");
-        planner::reconcile(dev, model, plan);
-        {
-          std::lock_guard<std::mutex> lk(mu_);
-          ++stats_.disk_hits;
+  const bool persistent = !cache_dir_.empty();
+  bool lock_owner = false;
+  std::string lock;
+  if (persistent) {
+    if (auto plan = try_load_disk(dev, model, key)) return plan;
+
+    // Cross-process dedup: claim <plan>.lock before planning. Losing the
+    // claim means another cold process is already planning this key — wait
+    // for its plan file instead of repeating the tile search. A lock left by
+    // a crashed owner goes stale and is stolen with fs::rename, which is
+    // atomic: exactly one contender's rename succeeds and takes ownership.
+    std::error_code ec;
+    fs::create_directories(cache_dir_, ec);
+    lock = lock_path(key);
+    LockClaim claim = claim_lock(lock);
+    lock_owner = claim == LockClaim::kOwner;
+    if (claim == LockClaim::kBusy) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.lock_waits;
+      }
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (auto plan = try_load_disk(dev, model, key)) return plan;
+        std::error_code sec;
+        if (!fs::exists(lock, sec)) {
+          // Owner released without delivering a loadable plan (e.g. its
+          // write failed): take over. kUnavailable (directory vanished or
+          // turned read-only mid-wait) drops coordination and plans locally.
+          claim = claim_lock(lock);
+          if (claim == LockClaim::kBusy) continue;  // lost the re-claim race
+          lock_owner = claim == LockClaim::kOwner;
+          break;
         }
-        return std::make_shared<const planner::Plan>(std::move(plan));
-      } catch (const Error&) {
-        // Stale or foreign file (model changed, truncated write, wrong
-        // dtype): fall through and replan; the store below repairs it.
+        const auto mtime = fs::last_write_time(lock, sec);
+        if (!sec && fs::file_time_type::clock::now() - mtime > kStaleLockAge) {
+          const std::string aside = lock + ".stale";
+          fs::rename(lock, aside, sec);
+          if (!sec) {
+            fs::remove(aside, sec);
+            claim = claim_lock(lock);
+            if (claim == LockClaim::kBusy) continue;
+            lock_owner = claim == LockClaim::kOwner;
+            break;
+          }
+        }
+      }
+      // The owner may have delivered its plan file between this waiter's
+      // last probe and the successful (re-)claim — load it rather than
+      // repeating the tile search it just waited out.
+      if (auto plan = try_load_disk(dev, model, key)) {
+        if (lock_owner) {
+          std::error_code sec;
+          fs::remove(lock, sec);
+        }
+        return plan;
       }
     }
+    // claim == kUnavailable falls through with lock_owner == false: the
+    // cache directory cannot coordinate processes, so plan without it.
   }
 
   PlanFn fn;
@@ -92,17 +212,24 @@ std::shared_ptr<const planner::Plan> PlanCache::produce(
     std::lock_guard<std::mutex> lk(mu_);
     fn = plan_fn_;
   }
-  auto plan = std::make_shared<const planner::Plan>(
-      fn(dev, model, dt, key.options));
+  std::shared_ptr<const planner::Plan> plan;
+  try {
+    plan = std::make_shared<const planner::Plan>(fn(dev, model, dt, key.options));
+  } catch (...) {
+    if (lock_owner) {
+      std::error_code ec;
+      fs::remove(lock, ec);  // never strand waiters behind a failed planning
+    }
+    throw;
+  }
 
-  if (!cache_dir_.empty()) {
+  if (persistent) {
     // Best-effort persistence: a read-only or full cache directory must not
     // fail the request. Write-then-rename keeps concurrent processes from
     // observing half-written plans.
     std::error_code ec;
-    fs::create_directories(cache_dir_, ec);
     const std::string path = file_path(key);
-    const std::string tmp = path + ".tmp";
+    const std::string tmp = path + tmp_suffix();
     std::ofstream out(tmp);
     bool ok = out.good();
     if (ok) {
@@ -115,6 +242,7 @@ std::shared_ptr<const planner::Plan> PlanCache::produce(
       ok = !ec;
     }
     if (!ok) fs::remove(tmp, ec);  // never leave a partial .tmp behind
+    if (lock_owner) fs::remove(lock, ec);
   }
   return plan;
 }

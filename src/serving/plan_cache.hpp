@@ -7,7 +7,11 @@
 // is bounded by LRU eviction, and a cache directory (via plan_io
 // serialize/deserialize + reconcile) lets a warm cache survive process
 // restarts. Concurrent misses on the same key are single-flighted: one
-// thread plans, the rest wait and share the result.
+// thread plans, the rest wait and share the result. With a cache directory,
+// the single-flight extends across processes: a lock file claimed with
+// O_CREAT|O_EXCL marks the planning owner, other cold processes wait for
+// the owner's plan file instead of planning the same key, and stale locks
+// left by crashed owners are stolen via an atomic rename.
 #pragma once
 
 #include <condition_variable>
@@ -49,13 +53,16 @@ struct PlanKeyHash {
 /// Cache counters. `misses` counts every lookup that had to leave the
 /// in-memory map; of those, `disk_hits` were satisfied by the cache
 /// directory and the rest ran the planner. `coalesced` lookups piggybacked
-/// on another thread's in-flight planning of the same key.
+/// on another thread's in-flight planning of the same key; `lock_waits`
+/// counts misses that found another *process* planning the key (its lock
+/// file present) and waited for its plan file instead of planning too.
 struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
   std::int64_t disk_hits = 0;
   std::int64_t coalesced = 0;
+  std::int64_t lock_waits = 0;
 };
 
 /// Thread-safe LRU cache of FusePlanner plans.
@@ -117,11 +124,17 @@ class PlanCache {
   /// Insert under the lock, evicting LRU tails beyond capacity.
   void insert_locked(const PlanKey& key,
                      std::shared_ptr<const planner::Plan> plan);
-  /// Produce the plan for a key: disk first (when enabled), planner second.
+  /// Produce the plan for a key: disk first (when enabled), planner second
+  /// — deduplicated across processes by a lock file next to the plan file.
   std::shared_ptr<const planner::Plan> produce(const gpusim::DeviceSpec& dev,
                                                const ModelGraph& model,
                                                DType dt, const PlanKey& key);
+  /// Load + reconcile the key's plan file; nullptr when absent or invalid.
+  std::shared_ptr<const planner::Plan> try_load_disk(
+      const gpusim::DeviceSpec& dev, const ModelGraph& model,
+      const PlanKey& key);
   std::string file_path(const PlanKey& key) const;
+  std::string lock_path(const PlanKey& key) const;
 
   const std::size_t capacity_;
   const std::string cache_dir_;

@@ -18,12 +18,20 @@ double percentile(std::vector<double> xs, double p) {
   return xs[rank == 0 ? 0 : rank - 1];
 }
 
-double ModelServingStats::mean_latency_s() const {
-  if (latency_s.empty()) return 0.0;
+namespace {
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
   double sum = 0.0;
-  for (double v : latency_s) sum += v;
-  return sum / static_cast<double>(latency_s.size());
+  for (double v : xs) sum += v;
+  return sum / static_cast<double>(xs.size());
 }
+
+}  // namespace
+
+double ModelServingStats::mean_latency_s() const { return mean_of(latency_s); }
+
+double GroupServingStats::mean_latency_s() const { return mean_of(latency_s); }
 
 int ServingReport::total_requests() const {
   int n = 0;
@@ -31,16 +39,26 @@ int ServingReport::total_requests() const {
   return n;
 }
 
+int ServingReport::total_items() const {
+  int n = 0;
+  for (const auto& m : models) n += m.items;
+  return n;
+}
+
 double ServingReport::throughput_rps() const {
   return wall_s > 0.0 ? total_requests() / wall_s : 0.0;
 }
 
+double ServingReport::throughput_items_per_s() const {
+  return wall_s > 0.0 ? total_items() / wall_s : 0.0;
+}
+
 std::string ServingReport::table() const {
-  Table t({"model", "reqs", "req/s", "mean ms", "p50 ms", "p95 ms", "p99 ms",
-           "sim ms/req", "GMA MB/req"});
+  Table t({"model", "reqs", "items", "req/s", "mean ms", "p50 ms", "p95 ms",
+           "p99 ms", "sim ms/req", "GMA MB/req"});
   for (const auto& m : models) {
     const double n = std::max(1, m.requests);
-    t.add_row({m.model, std::to_string(m.requests),
+    t.add_row({m.model, std::to_string(m.requests), std::to_string(m.items),
                fmt_f(wall_s > 0.0 ? m.requests / wall_s : 0.0, 1),
                fmt_f(m.mean_latency_s() * 1e3, 2), fmt_f(m.p50_s() * 1e3, 2),
                fmt_f(m.p95_s() * 1e3, 2), fmt_f(m.p99_s() * 1e3, 2),
@@ -50,13 +68,35 @@ std::string ServingReport::table() const {
   return t.str();
 }
 
+std::string ServingReport::group_table() const {
+  if (groups.empty()) return {};
+  Table t({"dtype", "batch", "reqs", "items", "rej", "exp", "items/s",
+           "mean ms", "p50 ms", "p95 ms", "sim ms/req"});
+  for (const auto& g : groups) {
+    t.add_row({dtype_name(g.dtype), std::to_string(g.batch),
+               std::to_string(g.requests), std::to_string(g.items),
+               std::to_string(g.rejected), std::to_string(g.expired),
+               fmt_f(wall_s > 0.0 ? g.items / wall_s : 0.0, 1),
+               fmt_f(g.mean_latency_s() * 1e3, 2), fmt_f(g.p50_s() * 1e3, 2),
+               fmt_f(g.p95_s() * 1e3, 2),
+               fmt_f(g.sim_time_s / std::max(1, g.requests) * 1e3, 3)});
+  }
+  return t.str();
+}
+
 std::string ServingReport::summary() const {
   std::ostringstream os;
-  os << total_requests() << " requests on " << device << " in "
-     << fmt_f(wall_s * 1e3, 1) << " ms (" << fmt_f(throughput_rps(), 1)
-     << " req/s); plan cache: " << cache.hits << " hits, " << cache.misses
-     << " misses (" << cache.disk_hits << " from disk), " << cache.evictions
-     << " evictions";
+  os << total_requests() << " requests (" << total_items() << " items) on "
+     << device << " in " << fmt_f(wall_s * 1e3, 1) << " ms ("
+     << fmt_f(throughput_rps(), 1) << " req/s, "
+     << fmt_f(throughput_items_per_s(), 1) << " items/s); plan cache: "
+     << cache.hits << " hits, " << cache.misses << " misses ("
+     << cache.disk_hits << " from disk), " << cache.evictions << " evictions";
+  if (queue.accepted + queue.rejected > 0) {
+    os << "; queue: " << queue.accepted << " accepted, " << queue.rejected
+       << " rejected, " << queue.expired << " expired, " << queue.blocked
+       << " blocked, max depth " << queue.max_depth;
+  }
   return os.str();
 }
 

@@ -1,5 +1,6 @@
 // Aggregated serving metrics: per-model request counts, host latency
-// percentiles, simulated GPU time and traffic (from runtime/report), plus a
+// percentiles, simulated GPU time and traffic (from runtime/report),
+// per-(dtype × batch-size) latency groups, admission-queue counters and a
 // snapshot of the plan-cache counters — the numbers fcmserve and the
 // serving-throughput bench print.
 #pragma once
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
 #include "serving/plan_cache.hpp"
 
 namespace fcm::serving {
@@ -15,10 +17,29 @@ namespace fcm::serving {
 /// Nearest-rank percentile of `xs` (p in [0, 100]); 0 for an empty sample.
 double percentile(std::vector<double> xs, double p);
 
+/// Admission-queue counters of an InferenceEngine (or deltas over one
+/// replay). `accepted` counts enqueues that made it into the bounded queue
+/// (monotonic); of those, `completed` ran and `expired` were dropped at
+/// dequeue because their deadline had already passed. `rejected` counts
+/// requests resolved with ServeStatus::kRejected — turned away at admission
+/// (kReject policy, queue full) or drained unexecuted at engine shutdown.
+/// `blocked` counts enqueues that had to wait for space under the kBlock
+/// policy; `max_depth` is the queue's high-water mark.
+struct QueueStats {
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t expired = 0;
+  std::int64_t completed = 0;
+  std::int64_t blocked = 0;
+  std::int64_t max_depth = 0;
+};
+
 /// Request statistics aggregated for one model.
 struct ModelServingStats {
   std::string model;
   int requests = 0;
+  /// Batch items summed over all requests (== requests for single-image).
+  int items = 0;
   /// Host wall-clock latency of each request, seconds (includes the plan
   /// lookup — the first request of a cold model pays the planning cost).
   std::vector<double> latency_s;
@@ -32,7 +53,28 @@ struct ModelServingStats {
   double p99_s() const { return percentile(latency_s, 99.0); }
 };
 
-/// One replayed request mix, aggregated per model.
+/// Request statistics aggregated for one (dtype, batch size) combination —
+/// the axes the serving API is polymorphic over.
+struct GroupServingStats {
+  DType dtype = DType::kF32;
+  int batch = 1;
+  /// Completed requests and their summed batch items.
+  int requests = 0;
+  int items = 0;
+  /// Requests of this group turned away by admission control / deadlines.
+  int rejected = 0;
+  int expired = 0;
+  /// Latency of each completed request, seconds.
+  std::vector<double> latency_s;
+  double sim_time_s = 0.0;
+
+  double mean_latency_s() const;
+  double p50_s() const { return percentile(latency_s, 50.0); }
+  double p95_s() const { return percentile(latency_s, 95.0); }
+  double p99_s() const { return percentile(latency_s, 99.0); }
+};
+
+/// One replayed request mix, aggregated per model and per (dtype, batch).
 struct ServingReport {
   std::string device;
   /// Host wall-clock time of the whole replay, seconds.
@@ -40,16 +82,27 @@ struct ServingReport {
   /// Plan-cache counter deltas attributable to this replay alone (not the
   /// engine's lifetime totals).
   CacheStats cache;
+  /// Admission-queue counter deltas of this replay.
+  QueueStats queue;
   std::vector<ModelServingStats> models;
+  /// First-appearance order over the mix, like `models`.
+  std::vector<GroupServingStats> groups;
 
   int total_requests() const;
+  /// Batch items completed across all models.
+  int total_items() const;
   /// Aggregate host throughput of the replay, requests/second.
   double throughput_rps() const;
+  /// Aggregate host throughput in batch items (images)/second.
+  double throughput_items_per_s() const;
 
-  /// Per-model table: requests, throughput, mean/p50/p95/p99 latency,
+  /// Per-model table: requests, items, throughput, mean/p50/p95/p99 latency,
   /// simulated GPU time per request.
   std::string table() const;
-  /// One-line roll-up including cache hit/miss counters.
+  /// Per-(dtype × batch) table: requests, items, rejected/expired,
+  /// throughput and latency percentiles. Empty string when no groups.
+  std::string group_table() const;
+  /// One-line roll-up including cache and queue counters.
   std::string summary() const;
 };
 

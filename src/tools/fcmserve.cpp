@@ -10,6 +10,7 @@
 //
 //   fcmserve --device RTX --requests 4
 //   fcmserve --models Mob_v1,Mob_v2 --cache-dir plans/ --threads 8
+//   fcmserve --models Tiny --batch 4 --dtype i8 --queue-depth 8 --policy reject
 //   fcmserve --plan-only --cache-dir plans/     # cold/warm planning table only
 #include <iostream>
 #include <limits>
@@ -37,6 +38,11 @@ void usage() {
       "  --models <csv>               zoo short names, default all seven\n"
       "                               (Mob_v1,Mob_v2,XCe,Prox,CeiT,CMT,EffNet_B0)\n"
       "  --requests <n>               requests per model, default 3\n"
+      "  --batch <n>                  inputs per request, default 1\n"
+      "  --dtype <f32|i8>             request precision, default f32 (i8\n"
+      "                               needs DW/PW-only models, e.g. Tiny)\n"
+      "  --queue-depth <n>            admission queue bound, default 32\n"
+      "  --policy <block|reject>      full-queue behaviour, default block\n"
       "  --threads <n>                worker threads (default: hardware)\n"
       "  --cache-dir <dir>            persistent plan-cache directory\n"
       "  --cache-capacity <n>         plan-cache LRU bound, default 32\n"
@@ -60,11 +66,13 @@ std::vector<std::string> split_csv(const std::string& csv) {
 
 int main(int argc, char** argv) {
   std::string device = "RTX", models_csv, cache_dir;
-  int requests = 3;
+  int requests = 3, batch = 1;
   unsigned threads = 0;
-  std::size_t cache_capacity = 32;
+  std::size_t cache_capacity = 32, queue_depth = 32;
   std::uint64_t seed = 2024;
   bool triple = false, plan_only = false;
+  DType dtype = DType::kF32;
+  serving::AdmissionPolicy policy = serving::AdmissionPolicy::kBlock;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +88,27 @@ int main(int argc, char** argv) {
     else if (arg == "--requests") {
       requests = static_cast<int>(
           cli::parse_u64_or_usage_exit(next(), 1 << 20, usage));
+    } else if (arg == "--batch") {
+      batch = static_cast<int>(
+          cli::parse_u64_or_usage_exit(next(), 1 << 12, usage));
+    } else if (arg == "--dtype") {
+      const std::string v = next();
+      if (v == "f32" || v == "fp32") dtype = DType::kF32;
+      else if (v == "i8" || v == "int8") dtype = DType::kI8;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--queue-depth") {
+      queue_depth = cli::parse_u64_or_usage_exit(next(), 1 << 20, usage);
+    } else if (arg == "--policy") {
+      const std::string v = next();
+      if (v == "block") policy = serving::AdmissionPolicy::kBlock;
+      else if (v == "reject") policy = serving::AdmissionPolicy::kReject;
+      else {
+        usage();
+        return 2;
+      }
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(
           cli::parse_u64_or_usage_exit(next(), 1024, usage));
@@ -97,7 +126,7 @@ int main(int argc, char** argv) {
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
-  if (requests < 1 || cache_capacity < 1) {
+  if (requests < 1 || batch < 1 || cache_capacity < 1 || queue_depth < 1) {
     usage();
     return 2;
   }
@@ -114,33 +143,57 @@ int main(int argc, char** argv) {
     const auto dev = gpusim::device_by_name(device);
     std::vector<std::string> model_names = split_csv(models_csv);
     if (model_names.empty()) {
-      model_names = {"Mob_v1", "Mob_v2", "XCe",      "Prox",
-                     "CeiT",   "CMT",    "EffNet_B0"};
+      // The INT8 functional path needs DW/PW-only models; every paper model
+      // opens with a standard-conv stem, so the i8 default is Tiny.
+      if (dtype == DType::kI8) {
+        model_names = {"Tiny"};
+      } else {
+        model_names = {"Mob_v1", "Mob_v2", "XCe",      "Prox",
+                       "CeiT",   "CMT",    "EffNet_B0"};
+      }
     }
-    for (const auto& name : model_names) models::model_by_name(name);  // validate early
+    for (const auto& name : model_names) {
+      const auto g = models::model_by_name(name);  // validate early
+      if (dtype == DType::kI8 && !plan_only) {
+        for (const auto& l : g.layers) {
+          if (l.kind == ConvKind::kStandard) {
+            std::cerr << "error: --dtype i8 cannot serve " << name
+                      << " (layer " << l.name << " is a standard conv; the "
+                      << "INT8 functional path supports DW/PW only — try "
+                      << "--models Tiny)\n";
+            return 2;
+          }
+        }
+      }
+    }
 
     serving::EngineOptions opt;
     opt.plan_cache_capacity = cache_capacity;
     opt.cache_dir = cache_dir;
     opt.seed = seed;
     opt.plan_options.enable_triple = triple;
+    opt.queue_depth = queue_depth;
+    opt.policy = policy;
+    // --threads bounds serving concurrency too: the admission queue's
+    // request workers, not only the simulator pool.
+    opt.queue_workers = threads;
     serving::InferenceEngine engine(dev, opt);
 
     // --- cold vs warm planning -------------------------------------------
-    std::cout << "== plan cache: cold vs warm (" << dev.name << ", fp32"
-              << (triple ? ", triple" : "") << ") ==\n";
+    std::cout << "== plan cache: cold vs warm (" << dev.name << ", "
+              << dtype_name(dtype) << (triple ? ", triple" : "") << ") ==\n";
     Table t({"model", "cold ms", "warm us", "speedup", "source"});
     for (const auto& name : model_names) {
       const auto before = engine.plan_cache().stats();
       auto t0 = steady_now();
-      const auto plan = engine.plan_for(name);
+      const auto plan = engine.plan_for(name, dtype);
       const double cold_s = seconds_since(t0);
       const auto after = engine.plan_cache().stats();
       const bool from_disk = after.disk_hits > before.disk_hits;
 
       constexpr int kWarmReps = 32;
       t0 = steady_now();
-      for (int r = 0; r < kWarmReps; ++r) engine.plan_for(name);
+      for (int r = 0; r < kWarmReps; ++r) engine.plan_for(name, dtype);
       const double warm_s = seconds_since(t0) / kWarmReps;
 
       t.add_row({name, fmt_f(cold_s * 1e3, 2), fmt_f(warm_s * 1e6, 1),
@@ -155,18 +208,24 @@ int main(int argc, char** argv) {
     }
     if (plan_only) return 0;
 
-    // --- concurrent replay of a synthetic request mix --------------------
+    // --- request mix through the admission queue -------------------------
     std::vector<serving::InferenceEngine::Request> mix;
     for (int r = 0; r < requests; ++r) {
       for (const auto& name : model_names) {
-        mix.push_back({name, seed + static_cast<std::uint64_t>(mix.size())});
+        mix.push_back({name,
+                       seed + static_cast<std::uint64_t>(mix.size()) *
+                                  static_cast<std::uint64_t>(batch),
+                       dtype, batch});
       }
     }
     std::cout << "\n== replaying " << mix.size() << " requests ("
               << model_names.size() << " models x " << requests
-              << ", round-robin) ==\n";
+              << ", round-robin, batch " << batch << ", "
+              << dtype_name(dtype) << ", queue depth " << queue_depth << ", "
+              << serving::admission_policy_name(policy) << ") ==\n";
     const auto report = engine.replay(mix);
-    std::cout << report.table() << report.summary() << "\n";
+    std::cout << report.table() << report.group_table() << report.summary()
+              << "\n";
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -79,6 +79,34 @@ TEST(Tensor, MaxAbsDiffShapeMismatchThrows) {
   EXPECT_THROW(max_abs_diff(a, b), Error);
 }
 
+TEST(BatchView, SharedShapeAndItemAccess) {
+  std::vector<TensorF> items;
+  items.emplace_back(2, 3, 3);
+  items.emplace_back(2, 3, 3);
+  items[1].at(1, 2, 2) = 4.0f;
+  const BatchViewF view(items);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view.shape(), (FmShape{2, 3, 3}));
+  EXPECT_FLOAT_EQ(view[1].at(1, 2, 2), 4.0f);
+  // Range-for iterates the underlying tensors without copying.
+  int n = 0;
+  for (const TensorF& t : view) {
+    EXPECT_EQ(t.shape(), view.shape());
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+TEST(BatchView, RejectsEmptyAndMixedShapeBatches) {
+  std::vector<TensorF> empty;
+  EXPECT_THROW(BatchViewF{empty}, Error);
+  std::vector<TensorF> mixed;
+  mixed.emplace_back(2, 3, 3);
+  mixed.emplace_back(2, 3, 4);
+  EXPECT_THROW(BatchViewF{mixed}, Error);
+}
+
 TEST(Random, DeterministicForSeed) {
   TensorF a(4, 8, 8), b(4, 8, 8);
   fill_uniform(a, 123);

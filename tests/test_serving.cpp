@@ -1,8 +1,10 @@
 // Serving subsystem tests: cache key correctness, LRU eviction, call-count
 // instrumentation (warm lookups never replan and are >= 10x faster than cold
 // planning), single-flight coalescing, persisted-cache reload equivalence,
-// and bit-identity of concurrent InferenceEngine output vs a direct serial
-// ModelRunner::run_f32.
+// cross-process lock-file dedup, bit-identity of concurrent InferenceEngine
+// output vs a direct serial ModelRunner run (FP32 and INT8, single and
+// batched), and the admission queue: submit_async future delivery,
+// reject/block backpressure and queueing deadlines.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -226,6 +228,74 @@ TEST(PlanCache, PersistedCacheReloadsEquivalentPlan) {
   fs::remove_all(dir);
 }
 
+TEST(PlanCache, LockFileMakesColdProcessWaitForOwnersPlan) {
+  const auto dev = gpusim::gtx1660();
+  const auto model = models::tiny();
+  const fs::path dir = fs::temp_directory_path() / "fcm_test_plan_lock_wait";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const PlanKey key{model.name, dev.name, DType::kF32, {}};
+  const fs::path lock = dir / (key.slug() + ".plan.lock");
+  const fs::path plan_file = dir / (key.slug() + ".plan");
+
+  // Simulate another cold process that claimed the key first…
+  std::ofstream(lock) << "pid 12345";
+  // …and delivers its plan file (write + rename, like PlanCache does) a
+  // little later, then releases the lock.
+  const std::string plan_text =
+      planner::serialize(planner::plan_model(dev, model, DType::kF32));
+  std::thread owner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    std::ofstream(plan_file) << plan_text;
+    fs::remove(lock);
+  });
+
+  std::atomic<int> calls{0};
+  PlanCache cache(4, dir.string());
+  cache.set_plan_fn(counting_stub(calls));
+  const auto plan = cache.get_or_plan(dev, model, DType::kF32);
+  owner.join();
+
+  // This "process" never planned: it waited on the lock and loaded the
+  // owner's file.
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(planner::serialize(*plan), plan_text);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.disk_hits, 1);
+  EXPECT_EQ(st.lock_waits, 1);
+  fs::remove_all(dir);
+}
+
+TEST(PlanCache, StaleLockIsStolenAndKeyReplanned) {
+  const auto dev = gpusim::gtx1660();
+  const auto model = named_graph("Stale");
+  const fs::path dir = fs::temp_directory_path() / "fcm_test_plan_lock_stale";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const PlanKey key{model.name, dev.name, DType::kF32, {}};
+  const fs::path lock = dir / (key.slug() + ".plan.lock");
+
+  // A crashed owner's lock: present but minutes old.
+  std::ofstream(lock) << "pid 999";
+  fs::last_write_time(lock,
+                      fs::file_time_type::clock::now() - std::chrono::minutes(5));
+
+  std::atomic<int> calls{0};
+  PlanCache cache(4, dir.string());
+  cache.set_plan_fn(counting_stub(calls));
+  const auto plan = cache.get_or_plan(dev, model, DType::kF32);
+  EXPECT_EQ(plan->model_name, "Stale");
+  // The stale lock was stolen, the key planned locally exactly once, and
+  // both the lock and its rename-aside are gone afterwards.
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(cache.stats().lock_waits, 1);
+  EXPECT_FALSE(fs::exists(lock));
+  EXPECT_FALSE(fs::exists(lock.string() + ".stale"));
+  EXPECT_TRUE(fs::exists(dir / (key.slug() + ".plan")));
+  fs::remove_all(dir);
+}
+
 TEST(ServingReport, PercentilesAndAggregates) {
   EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
   EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
@@ -319,6 +389,292 @@ TEST(InferenceEngine, UnknownModelThrowsAndEngineStaysUsable) {
   EXPECT_THROW(engine.submit("NoSuchNet", input), Error);
   // The failed build released its slot; a valid request still works.
   EXPECT_NO_THROW(engine.plan_for("Mob_v1"));
+}
+
+/// `n` deterministic Tiny-shaped FP32 inputs seeded from `seed0`.
+std::vector<TensorF> tiny_batch_f32(int n, std::uint64_t seed0) {
+  const FmShape shape = models::tiny().layers.front().ifm_shape();
+  std::vector<TensorF> batch;
+  for (int i = 0; i < n; ++i) {
+    TensorF in(shape);
+    fill_uniform(in, seed0 + static_cast<std::uint64_t>(i));
+    batch.push_back(std::move(in));
+  }
+  return batch;
+}
+
+std::vector<TensorI8> tiny_batch_i8(int n, std::uint64_t seed0) {
+  const FmShape shape = models::tiny().layers.front().ifm_shape();
+  std::vector<TensorI8> batch;
+  for (int i = 0; i < n; ++i) {
+    TensorI8 in(shape);
+    fill_uniform_i8(in, seed0 + static_cast<std::uint64_t>(i));
+    batch.push_back(std::move(in));
+  }
+  return batch;
+}
+
+TEST(InferenceEngine, BatchedSubmitBitIdenticalToPerItemSubmits) {
+  EngineOptions opt;
+  opt.seed = 7;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+  const auto batch = tiny_batch_f32(4, 100);
+
+  const ServeResponse resp = engine.submit(ServeRequest::f32("Tiny", batch));
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+  EXPECT_TRUE(resp.ok());
+  EXPECT_EQ(resp.dtype, DType::kF32);
+  EXPECT_EQ(resp.batch, 4);
+  ASSERT_EQ(resp.outputs_f32.size(), 4u);
+  EXPECT_GT(resp.sim_time_s, 0.0);
+  EXPECT_GT(resp.gma_bytes, 0);
+
+  // Every batch item equals its own single-image submit (through the legacy
+  // shim, which also keeps the old API covered), bit for bit.
+  double sum_single_sim = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto single = engine.submit("Tiny", batch[i]);
+    EXPECT_EQ(max_abs_diff(resp.outputs_f32[i], single.output), 0.0f)
+        << "batch item " << i << " diverged from per-item submit";
+    sum_single_sim += single.sim_time_s;
+  }
+  // The batch's simulated time tracks the per-item sum but never exceeds it
+  // meaningfully: cross-item weight reuse (items 2..n hit L2 for a step's
+  // weights) can only shrink the batched profile's DRAM traffic.
+  EXPECT_GT(resp.sim_time_s, 0.25 * sum_single_sim);
+  EXPECT_LT(resp.sim_time_s, 1.05 * sum_single_sim);
+}
+
+TEST(InferenceEngine, I8SubmitParityWithDirectRunner) {
+  const auto dev = gpusim::jetson_orin();
+  const auto model = models::tiny();
+  EngineOptions opt;
+  opt.seed = 11;
+  InferenceEngine engine(dev, opt);
+  const QuantParams q{0.08f, 0.03f, 0.12f};
+  const auto batch = tiny_batch_i8(3, 500);
+
+  const ServeResponse resp =
+      engine.submit(ServeRequest::i8("Tiny", batch, q));
+  EXPECT_TRUE(resp.ok());
+  EXPECT_EQ(resp.dtype, DType::kI8);
+  ASSERT_EQ(resp.outputs_i8.size(), 3u);
+  EXPECT_GT(resp.sim_time_s, 0.0);
+
+  // Ground truth: a direct runner with the same seed and the same per-model
+  // quant override, executing the same (cached) INT8 plan.
+  const runtime::ModelRunner direct(dev, model, opt.seed, q);
+  const auto plan = planner::plan_model(dev, model, DType::kI8);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const TensorI8 expect = direct.run_i8(plan, batch[i]);
+    ASSERT_EQ(resp.outputs_i8[i].size(), expect.size());
+    for (std::int64_t e = 0; e < expect.size(); ++e) {
+      ASSERT_EQ(resp.outputs_i8[i][e], expect[e])
+          << "item " << i << " element " << e;
+    }
+  }
+  // The INT8 plan went through the cache under its own dtype key.
+  EXPECT_TRUE(engine.plan_cache().contains(
+      PlanKey{"Tiny", dev.name, DType::kI8, opt.plan_options}));
+}
+
+TEST(InferenceEngine, SubmitAsyncDeliversFuturesUnderConcurrentProducers) {
+  EngineOptions opt;
+  opt.queue_depth = 16;
+  opt.queue_workers = 2;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 3;
+  std::vector<std::future<ServeResponse>> futures(
+      static_cast<std::size_t>(kProducers * kPerProducer));
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int j = 0; j < kPerProducer; ++j) {
+        const int idx = p * kPerProducer + j;
+        futures[static_cast<std::size_t>(idx)] = engine.submit_async(
+            ServeRequest::f32("Tiny", tiny_batch_f32(1, 1000 + idx)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  for (int idx = 0; idx < kProducers * kPerProducer; ++idx) {
+    ServeResponse resp = futures[static_cast<std::size_t>(idx)].get();
+    ASSERT_TRUE(resp.ok()) << "request " << idx;
+    ASSERT_EQ(resp.outputs_f32.size(), 1u);
+    EXPECT_GE(resp.queue_wait_s, 0.0);
+    EXPECT_GE(resp.latency_s, resp.queue_wait_s);
+    // Identical to a synchronous submit of the same input.
+    const auto batch = tiny_batch_f32(1, 1000 + idx);
+    const ServeResponse sync = engine.submit(ServeRequest::f32("Tiny", batch));
+    EXPECT_EQ(max_abs_diff(resp.outputs_f32[0], sync.outputs_f32[0]), 0.0f);
+  }
+  const QueueStats qs = engine.queue_stats();
+  EXPECT_EQ(qs.accepted, kProducers * kPerProducer);
+  EXPECT_EQ(qs.completed, kProducers * kPerProducer);
+  EXPECT_EQ(qs.rejected, 0);
+  EXPECT_GE(qs.max_depth, 1);
+}
+
+TEST(InferenceEngine, RejectPolicyShedsLoadWhenQueueIsFull) {
+  EngineOptions opt;
+  opt.queue_depth = 1;
+  opt.queue_workers = 1;
+  opt.policy = AdmissionPolicy::kReject;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+
+  // Flood: batch-4 requests keep the single worker busy for milliseconds
+  // while enqueues take microseconds, so the depth-1 queue must overflow.
+  constexpr int kRequests = 8;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(engine.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(4, 2000 + 4 * i))));
+  }
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    ServeResponse resp = futures[static_cast<std::size_t>(i)].get();
+    if (resp.ok()) {
+      ++ok;
+      // Served requests stay bit-identical under overload.
+      const auto batch = tiny_batch_f32(4, 2000 + 4 * i);
+      const ServeResponse sync =
+          engine.submit(ServeRequest::f32("Tiny", batch));
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(max_abs_diff(resp.outputs_f32[static_cast<std::size_t>(j)],
+                               sync.outputs_f32[static_cast<std::size_t>(j)]),
+                  0.0f);
+      }
+    } else {
+      EXPECT_EQ(resp.status, ServeStatus::kRejected);
+      EXPECT_TRUE(resp.outputs_f32.empty());
+      ++rejected;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(ok + rejected, kRequests);
+  const QueueStats qs = engine.queue_stats();
+  EXPECT_EQ(qs.rejected, rejected);
+  EXPECT_EQ(qs.blocked, 0);  // reject policy never blocks the producer
+  EXPECT_LE(qs.max_depth, 1);
+}
+
+TEST(InferenceEngine, BlockPolicyBackpressuresAndCompletesEverything) {
+  EngineOptions opt;
+  opt.queue_depth = 1;
+  opt.queue_workers = 1;
+  opt.policy = AdmissionPolicy::kBlock;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+
+  constexpr int kRequests = 6;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(engine.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(4, 3000 + 4 * i))));
+  }
+  for (auto& f : futures) {
+    const ServeResponse resp = f.get();
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.outputs_f32.size(), 4u);
+  }
+  const QueueStats qs = engine.queue_stats();
+  EXPECT_EQ(qs.accepted, kRequests);
+  EXPECT_EQ(qs.completed, kRequests);
+  EXPECT_EQ(qs.rejected, 0);
+  // The producer outpaces a single worker by orders of magnitude, so at
+  // least one enqueue had to wait for queue space.
+  EXPECT_GE(qs.blocked, 1);
+}
+
+TEST(InferenceEngine, DestructionWakesBlockedProducerAndRejectsBacklog) {
+  std::future<ServeResponse> running, queued, parked;
+  std::thread producer;
+  {
+    EngineOptions opt;
+    opt.queue_depth = 1;
+    opt.queue_workers = 1;
+    opt.policy = AdmissionPolicy::kBlock;
+    InferenceEngine engine(gpusim::jetson_orin(), opt);
+    // Worker busy on a slow batch, queue holding one more: the producer
+    // thread's third submit parks in kBlock backpressure.
+    running = engine.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(8, 6000)));
+    queued = engine.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 6100)));
+    producer = std::thread([&] {
+      parked = engine.submit_async(
+          ServeRequest::f32("Tiny", tiny_batch_f32(1, 6200)));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    // Destruction must wake the parked producer (its future resolves as
+    // rejected) before the queue state is torn down — not crash or hang.
+  }
+  producer.join();
+  EXPECT_TRUE(running.get().ok());  // in-flight work completes
+  // The backlog and the parked submit resolve — typically rejected at
+  // shutdown, ok if the worker raced ahead — but never hang.
+  EXPECT_NO_THROW(queued.get());
+  EXPECT_NO_THROW(parked.get());
+}
+
+TEST(InferenceEngine, DeadlineExpiresRequestStuckInQueue) {
+  EngineOptions opt;
+  opt.queue_depth = 8;
+  opt.queue_workers = 1;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+
+  // Request 1 occupies the single worker for milliseconds; request 2 allows
+  // only 50 us of queueing, so it must expire unexecuted.
+  auto slow = engine.submit_async(
+      ServeRequest::f32("Tiny", tiny_batch_f32(8, 4000)));
+  ServeRequest hurried = ServeRequest::f32("Tiny", tiny_batch_f32(1, 4100));
+  hurried.deadline_s = 50e-6;
+  auto fut = engine.submit_async(std::move(hurried));
+
+  EXPECT_TRUE(slow.get().ok());
+  const ServeResponse resp = fut.get();
+  EXPECT_EQ(resp.status, ServeStatus::kExpired);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.outputs_f32.empty());
+  EXPECT_GT(resp.queue_wait_s, 50e-6);
+  EXPECT_EQ(engine.queue_stats().expired, 1);
+}
+
+TEST(InferenceEngine, ReplayCarriesDtypeBatchGroupsAndQueueCounters) {
+  EngineOptions opt;
+  opt.queue_depth = 4;
+  opt.queue_workers = 1;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+  const std::vector<InferenceEngine::Request> mix = {
+      {"Tiny", 1, DType::kF32, 1},
+      {"Tiny", 2, DType::kF32, 4},
+      {"Tiny", 3, DType::kI8, 4},
+      {"Tiny", 4, DType::kF32, 1},
+  };
+  const auto report = engine.replay(mix);
+
+  ASSERT_EQ(report.models.size(), 1u);
+  EXPECT_EQ(report.models[0].requests, 4);
+  EXPECT_EQ(report.models[0].items, 10);
+  EXPECT_EQ(report.total_items(), 10);
+  // Groups in first-appearance order: (f32,1), (f32,4), (i8,4).
+  ASSERT_EQ(report.groups.size(), 3u);
+  EXPECT_EQ(report.groups[0].dtype, DType::kF32);
+  EXPECT_EQ(report.groups[0].batch, 1);
+  EXPECT_EQ(report.groups[0].requests, 2);
+  EXPECT_EQ(report.groups[1].batch, 4);
+  EXPECT_EQ(report.groups[1].requests, 1);
+  EXPECT_EQ(report.groups[2].dtype, DType::kI8);
+  EXPECT_EQ(report.groups[2].requests, 1);
+  // One plan per dtype; all four requests flowed through the queue.
+  EXPECT_EQ(report.cache.misses, 2);
+  EXPECT_EQ(report.queue.accepted, 4);
+  EXPECT_EQ(report.queue.completed, 4);
+  EXPECT_NE(report.group_table().find("int8"), std::string::npos);
+  EXPECT_NE(report.summary().find("queue"), std::string::npos);
 }
 
 }  // namespace
