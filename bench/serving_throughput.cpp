@@ -18,6 +18,21 @@
 // admission queue (depth 8, reject policy) on the Tiny model and reports
 // achieved throughput, latency percentiles and queue/reject counters — the
 // open-loop traffic model the ROADMAP's admission-control item asked for.
+//
+// Part 4 is the coalescing acceptance: the same single-image open-loop
+// traffic through an uncoalesced FIFO engine vs coalescing engines (batch
+// budgets 4 and 8). The scheduler merges backlogged same-(model, dtype)
+// single-image requests into one batch at dequeue, so the merged batch
+// inherits the batch cost model's cross-item weight reuse (items 2..n hit
+// L2) — simulated device throughput for coalesce-8 must beat uncoalesced
+// FIFO at the same offered load. Host wall throughput is reported alongside:
+// the merged batch also fans items over the host pool, so it tracks the
+// device win on multicore hosts (on a single-core host it is parity — the
+// kernel simulation is the same work either way).
+//
+// Part 5 contrasts FIFO with EDF under the same overloaded mixed-deadline
+// mix: EDF serves the tight-deadline half first, so more of it completes
+// before expiry (SLO attainment traded for fairness).
 #include "bench_util.hpp"
 #include "common/clock.hpp"
 #include "common/random.hpp"
@@ -133,8 +148,8 @@ int main() {
     for (const DType dt : {DType::kF32, DType::kI8}) {
       for (const int batch : {1, 8}) {
         serving::EngineOptions opt;
-        opt.queue_depth = 8;
-        opt.policy = serving::AdmissionPolicy::kReject;
+        opt.scheduler.queue_depth = 8;
+        opt.scheduler.policy = serving::AdmissionPolicy::kReject;
         opt.queue_workers = 1;
         serving::InferenceEngine engine(gpusim::rtx_a4000(), opt);
 
@@ -171,6 +186,127 @@ int main() {
               << "note: at 2x offered load the reject policy sheds requests "
                  "instead of queueing unboundedly;\nthe block policy would "
                  "instead backpressure the producer (see EngineOptions)\n";
+  }
+
+  bench::print_header(
+      "Serving: coalescing sweep — single-image open-loop traffic (RTX, Tiny, "
+      "fp32, 1 queue worker)");
+  {
+    auto make_engine = [](int coalesce) {
+      serving::EngineOptions opt;
+      opt.scheduler.queue_depth = 64;
+      opt.scheduler.policy = serving::AdmissionPolicy::kBlock;
+      opt.scheduler.max_coalesce_batch = coalesce;
+      opt.scheduler.coalesce_wait_us = 2000;
+      opt.queue_workers = 1;
+      return std::make_unique<serving::InferenceEngine>(gpusim::rtx_a4000(),
+                                                        opt);
+    };
+    auto single_image_mix = [](int n) {
+      std::vector<serving::InferenceEngine::Request> mix;
+      for (int i = 0; i < n; ++i) {
+        mix.push_back({"Tiny", 7000 + static_cast<std::uint64_t>(i),
+                       DType::kF32, 1});
+      }
+      return mix;
+    };
+    // Calibrate the uncoalesced service capacity with a short unpaced burst,
+    // then offer 2x that rate to every cell so the comparison holds load
+    // constant while only the coalescing budget varies.
+    double offered = 0.0;
+    {
+      auto probe = make_engine(1);
+      probe->replay(single_image_mix(4));  // warm plan + runner first: the
+      // calibration must measure service capacity, not one-off tile search
+      offered = 2.0 * probe->replay(single_image_mix(8)).throughput_rps();
+    }
+    Table t({"coalesce", "offered req/s", "host items/s", "device items/s",
+             "p50 ms", "p95 ms", "coalesced batches", "coalesced items"});
+    double uncoalesced_dev = 0.0, coalesced8_dev = 0.0;
+    std::int64_t coalesced8_batches = 0;
+    for (const int coalesce : {1, 4, 8}) {
+      auto engine = make_engine(coalesce);
+      engine->replay(single_image_mix(4));  // warm plan + runner
+      const auto rep = engine->replay(single_image_mix(48), offered);
+      // Simulated device throughput: completed items per simulated second.
+      // Coalesced dispatches execute as one batch, so items 2..n reuse each
+      // step's weights from L2 and the per-item simulated cost drops.
+      double dev_items_per_s = 0.0;
+      if (!rep.groups.empty() && rep.groups[0].sim_time_s > 0.0) {
+        dev_items_per_s = rep.groups[0].items / rep.groups[0].sim_time_s;
+      }
+      if (coalesce == 1) uncoalesced_dev = dev_items_per_s;
+      if (coalesce == 8) {
+        coalesced8_dev = dev_items_per_s;
+        coalesced8_batches = rep.queue.coalesced_batches;
+      }
+      t.add_row({std::to_string(coalesce), fmt_f(offered, 1),
+                 fmt_f(rep.throughput_items_per_s(), 1),
+                 fmt_f(dev_items_per_s, 0),
+                 rep.groups.empty() ? "-"
+                                    : fmt_f(rep.groups[0].p50_s() * 1e3, 2),
+                 rep.groups.empty() ? "-"
+                                    : fmt_f(rep.groups[0].p95_s() * 1e3, 2),
+                 std::to_string(rep.queue.coalesced_batches),
+                 std::to_string(rep.queue.coalesced_items)});
+    }
+    std::cout << t.str() << "coalesce-8 merged batches: "
+              << (coalesced8_batches > 0 ? "yes" : "NO")
+              << "; beats uncoalesced FIFO device throughput at the same "
+              << "offered load: "
+              << (coalesced8_dev > uncoalesced_dev ? "yes" : "NO") << " ("
+              << fmt_f(coalesced8_dev / std::max(1e-9, uncoalesced_dev), 3)
+              << "x)   [acceptance: merged > 0, > 1x]\n";
+  }
+
+  bench::print_header(
+      "Serving: FIFO vs EDF under overload — mixed-deadline SLO attainment "
+      "(RTX, Tiny, fp32)");
+  {
+    Table t({"discipline", "tight ok", "tight expired", "loose ok",
+             "loose expired"});
+    const auto shape = models::model_by_name("Tiny").layers.front().ifm_shape();
+    for (const auto disc :
+         {serving::QueueDiscipline::kFifo, serving::QueueDiscipline::kEdf}) {
+      serving::EngineOptions opt;
+      opt.scheduler.queue_depth = 64;
+      opt.scheduler.discipline = disc;
+      opt.queue_workers = 1;
+      serving::InferenceEngine engine(gpusim::rtx_a4000(), opt);
+      engine.submit(serving::ServeRequest::f32(
+          "Tiny", batch_f32(shape, 1, 1)));  // warm plan + runner
+      // Interleaved tight (25 ms) and loose (10 s) deadlines, submitted as
+      // one burst: the backlog outlives the tight deadlines, so FIFO expires
+      // whichever tight requests sit deep in the queue while EDF pulls them
+      // forward before their deadlines pass.
+      std::vector<std::future<serving::ServeResponse>> futures;
+      std::vector<bool> tight;
+      for (int i = 0; i < 32; ++i) {
+        serving::ServeRequest req = serving::ServeRequest::f32(
+            "Tiny", batch_f32(shape, 1, 8000 + static_cast<std::uint64_t>(i)));
+        tight.push_back(i % 2 == 0);
+        req.deadline_s = tight.back() ? 0.025 : 10.0;
+        req.discard_outputs = true;
+        futures.push_back(engine.submit_async(std::move(req)));
+      }
+      int tight_ok = 0, tight_exp = 0, loose_ok = 0, loose_exp = 0;
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto resp = futures[i].get();
+        if (resp.ok()) {
+          (tight[i] ? tight_ok : loose_ok) += 1;
+        } else {
+          (tight[i] ? tight_exp : loose_exp) += 1;
+        }
+      }
+      t.add_row({serving::queue_discipline_name(disc),
+                 std::to_string(tight_ok), std::to_string(tight_exp),
+                 std::to_string(loose_ok), std::to_string(loose_exp)});
+    }
+    std::cout << t.str()
+              << "EDF finishes the tight-deadline half first, so under the "
+                 "same overload it expires\nno more (and typically fewer) "
+                 "requests than FIFO — the fairness/SLO trade the\n"
+                 "scheduler's discipline option encodes\n";
   }
   return 0;
 }

@@ -1,9 +1,21 @@
-// Host wall-clock helpers shared by the serving subsystem, CLIs, benches
-// and tests (simulated GPU time comes from gpusim/roofline, never from
-// here).
+// Host wall-clock helpers and the injectable Clock seam.
+//
+// Simulated GPU time comes from gpusim/roofline, never from here. Everything
+// host-side that *schedules* — admission queues, coalescing windows, queueing
+// deadlines, replay pacing — goes through the Clock interface instead of
+// touching std::chrono directly, so the serving scheduler is unit-testable on
+// a ManualClock: tests advance virtual time explicitly and every scheduling
+// decision becomes deterministic, with zero real sleeps.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace fcm {
 
@@ -16,5 +28,136 @@ inline double seconds_since(SteadyTime t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// Monotonic time source in seconds (epoch = clock construction). The two
+/// implementations are SteadyClock (real time) and ManualClock (virtual time
+/// a test advances by hand). Waiting is part of the interface because a
+/// virtual clock cannot honour timed condition-variable waits: waiters park
+/// on their own cv and the ManualClock nudges every registered (mutex, cv)
+/// pair whenever time moves.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now, seconds since the clock's epoch.
+  virtual double now_s() const = 0;
+
+  /// Block the calling thread until now_s() >= t_s (open-loop pacing).
+  /// On a ManualClock this *advances* virtual time to t_s instead of
+  /// blocking — pacing waits are simulated, not served.
+  virtual void sleep_until(double t_s) = 0;
+
+  /// Wait on `cv` (whose mutex `lk` holds) until pred() holds or
+  /// now_s() >= deadline_s. Spurious wakeups are absorbed; like
+  /// std::condition_variable::wait, the predicate is re-evaluated under the
+  /// lock. A ManualClock must have the (mutex, cv) pair registered (see
+  /// below) or the wait can only end via pred() notifications.
+  virtual void wait_until(std::unique_lock<std::mutex>& lk,
+                          std::condition_variable& cv, double deadline_s,
+                          const std::function<bool()>& pred) = 0;
+
+  /// Register a (mutex, cv) pair the clock will nudge whenever virtual time
+  /// advances. Real clocks need no nudging (timed waits) — the default is a
+  /// no-op. Must not be called while holding the registered mutex.
+  virtual void register_waiter(std::mutex*, std::condition_variable*) {}
+  virtual void unregister_waiter(std::condition_variable*) {}
+};
+
+/// The real clock: std::chrono::steady_clock behind the Clock interface.
+class SteadyClock final : public Clock {
+ public:
+  double now_s() const override { return seconds_since(epoch_); }
+
+  void sleep_until(double t_s) override {
+    std::this_thread::sleep_until(time_point(t_s));
+  }
+
+  void wait_until(std::unique_lock<std::mutex>& lk,
+                  std::condition_variable& cv, double deadline_s,
+                  const std::function<bool()>& pred) override {
+    const auto tp = time_point(deadline_s);
+    while (!pred() && now_s() < deadline_s) {
+      if (cv.wait_until(lk, tp) == std::cv_status::timeout) break;
+    }
+  }
+
+ private:
+  SteadyTime time_point(double t_s) const {
+    return epoch_ + std::chrono::duration_cast<SteadyTime::duration>(
+                        std::chrono::duration<double>(t_s));
+  }
+
+  SteadyTime epoch_ = steady_now();
+};
+
+/// Virtual clock for deterministic scheduler tests: time only moves when a
+/// test calls advance()/set(). Threads parked in wait_until are woken on
+/// every advance (their cv was registered), re-evaluate their predicate and
+/// deadline against the new now, and proceed — no real time passes anywhere.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start_s = 0.0) : now_(start_s) {}
+
+  double now_s() const override { return now_.load(); }
+
+  /// Move virtual time forward by `dt_s` seconds and wake registered
+  /// waiters. The read-modify-write happens under wmu_, so concurrent
+  /// advances add up instead of losing each other's interval.
+  void advance(double dt_s) {
+    std::lock_guard<std::mutex> g(wmu_);
+    bump_and_notify(now_.load() + dt_s);
+  }
+
+  /// Jump virtual time to max(now, t_s) and wake registered waiters.
+  void set(double t_s) {
+    std::lock_guard<std::mutex> g(wmu_);
+    bump_and_notify(t_s);
+  }
+
+  void sleep_until(double t_s) override { set(t_s); }
+
+  void wait_until(std::unique_lock<std::mutex>& lk,
+                  std::condition_variable& cv, double deadline_s,
+                  const std::function<bool()>& pred) override {
+    while (!pred() && now_s() < deadline_s) cv.wait(lk);
+  }
+
+  void register_waiter(std::mutex* m, std::condition_variable* cv) override {
+    std::lock_guard<std::mutex> g(wmu_);
+    waiters_.push_back(Waiter{m, cv});
+  }
+
+  void unregister_waiter(std::condition_variable* cv) override {
+    std::lock_guard<std::mutex> g(wmu_);
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      it = it->cv == cv ? waiters_.erase(it) : it + 1;
+    }
+  }
+
+ private:
+  struct Waiter {
+    std::mutex* m;
+    std::condition_variable* cv;
+  };
+
+  /// Monotonic store + waiter nudges; wmu_ held. Holding wmu_ across the
+  /// notify loop keeps every Waiter alive against a concurrent
+  /// unregister_waiter (which blocks on wmu_ until we finish).
+  void bump_and_notify(double t_s) {
+    now_.store(std::max(now_.load(), t_s));
+    for (const Waiter& w : waiters_) {
+      // Lock/unlock the waiter's mutex before notifying: a thread between
+      // its predicate check and cv.wait() holds that mutex, so acquiring it
+      // serialises us after the wait starts and the notification cannot be
+      // lost (the classic missed-wakeup fence).
+      { std::lock_guard<std::mutex> lm(*w.m); }
+      w.cv->notify_all();
+    }
+  }
+
+  std::atomic<double> now_;
+  mutable std::mutex wmu_;
+  std::vector<Waiter> waiters_;
+};
 
 }  // namespace fcm

@@ -157,6 +157,27 @@ std::vector<Tensor<T>> ModelRunner::run_batch_impl(const planner::Plan& plan,
            static_cast<std::int64_t>(sizeof(T));
   };
 
+  // Host-parallel item-inner loop. Batch items are independent within a step
+  // — each writes only its own cur/saved slot — so the loop fans over the
+  // global pool with one KernelStats slot per item, reduced in index order
+  // after the join. Outputs and summed stats are bit-identical to the serial
+  // loop for any worker count (the pool is re-entrant, so the kernels'
+  // nested block-level parallel_for inlines safely). Grain 1: one item is a
+  // whole kernel run, the coarsest useful unit.
+  std::vector<gpusim::KernelStats> item_stats(n);
+  auto run_items = [&](const auto& body) {
+    ThreadPool::global().parallel_for(
+        static_cast<std::int64_t>(n),
+        [&](std::int64_t item) {
+          item_stats[static_cast<std::size_t>(item)] =
+              body(static_cast<std::size_t>(item));
+        },
+        /*grain=*/1);
+    gpusim::KernelStats sum;
+    for (std::size_t item = 0; item < n; ++item) sum += item_stats[item];
+    return sum;
+  };
+
   for (const auto& s : plan.steps) {
     const int i = s.layer;
     const LayerSpec& a = model_.layers[static_cast<std::size_t>(i)];
@@ -179,7 +200,7 @@ std::vector<Tensor<T>> ModelRunner::run_batch_impl(const planner::Plan& plan,
       name = "PWDWPW/" + a.name;
       step_weight_bytes =
           weight_bytes(i) + weight_bytes(s.layer2) + weight_bytes(s.layer3);
-      for (std::size_t item = 0; item < n; ++item) {
+      step_stats = run_items([&](std::size_t item) {
         Tensor<T> ofm(c.ofm_shape());
         gpusim::KernelStats st;
         if constexpr (kIsF32) {
@@ -195,17 +216,17 @@ std::vector<Tensor<T>> ModelRunner::run_batch_impl(const planner::Plan& plan,
                              weights[static_cast<std::size_t>(s.layer3)], ep1,
                              ep2, ep3, ofm, s.fcm_tiling);
         }
-        step_stats += st;
         cur[item] = std::move(ofm);
         handle_residuals(model_, s.layer3, cur[item], saved[item]);
-      }
+        return st;
+      });
     } else if (s.fused) {
       const LayerSpec& b = model_.layers[static_cast<std::size_t>(s.layer2)];
       const auto ep1 = epilogue(i);
       const auto ep2 = epilogue(s.layer2);
       name = std::string(fcm_kind_name(s.fcm_kind)) + "/" + a.name;
       step_weight_bytes = weight_bytes(i) + weight_bytes(s.layer2);
-      for (std::size_t item = 0; item < n; ++item) {
+      step_stats = run_items([&](std::size_t item) {
         Tensor<T> ofm(b.ofm_shape());
         gpusim::KernelStats st;
         if constexpr (kIsF32) {
@@ -219,15 +240,15 @@ std::vector<Tensor<T>> ModelRunner::run_batch_impl(const planner::Plan& plan,
                           weights[static_cast<std::size_t>(s.layer2)], ep1, ep2,
                           ofm, s.fcm_tiling);
         }
-        step_stats += st;
         cur[item] = std::move(ofm);
         handle_residuals(model_, s.layer2, cur[item], saved[item]);
-      }
+        return st;
+      });
     } else {
       const auto ep = epilogue(i);
       name = "LBL/" + a.name;
       step_weight_bytes = weight_bytes(i);
-      for (std::size_t item = 0; item < n; ++item) {
+      step_stats = run_items([&](std::size_t item) {
         Tensor<T> ofm(a.ofm_shape());
         gpusim::KernelStats st;
         if constexpr (kIsF32) {
@@ -239,10 +260,10 @@ std::vector<Tensor<T>> ModelRunner::run_batch_impl(const planner::Plan& plan,
                           weights[static_cast<std::size_t>(i)], ep, ofm,
                           s.lbl_tiling);
         }
-        step_stats += st;
         cur[item] = std::move(ofm);
         handle_residuals(model_, i, cur[item], saved[item]);
-      }
+        return st;
+      });
     }
     // Batching's cost-model reuse term: the batch executes a step's kernel
     // back to back with unchanged weights, so when the step's weight

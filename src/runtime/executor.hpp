@@ -54,11 +54,15 @@ class ModelRunner {
                   ModelReport* report = nullptr) const;
 
   /// Execute `plan` once per batch item, reusing the plan (and the per-step
-  /// epilogues) across the whole batch. Outputs are bit-identical to running
-  /// each item through run_f32/run_i8 on its own — batching changes the run
-  /// loop, never the numerics. `report` (when non-null) holds one step per
-  /// plan step with kernel stats summed over the batch items, so its totals
-  /// are the whole batch's simulated time and traffic.
+  /// epilogues) across the whole batch. Within each step the items fan out
+  /// over ThreadPool::global() (independent feature maps, one stats slot per
+  /// item, deterministic index-order reduction), so batched runs speed up
+  /// with host cores. Outputs are bit-identical to running each item through
+  /// run_f32/run_i8 on its own, for any worker count — batching and
+  /// parallelism change the run loop, never the numerics. `report` (when
+  /// non-null) holds one step per plan step with kernel stats summed over
+  /// the batch items, so its totals are the whole batch's simulated time and
+  /// traffic.
   std::vector<TensorF> run_f32_batch(const planner::Plan& plan,
                                      const BatchViewF& inputs,
                                      ModelReport* report = nullptr) const;

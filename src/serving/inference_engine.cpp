@@ -5,62 +5,23 @@
 #include <thread>
 #include <utility>
 
-#include "common/clock.hpp"
 #include "common/random.hpp"
 #include "models/model_zoo.hpp"
 
 namespace fcm::serving {
 
-const char* admission_policy_name(AdmissionPolicy p) {
-  return p == AdmissionPolicy::kBlock ? "block" : "reject";
-}
-
-const char* serve_status_name(ServeStatus s) {
-  switch (s) {
-    case ServeStatus::kOk: return "ok";
-    case ServeStatus::kRejected: return "rejected";
-    case ServeStatus::kExpired: return "expired";
-  }
-  return "?";
-}
-
-ServeRequest ServeRequest::f32(std::string model, std::vector<TensorF> batch) {
-  ServeRequest r;
-  r.model = std::move(model);
-  r.dtype = DType::kF32;
-  r.batch_f32 = std::move(batch);
-  return r;
-}
-
-ServeRequest ServeRequest::i8(std::string model, std::vector<TensorI8> batch,
-                              std::optional<QuantParams> quant) {
-  ServeRequest r;
-  r.model = std::move(model);
-  r.dtype = DType::kI8;
-  r.batch_i8 = std::move(batch);
-  r.quant = quant;
-  return r;
-}
-
 InferenceEngine::InferenceEngine(gpusim::DeviceSpec dev, EngineOptions opt)
     : dev_(std::move(dev)),
       opt_(std::move(opt)),
-      cache_(opt_.plan_cache_capacity, opt_.cache_dir) {
-  FCM_CHECK(opt_.queue_depth >= 1, "EngineOptions::queue_depth must be >= 1");
-}
+      cache_(opt_.plan_cache_capacity, opt_.cache_dir),
+      clock_(opt_.clock ? opt_.clock : std::make_shared<SteadyClock>()),
+      scheduler_(opt_.scheduler, clock_) {}
 
 InferenceEngine::~InferenceEngine() {
-  {
-    std::unique_lock<std::mutex> lk(qmu_);
-    stopping_ = true;
-    q_not_empty_.notify_all();
-    q_not_full_.notify_all();
-    // Producers parked in submit_async (kBlock backpressure) wake, resolve
-    // their futures as kRejected and leave; only then is it safe to tear the
-    // queue state down. Threads *entering* submit_async concurrently with
-    // destruction remain the caller's responsibility, as for any member.
-    q_producers_done_.wait(lk, [this] { return producers_ == 0; });
-  }
+  // Wake blocked producers (they self-reject), reject the backlog, and make
+  // every pop return false; then the workers drain out. In-flight dispatches
+  // complete first — a worker mid-execution still resolves its futures.
+  scheduler_.stop();
   for (auto& w : workers_) w.join();
 }
 
@@ -128,22 +89,12 @@ std::shared_ptr<const planner::Plan> InferenceEngine::plan_for(
                             opt_.plan_options);
 }
 
-ServeResponse InferenceEngine::make_response_stub(const ServeRequest& req,
-                                                  ServeStatus status) {
-  ServeResponse resp;
-  resp.status = status;
-  resp.model = req.model;
-  resp.dtype = req.dtype;
-  resp.batch = req.batch();
-  return resp;
-}
-
 ServeResponse InferenceEngine::submit(const ServeRequest& req) {
   FCM_CHECK(req.batch() >= 1, "ServeRequest: empty batch");
   FCM_CHECK(req.dtype == DType::kF32 ? req.batch_i8.empty()
                                      : req.batch_f32.empty(),
             "ServeRequest: batch dtype does not match the dtype tag");
-  const auto t0 = steady_now();
+  const double t0 = clock_->now_s();
   const auto r = runner_keyed(req.model, req.dtype == DType::kI8
                                              ? req.quant
                                              : std::nullopt);
@@ -151,7 +102,7 @@ ServeResponse InferenceEngine::submit(const ServeRequest& req) {
       cache_.get_or_plan(dev_, r->model(), req.dtype, opt_.plan_options);
 
   runtime::ModelReport report;
-  ServeResponse resp = make_response_stub(req, ServeStatus::kOk);
+  ServeResponse resp = response_stub(req, ServeStatus::kOk);
   if (req.dtype == DType::kF32) {
     resp.outputs_f32 =
         r->run_f32_batch(*plan, BatchViewF(req.batch_f32), &report);
@@ -160,7 +111,7 @@ ServeResponse InferenceEngine::submit(const ServeRequest& req) {
   }
   resp.sim_time_s = report.total_time_s();
   resp.gma_bytes = report.total_gma_bytes();
-  resp.latency_s = seconds_since(t0);
+  resp.latency_s = clock_->now_s() - t0;
   return resp;
 }
 
@@ -178,8 +129,8 @@ InferenceEngine::Result InferenceEngine::submit(const std::string& model_name,
 }
 
 void InferenceEngine::ensure_workers() {
-  std::lock_guard<std::mutex> lk(qmu_);
-  if (!workers_.empty() || stopping_) return;
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  if (!workers_.empty()) return;
   unsigned n = opt_.queue_workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -190,108 +141,92 @@ void InferenceEngine::ensure_workers() {
 
 std::future<ServeResponse> InferenceEngine::submit_async(ServeRequest req) {
   ensure_workers();
-  std::promise<ServeResponse> promise;
-  std::future<ServeResponse> fut = promise.get_future();
-  {
-    std::unique_lock<std::mutex> lk(qmu_);
-    ++producers_;
-    const auto leave = [this] {
-      // Last producer out wakes a destructor waiting to tear the queue down.
-      --producers_;
-      if (producers_ == 0 && stopping_) q_producers_done_.notify_all();
-    };
-    const auto reject_now = [&] {
-      ++qstats_.rejected;
-      promise.set_value(make_response_stub(req, ServeStatus::kRejected));
-      leave();
-    };
-    if (stopping_) {
-      // A shutting-down engine has no workers left to resolve the future —
-      // reject instead of enqueueing a request no one will ever pop.
-      reject_now();
-      return fut;
-    }
-    if (queue_.size() >= opt_.queue_depth) {
-      if (opt_.policy == AdmissionPolicy::kReject) {
-        reject_now();
-        return fut;
-      }
-      ++qstats_.blocked;
-      q_not_full_.wait(lk, [this] {
-        return queue_.size() < opt_.queue_depth || stopping_;
-      });
-      if (stopping_) {
-        reject_now();
-        return fut;
-      }
-    }
-    ++qstats_.accepted;
-    queue_.push_back(QueueItem{std::move(req), std::move(promise),
-                               std::chrono::steady_clock::now()});
-    const auto depth = static_cast<std::int64_t>(queue_.size());
-    qstats_.max_depth = std::max(qstats_.max_depth, depth);
-    depth_watermark_ = std::max(depth_watermark_, depth);
-    leave();
-  }
-  q_not_empty_.notify_one();
-  return fut;
+  return scheduler_.push(std::move(req));
 }
 
 void InferenceEngine::worker_loop() {
-  for (;;) {
-    QueueItem item;
-    {
-      std::unique_lock<std::mutex> lk(qmu_);
-      q_not_empty_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, nothing left to drain
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      if (stopping_) {
-        // Shutdown drains the backlog as rejected rather than executing it
-        // (accepted stays monotonic; see the QueueStats contract).
-        ++qstats_.rejected;
-        item.promise.set_value(
-            make_response_stub(item.req, ServeStatus::kRejected));
-        continue;
-      }
-    }
-    q_not_full_.notify_one();
-
-    const double wait_s = seconds_since(item.enqueued);
-    if (item.req.deadline_s > 0.0 && wait_s > item.req.deadline_s) {
-      {
-        std::lock_guard<std::mutex> lk(qmu_);
-        ++qstats_.expired;
-      }
-      ServeResponse resp = make_response_stub(item.req, ServeStatus::kExpired);
-      resp.queue_wait_s = wait_s;
-      resp.latency_s = wait_s;
-      item.promise.set_value(std::move(resp));
-      continue;
-    }
-
-    try {
-      ServeResponse resp = submit(item.req);
-      if (item.req.discard_outputs) {
-        resp.outputs_f32.clear();
-        resp.outputs_i8.clear();
-      }
-      resp.queue_wait_s = wait_s;
-      resp.latency_s += wait_s;
-      {
-        std::lock_guard<std::mutex> lk(qmu_);
-        ++qstats_.completed;
-      }
-      item.promise.set_value(std::move(resp));
-    } catch (...) {
-      item.promise.set_exception(std::current_exception());
+  Scheduler::Dispatch d;
+  while (scheduler_.pop(&d)) {
+    if (d.items.size() == 1) {
+      run_single(std::move(d.items.front()), d.popped_s);
+    } else {
+      run_coalesced(d);
     }
   }
 }
 
-QueueStats InferenceEngine::queue_stats() const {
-  std::lock_guard<std::mutex> lk(qmu_);
-  return qstats_;
+void InferenceEngine::run_single(Scheduler::Item item, double popped_s) {
+  const double wait_s = popped_s - item.enqueued_s;
+  try {
+    ServeResponse resp = submit(item.req);
+    if (item.req.discard_outputs) {
+      resp.outputs_f32.clear();
+      resp.outputs_i8.clear();
+    }
+    resp.queue_wait_s = wait_s;
+    resp.latency_s += wait_s;
+    scheduler_.record_completed(1);
+    item.promise.set_value(std::move(resp));
+  } catch (...) {
+    item.promise.set_exception(std::current_exception());
+  }
+}
+
+void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
+  const std::size_t n = d.items.size();
+  // Every item is a single-image request sharing (model, dtype, quant) —
+  // the scheduler's coalescing key — so one merged request serves them all.
+  ServeRequest merged;
+  merged.model = d.items.front().req.model;
+  merged.dtype = d.items.front().req.dtype;
+  merged.quant = d.items.front().req.quant;
+  for (Scheduler::Item& it : d.items) {
+    if (merged.dtype == DType::kF32) {
+      merged.batch_f32.push_back(std::move(it.req.batch_f32.front()));
+    } else {
+      merged.batch_i8.push_back(std::move(it.req.batch_i8.front()));
+    }
+  }
+  // Promises resolved so far: the catch below must only set_exception on
+  // the unresolved tail — set_exception on an already-satisfied promise
+  // throws std::future_error out of the catch and terminates the worker.
+  std::size_t resolved = 0;
+  try {
+    ServeResponse batch = submit(merged);
+    const double end_s = clock_->now_s();
+    for (std::size_t i = 0; i < n; ++i) {
+      Scheduler::Item& item = d.items[i];
+      ServeResponse resp;
+      resp.status = ServeStatus::kOk;
+      resp.model = merged.model;
+      resp.dtype = merged.dtype;
+      resp.batch = 1;
+      if (!item.req.discard_outputs) {
+        if (merged.dtype == DType::kF32) {
+          resp.outputs_f32.push_back(std::move(batch.outputs_f32[i]));
+        } else {
+          resp.outputs_i8.push_back(std::move(batch.outputs_i8[i]));
+        }
+      }
+      // Per-request accounting: each rider waited its own queue time and
+      // completed when the merged batch did; the batch's simulated cost is
+      // split evenly across the riders (the first rider absorbs the integer
+      // remainder so summed shares reconstruct the batch total exactly).
+      resp.queue_wait_s = d.popped_s - item.enqueued_s;
+      resp.latency_s = end_s - item.enqueued_s;
+      resp.sim_time_s = batch.sim_time_s / static_cast<double>(n);
+      resp.gma_bytes = batch.gma_bytes / static_cast<std::int64_t>(n);
+      if (i == 0) resp.gma_bytes += batch.gma_bytes % static_cast<std::int64_t>(n);
+      item.promise.set_value(std::move(resp));
+      ++resolved;
+    }
+    scheduler_.record_completed(n);
+  } catch (...) {
+    if (resolved > 0) scheduler_.record_completed(resolved);
+    for (std::size_t i = resolved; i < n; ++i) {
+      d.items[i].promise.set_exception(std::current_exception());
+    }
+  }
 }
 
 ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
@@ -313,6 +248,7 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
     ServeRequest r;
     r.model = q.model;
     r.dtype = q.dtype;
+    r.deadline_s = q.deadline_s;
     r.discard_outputs = true;  // replay aggregates metrics, never outputs
     for (int j = 0; j < q.batch; ++j) {
       const std::uint64_t seed = q.input_seed + static_cast<std::uint64_t>(j);
@@ -331,11 +267,8 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
 
   const CacheStats cache_before = cache_.stats();
   const QueueStats queue_before = queue_stats();
-  {
-    // Start this replay's depth watermark at the backlog it inherits.
-    std::lock_guard<std::mutex> lk(qmu_);
-    depth_watermark_ = static_cast<std::int64_t>(queue_.size());
-  }
+  // Start this replay's depth watermark at the backlog it inherits.
+  scheduler_.reset_depth_watermark();
 
   // Responses come back output-free (discard_outputs above drops the batch
   // tensors in the worker), so a resolved-but-unharvested future holds only
@@ -364,16 +297,13 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
     }
   };
 
-  const auto t0 = steady_now();
+  const double t0 = clock_->now_s();
   for (std::size_t i = 0; i < mix.size(); ++i) {
     // Generate before the pacing wait: the generation cost overlaps the
     // idle gap instead of skewing the offered inter-arrival times.
     ServeRequest req = materialise(mix[i]);
     if (offered_rps > 0.0) {
-      const double due_s = static_cast<double>(i) / offered_rps;
-      while (seconds_since(t0) < due_s) {
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
-      }
+      clock_->sleep_until(t0 + static_cast<double>(i) / offered_rps);
     }
     futures[i] = submit_async(std::move(req));
     submitted = i + 1;
@@ -383,7 +313,7 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
 
   ServingReport report;
   report.device = dev_.name;
-  report.wall_s = seconds_since(t0);
+  report.wall_s = clock_->now_s() - t0;
   // Counter deltas over this replay only — the engine may have served other
   // traffic (e.g. a warm-up loop) before.
   const CacheStats cache_after = cache_.stats();
@@ -399,10 +329,11 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
   report.queue.expired = queue_after.expired - queue_before.expired;
   report.queue.completed = queue_after.completed - queue_before.completed;
   report.queue.blocked = queue_after.blocked - queue_before.blocked;
-  {
-    std::lock_guard<std::mutex> lk(qmu_);
-    report.queue.max_depth = depth_watermark_;
-  }
+  report.queue.coalesced_batches =
+      queue_after.coalesced_batches - queue_before.coalesced_batches;
+  report.queue.coalesced_items =
+      queue_after.coalesced_items - queue_before.coalesced_items;
+  report.queue.max_depth = scheduler_.depth_watermark();
 
   for (std::size_t i = 0; i < mix.size(); ++i) {
     const Request& q = mix[i];

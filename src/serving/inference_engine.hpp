@@ -1,13 +1,18 @@
 // Concurrent inference engine over the plan cache.
 //
-// The serving surface is a ServeRequest/ServeResponse pair: a request names a
-// model, carries a batch of equally-shaped inputs in either precision (a
-// dtype tag selects the FP32 or INT8 functional path, with optional per-model
-// quant params routed into ModelRunner::run_i8), and may set a queueing
-// deadline. submit() executes a request synchronously on the caller's thread;
-// submit_async() pushes it through a bounded admission queue with
-// configurable depth and full-queue policy (block the producer, or reject
-// immediately) and returns a std::future fed by the engine's worker threads.
+// The serving surface is a ServeRequest/ServeResponse pair (see
+// serving/scheduler.hpp): a request names a model, carries a batch of
+// equally-shaped inputs in either precision (a dtype tag selects the FP32 or
+// INT8 functional path, with optional per-model quant params routed into
+// ModelRunner::run_i8), and may set a queueing deadline. submit() executes a
+// request synchronously on the caller's thread; submit_async() pushes it
+// through the Scheduler — a bounded admission queue with configurable depth,
+// full-queue policy, FIFO or earliest-deadline-first discipline and
+// coalescing dynamic batching — and returns a std::future fed by the
+// engine's worker threads. Coalesced single-image requests execute as one
+// batch (so they inherit the batch cost model's cross-item weight reuse and
+// the executor's parallel item loop) and are demuxed back into individual
+// responses with per-request latency.
 //
 // InferenceEngine owns one PlanCache and one ModelRunner per served
 // (model, quant) pair (weights materialised once, shared by every request —
@@ -15,15 +20,16 @@
 // keyed on the request dtype (cold on the first request per key, a hash
 // lookup afterwards); kernels run functionally on the simulator. replay()
 // drives a whole synthetic request mix through the admission queue — at an
-// offered request rate when asked — and aggregates a ServingReport. Results
-// are bit-identical to serial ModelRunner runs of the same plan: neither
-// concurrency, batching, nor queueing ever changes numerics.
+// offered request rate when asked — and aggregates a ServingReport. All
+// host-side timing (latency, deadlines, coalescing windows, replay pacing)
+// flows through the injectable Clock, so an engine on a ManualClock is fully
+// deterministic in tests. Results are bit-identical to serial ModelRunner
+// runs of the same plan: neither concurrency, batching, coalescing nor
+// queueing ever changes numerics.
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -33,25 +39,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "runtime/executor.hpp"
 #include "serving/plan_cache.hpp"
+#include "serving/scheduler.hpp"
 #include "serving/serving_report.hpp"
 
 namespace fcm::serving {
-
-/// What submit_async does with a request that finds the bounded queue full.
-enum class AdmissionPolicy : std::uint8_t {
-  kBlock,   ///< wait until a slot frees (backpressure onto the producer)
-  kReject,  ///< resolve the future immediately with ServeStatus::kRejected
-};
-
-const char* admission_policy_name(AdmissionPolicy p);
-
-/// Outcome of one request. kRejected responses carry no outputs; kExpired
-/// requests were admitted but out-waited their deadline in the queue.
-enum class ServeStatus : std::uint8_t { kOk, kRejected, kExpired };
-
-const char* serve_status_name(ServeStatus s);
 
 struct EngineOptions {
   /// LRU bound of the plan cache.
@@ -62,66 +56,13 @@ struct EngineOptions {
   std::uint64_t seed = 2024;
   /// Planner options baked into every cache key.
   planner::PlanOptions plan_options;
-  /// Bound of the submit_async admission queue (>= 1).
-  std::size_t queue_depth = 32;
-  /// Full-queue behaviour of submit_async.
-  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// Admission queue: depth, full-queue policy, discipline, coalescing.
+  SchedulerOptions scheduler;
   /// Threads draining the admission queue; 0 = hardware concurrency (min 1).
   unsigned queue_workers = 0;
-};
-
-/// A dtype-polymorphic batched inference request. Exactly one of the two
-/// batch vectors is used, selected by `dtype`; every tensor in it must share
-/// one FmShape (the model's input shape).
-struct ServeRequest {
-  std::string model;
-  DType dtype = DType::kF32;
-  std::vector<TensorF> batch_f32;
-  std::vector<TensorI8> batch_i8;
-  /// INT8 only: per-model symmetric quantisation parameters applied to every
-  /// layer of the runner serving this request (unset keeps the library
-  /// defaults). Requests with different quant params get distinct runners.
-  std::optional<QuantParams> quant;
-  /// Optional queueing deadline, seconds from enqueue: a request still
-  /// waiting in the admission queue past it is dropped as kExpired instead
-  /// of executed. 0 disables (execution itself is never aborted).
-  double deadline_s = 0.0;
-  /// Metrics-only request: the engine drops the output tensors before
-  /// resolving the response (latency/sim stats are kept). Load generators —
-  /// replay() among them — set this so a long replay never accumulates
-  /// output feature maps.
-  bool discard_outputs = false;
-
-  /// Number of batch items of the active dtype.
-  int batch() const {
-    return static_cast<int>(dtype == DType::kF32 ? batch_f32.size()
-                                                 : batch_i8.size());
-  }
-
-  static ServeRequest f32(std::string model, std::vector<TensorF> batch);
-  static ServeRequest i8(std::string model, std::vector<TensorI8> batch,
-                         std::optional<QuantParams> quant = std::nullopt);
-};
-
-/// Per-request outcome: one output per batch item (in the request's dtype)
-/// plus latency and simulated-execution statistics.
-struct ServeResponse {
-  ServeStatus status = ServeStatus::kOk;
-  std::string model;
-  DType dtype = DType::kF32;
-  std::vector<TensorF> outputs_f32;
-  std::vector<TensorI8> outputs_i8;
-  int batch = 0;
-  /// Host wall-clock latency, seconds: submit() measures plan lookup +
-  /// execution; submit_async() additionally includes the queue wait.
-  double latency_s = 0.0;
-  /// Portion of latency_s spent waiting in the admission queue.
-  double queue_wait_s = 0.0;
-  /// Simulated GPU time and traffic of the executed plan, whole batch.
-  double sim_time_s = 0.0;
-  std::int64_t gma_bytes = 0;
-
-  bool ok() const { return status == ServeStatus::kOk; }
+  /// Host time source for latency, deadlines, coalescing windows and replay
+  /// pacing. Null selects the real SteadyClock; tests inject a ManualClock.
+  std::shared_ptr<Clock> clock;
 };
 
 class InferenceEngine {
@@ -135,7 +76,7 @@ class InferenceEngine {
   /// Outcome of one legacy single-tensor request (see the submit shim).
   struct Result {
     TensorF output;
-    /// Host wall-clock latency, seconds (plan lookup + execution).
+    /// Host clock latency, seconds (plan lookup + execution).
     double latency_s = 0.0;
     /// Simulated GPU time and traffic of the executed plan.
     double sim_time_s = 0.0;
@@ -149,6 +90,8 @@ class InferenceEngine {
     std::uint64_t input_seed = 1;
     DType dtype = DType::kF32;
     int batch = 1;
+    /// Optional queueing deadline, seconds from enqueue (0 = none).
+    double deadline_s = 0.0;
   };
 
   /// Execute `req` synchronously on the calling thread (no admission queue).
@@ -157,8 +100,8 @@ class InferenceEngine {
   ServeResponse submit(const ServeRequest& req);
 
   /// Queue `req` for execution by the engine's worker threads and return the
-  /// future response. A full queue blocks or rejects according to
-  /// EngineOptions::policy; a rejected request resolves immediately with
+  /// future response. A full queue blocks or rejects according to the
+  /// scheduler policy; a rejected request resolves immediately with
   /// ServeStatus::kRejected. Failures inside execution (unknown model, bad
   /// shape) surface as exceptions on future.get().
   std::future<ServeResponse> submit_async(ServeRequest req);
@@ -188,29 +131,28 @@ class InferenceEngine {
   const gpusim::DeviceSpec& device() const { return dev_; }
   const EngineOptions& options() const { return opt_; }
   PlanCache& plan_cache() { return cache_; }
+  Clock& clock() { return *clock_; }
   /// Lifetime admission-queue counters (replay reports deltas of these).
-  QueueStats queue_stats() const;
+  QueueStats queue_stats() const { return scheduler_.stats(); }
 
  private:
-  struct QueueItem {
-    ServeRequest req;
-    std::promise<ServeResponse> promise;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-
   /// The runner serving (model, quant); built once, shared afterwards.
   std::shared_ptr<const runtime::ModelRunner> runner_keyed(
       const std::string& model_name, const std::optional<QuantParams>& quant);
   /// Spawn the queue workers on first submit_async.
   void ensure_workers();
   void worker_loop();
-  /// A ServeResponse echoing `req`'s identity with no outputs.
-  static ServeResponse make_response_stub(const ServeRequest& req,
-                                          ServeStatus status);
+  /// Execute one popped item and resolve its promise.
+  void run_single(Scheduler::Item item, double popped_s);
+  /// Execute a coalesced dispatch as one batch, then demux per-request
+  /// responses (individual latency; even 1/n share of the batch sim stats).
+  void run_coalesced(Scheduler::Dispatch& d);
 
   gpusim::DeviceSpec dev_;
   EngineOptions opt_;
   PlanCache cache_;
+  std::shared_ptr<Clock> clock_;
+  Scheduler scheduler_;
 
   /// Lazily-built runner pool keyed on model name + quant override. A runner
   /// under construction is represented by a pending slot other threads wait
@@ -223,23 +165,9 @@ class InferenceEngine {
   std::condition_variable cv_;
   std::unordered_map<std::string, RunnerSlot> runners_;
 
-  /// Bounded admission queue + workers (lazily started).
-  mutable std::mutex qmu_;
-  std::condition_variable q_not_empty_;
-  std::condition_variable q_not_full_;
-  std::condition_variable q_producers_done_;
-  std::deque<QueueItem> queue_;
+  /// Queue workers (lazily started by the first submit_async).
+  std::mutex workers_mu_;
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
-  /// Threads currently inside submit_async. The destructor wakes blocked
-  /// producers (they resolve their futures as kRejected) and waits for this
-  /// to reach zero before tearing the queue down.
-  int producers_ = 0;
-  QueueStats qstats_;
-  /// Queue high-water mark since the last replay() started — what a replay
-  /// reports as its max_depth (qstats_.max_depth keeps the engine-lifetime
-  /// mark). Concurrent replays share it and read a merged mark.
-  std::int64_t depth_watermark_ = 0;
 };
 
 }  // namespace fcm::serving

@@ -1,0 +1,439 @@
+#include "serving/scheduler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace fcm::serving {
+
+const char* admission_policy_name(AdmissionPolicy p) {
+  return p == AdmissionPolicy::kBlock ? "block" : "reject";
+}
+
+const char* serve_status_name(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kExpired: return "expired";
+  }
+  return "?";
+}
+
+const char* queue_discipline_name(QueueDiscipline d) {
+  return d == QueueDiscipline::kFifo ? "fifo" : "edf";
+}
+
+ServeRequest ServeRequest::f32(std::string model, std::vector<TensorF> batch) {
+  ServeRequest r;
+  r.model = std::move(model);
+  r.dtype = DType::kF32;
+  r.batch_f32 = std::move(batch);
+  return r;
+}
+
+ServeRequest ServeRequest::i8(std::string model, std::vector<TensorI8> batch,
+                              std::optional<QuantParams> quant) {
+  ServeRequest r;
+  r.model = std::move(model);
+  r.dtype = DType::kI8;
+  r.batch_i8 = std::move(batch);
+  r.quant = quant;
+  return r;
+}
+
+ServeResponse response_stub(const ServeRequest& req, ServeStatus status) {
+  ServeResponse resp;
+  resp.status = status;
+  resp.model = req.model;
+  resp.dtype = req.dtype;
+  resp.batch = req.batch();
+  return resp;
+}
+
+namespace {
+
+/// Coalescing key: requests merge into one batch only when they agree on the
+/// model, the dtype, (bit-exactly) the quant override — the same identity
+/// that selects the engine's runner and plan — and the input shape, so a
+/// mis-shaped request can only merge with identically mis-shaped peers and
+/// fails alone instead of poisoning a batch of valid requests.
+std::string coalesce_key(const ServeRequest& r) {
+  std::string key = r.model;
+  key += r.dtype == DType::kF32 ? "|f32" : "|i8";
+  if (r.quant.has_value()) {
+    const auto bits = [](float f) {
+      return std::to_string(std::bit_cast<std::uint32_t>(f));
+    };
+    key += "|q:" + bits(r.quant->in_scale) + "," + bits(r.quant->w_scale) +
+           "," + bits(r.quant->out_scale);
+  }
+  if (r.batch() >= 1) {
+    const FmShape& s = r.dtype == DType::kF32 ? r.batch_f32.front().shape()
+                                              : r.batch_i8.front().shape();
+    key += "|s:" + std::to_string(s.c) + "x" + std::to_string(s.h) + "x" +
+           std::to_string(s.w);
+  }
+  return key;
+}
+
+bool coalescible(const Scheduler::Item& it) { return it.req.batch() == 1; }
+
+/// Heap comparator: "less" means dispatched later, so the root is the
+/// earliest (deadline, seq). Deadline-free items carry +inf and sort last.
+struct EdfAfter {
+  bool operator()(const Scheduler::Item& a, const Scheduler::Item& b) const {
+    if (a.deadline_s != b.deadline_s) return a.deadline_s > b.deadline_s;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions opt, std::shared_ptr<Clock> clock)
+    : opt_(opt), clock_(std::move(clock)) {
+  FCM_CHECK(opt_.queue_depth >= 1, "SchedulerOptions::queue_depth must be >= 1");
+  FCM_CHECK(opt_.max_coalesce_batch >= 1,
+            "SchedulerOptions::max_coalesce_batch must be >= 1");
+  FCM_CHECK(opt_.coalesce_wait_us >= 0,
+            "SchedulerOptions::coalesce_wait_us must be >= 0");
+  if (!clock_) clock_ = std::make_shared<SteadyClock>();
+  clock_->register_waiter(&mu_, &cv_pop_);
+}
+
+Scheduler::~Scheduler() {
+  stop();
+  clock_->unregister_waiter(&cv_pop_);
+}
+
+std::future<ServeResponse> Scheduler::push(ServeRequest req) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> fut = promise.get_future();
+  std::unique_lock<std::mutex> lk(mu_);
+  ++producers_;
+  const auto leave = [this] {
+    // Last producer out wakes a stop() waiting to reject the backlog.
+    --producers_;
+    if (producers_ == 0 && stopping_) cv_producers_done_.notify_all();
+  };
+  const auto reject_now = [&] {
+    ++qstats_.rejected;
+    promise.set_value(response_stub(req, ServeStatus::kRejected));
+    leave();
+  };
+  if (stopping_) {
+    // A stopping scheduler has no consumers left to resolve the future —
+    // reject instead of enqueueing a request no one will ever pop.
+    reject_now();
+    return fut;
+  }
+  if (q_.size() >= opt_.queue_depth) {
+    if (opt_.policy == AdmissionPolicy::kReject) {
+      reject_now();
+      return fut;
+    }
+    ++qstats_.blocked;
+    cv_not_full_.wait(lk, [this] {
+      return q_.size() < opt_.queue_depth || stopping_;
+    });
+    if (stopping_) {
+      reject_now();
+      return fut;
+    }
+  }
+  ++qstats_.accepted;
+  Item it;
+  it.enqueued_s = clock_->now_s();
+  if (req.deadline_s > 0.0) {
+    it.deadline_s = it.enqueued_s + req.deadline_s;
+    ++deadlined_;
+  }
+  it.seq = next_seq_++;
+  // The key is only ever compared when coalescing is on; skip the string
+  // build on the lock-held admission path otherwise (the default).
+  if (opt_.max_coalesce_batch > 1) it.ckey = coalesce_key(req);
+  it.req = std::move(req);
+  it.promise = std::move(promise);
+  q_.push_back(std::move(it));
+  if (opt_.discipline == QueueDiscipline::kEdf) {
+    std::push_heap(q_.begin(), q_.end(), EdfAfter{});
+  }
+  const auto depth = static_cast<std::int64_t>(q_.size());
+  qstats_.max_depth = std::max(qstats_.max_depth, depth);
+  depth_watermark_ = std::max(depth_watermark_, depth);
+  leave();
+  lk.unlock();
+  // notify_all, not notify_one: consumers wait on cv_pop_ with different
+  // predicates (empty-queue wait vs a key-specific batching window), so a
+  // single wakeup could land on a window-waiting worker whose predicate
+  // stays false while an idle worker sleeps through a runnable request.
+  cv_pop_.notify_all();
+  return fut;
+}
+
+void Scheduler::resolve_expired_locked(Item&& it, double now_s) {
+  ++qstats_.expired;
+  ServeResponse resp = response_stub(it.req, ServeStatus::kExpired);
+  resp.queue_wait_s = now_s - it.enqueued_s;
+  resp.latency_s = resp.queue_wait_s;
+  it.promise.set_value(std::move(resp));
+}
+
+void Scheduler::expire_due_locked() {
+  // Deadline-free traffic (the common case) must not pay an O(depth) scan
+  // per pop; the counter tracks queued items with a finite deadline.
+  if (deadlined_ == 0) return;
+  const double now = clock_->now_s();
+  std::size_t w = 0;
+  bool removed = false;
+  for (std::size_t r = 0; r < q_.size(); ++r) {
+    if (now > q_[r].deadline_s) {
+      --deadlined_;
+      resolve_expired_locked(std::move(q_[r]), now);
+      removed = true;
+      continue;
+    }
+    if (w != r) q_[w] = std::move(q_[r]);
+    ++w;
+  }
+  if (removed) {
+    erase_compacted_locked(w);
+    cv_not_full_.notify_all();
+  }
+}
+
+void Scheduler::erase_compacted_locked(std::size_t w) {
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(w), q_.end());
+  reheap_locked();
+}
+
+int Scheduler::select_head_locked() const {
+  if (q_.empty()) return -1;
+  const auto eligible = [this](const Item& it) {
+    return !(coalescible(it) && window_keys_.count(it.ckey) > 0);
+  };
+  if (opt_.discipline == QueueDiscipline::kFifo) {
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      if (eligible(q_[i])) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  // EDF: the heap root is the earliest (deadline, seq) overall, so when it
+  // is eligible — the only case without open windows — heap-pop stays the
+  // fast path; otherwise scan for the eligible minimum.
+  if (eligible(q_[0])) return 0;
+  int best = -1;
+  for (std::size_t i = 1; i < q_.size(); ++i) {
+    if (!eligible(q_[i])) continue;
+    if (best < 0 || EdfAfter{}(q_[static_cast<std::size_t>(best)], q_[i])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Scheduler::Item Scheduler::take_at_locked(std::size_t idx) {
+  const auto take = [this](std::size_t i) {
+    if (opt_.discipline == QueueDiscipline::kEdf && i == 0) {
+      std::pop_heap(q_.begin(), q_.end(), EdfAfter{});
+      Item it = std::move(q_.back());
+      q_.pop_back();
+      return it;
+    }
+    if (opt_.discipline == QueueDiscipline::kFifo && i == 0) {
+      Item it = std::move(q_.front());
+      q_.pop_front();
+      return it;
+    }
+    Item it = std::move(q_[i]);
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+    reheap_locked();
+    return it;
+  };
+  Item it = take(idx);
+  if (std::isfinite(it.deadline_s)) --deadlined_;
+  return it;
+}
+
+std::size_t Scheduler::matches_locked(const std::string& ckey) const {
+  std::size_t n = 0;
+  for (const Item& it : q_) {
+    if (coalescible(it) && it.ckey == ckey) ++n;
+  }
+  return n;
+}
+
+void Scheduler::extract_matches_locked(const std::string& ckey,
+                                       std::size_t limit,
+                                       std::vector<Item>* out) {
+  if (limit == 0) return;
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    if (coalescible(q_[i]) && q_[i].ckey == ckey) idx.push_back(i);
+  }
+  // Dispatch order inside the merged batch follows the discipline: FIFO
+  // storage is already seq-ordered; EDF selects the earliest deadlines.
+  if (opt_.discipline == QueueDiscipline::kEdf) {
+    std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+      return EdfAfter{}(q_[b], q_[a]);
+    });
+  }
+  if (idx.size() > limit) idx.resize(limit);
+  std::vector<char> taken(q_.size(), 0);
+  for (const std::size_t i : idx) {
+    if (std::isfinite(q_[i].deadline_s)) --deadlined_;
+    out->push_back(std::move(q_[i]));
+    taken[i] = 1;
+  }
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < q_.size(); ++r) {
+    if (taken[r]) continue;
+    if (w != r) q_[w] = std::move(q_[r]);
+    ++w;
+  }
+  erase_compacted_locked(w);
+}
+
+void Scheduler::reheap_locked() {
+  if (opt_.discipline == QueueDiscipline::kEdf) {
+    std::make_heap(q_.begin(), q_.end(), EdfAfter{});
+  }
+}
+
+bool Scheduler::pop(Dispatch* out) { return pop_impl(out, /*blocking=*/true); }
+
+bool Scheduler::try_pop(Dispatch* out) {
+  return pop_impl(out, /*blocking=*/false);
+}
+
+bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (stopping_) return false;  // stop() rejects any backlog itself
+    expire_due_locked();
+    const int head_idx = select_head_locked();
+    if (head_idx < 0) {
+      // Nothing dispatchable: the queue is empty, or everything queued is
+      // riding another worker's open window.
+      if (!blocking) return false;
+      cv_pop_.wait(lk, [this] {
+        return stopping_ || select_head_locked() >= 0;
+      });
+      continue;
+    }
+    Item head = take_at_locked(static_cast<std::size_t>(head_idx));
+    cv_not_full_.notify_one();
+
+    out->items.clear();
+    const auto budget = static_cast<std::size_t>(opt_.max_coalesce_batch);
+    if (budget > 1 && coalescible(head)) {
+      const std::string key = head.ckey;
+      const std::size_t want = budget - 1;
+      if (blocking) {
+        // Batching window, anchored at the head's enqueue so backlogged
+        // traffic merges greedily without adding wait on top of queueing —
+        // and capped by the head's own deadline, so a deadline request
+        // dispatches under-filled at its last viable moment rather than
+        // being expired by its own batching window. The key reservation
+        // keeps concurrent idle workers from claiming arriving peers as
+        // their own solo window heads.
+        window_keys_.insert(key);
+        const double window_end_s =
+            head.enqueued_s +
+            static_cast<double>(opt_.coalesce_wait_us) * 1e-6;
+        const double wait_end_s = std::min(window_end_s, head.deadline_s);
+        for (;;) {
+          expire_due_locked();
+          // A full queue also closes the window: admission is blocked, so
+          // no new peer can arrive and waiting out the clock is pure stall
+          // (and a deadlock on a frozen ManualClock).
+          if (stopping_ || matches_locked(key) >= want ||
+              q_.size() >= opt_.queue_depth ||
+              clock_->now_s() >= wait_end_s) {
+            break;
+          }
+          clock_->wait_until(lk, cv_pop_, wait_end_s, [&] {
+            return stopping_ || matches_locked(key) >= want ||
+                   q_.size() >= opt_.queue_depth;
+          });
+        }
+        window_keys_.erase(key);
+        // The head itself may have out-waited its own deadline during the
+        // window; its riders go back through the loop as the new backlog.
+        if (clock_->now_s() > head.deadline_s) {
+          resolve_expired_locked(std::move(head), clock_->now_s());
+          cv_pop_.notify_all();  // the released key re-opens its peers
+          continue;
+        }
+      }
+      out->items.push_back(std::move(head));
+      extract_matches_locked(key, want, &out->items);
+      if (blocking) {
+        cv_pop_.notify_all();  // beyond-budget peers are dispatchable again
+      }
+    } else {
+      out->items.push_back(std::move(head));
+    }
+    out->popped_s = clock_->now_s();
+    if (out->items.size() > 1) {
+      ++qstats_.coalesced_batches;
+      qstats_.coalesced_items += static_cast<std::int64_t>(out->items.size());
+      cv_not_full_.notify_all();
+    }
+    return true;
+  }
+}
+
+void Scheduler::record_completed(std::size_t requests) {
+  std::lock_guard<std::mutex> lk(mu_);
+  qstats_.completed += static_cast<std::int64_t>(requests);
+}
+
+void Scheduler::stop() {
+  std::deque<Item> backlog;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      cv_pop_.notify_all();
+      cv_not_full_.notify_all();
+    }
+    // Producers parked in push (kBlock backpressure) wake, resolve their
+    // futures as kRejected and leave; only then is the backlog final.
+    cv_producers_done_.wait(lk, [this] { return producers_ == 0; });
+    backlog.swap(q_);
+    deadlined_ = 0;
+    qstats_.rejected += static_cast<std::int64_t>(backlog.size());
+  }
+  // Shutdown drains the backlog as rejected rather than executing it
+  // (accepted stays monotonic; see the QueueStats contract).
+  for (Item& it : backlog) {
+    it.promise.set_value(response_stub(it.req, ServeStatus::kRejected));
+  }
+}
+
+QueueStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return qstats_;
+}
+
+std::size_t Scheduler::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+std::int64_t Scheduler::reset_depth_watermark() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::int64_t old = depth_watermark_;
+  depth_watermark_ = static_cast<std::int64_t>(q_.size());
+  return old;
+}
+
+std::int64_t Scheduler::depth_watermark() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return depth_watermark_;
+}
+
+}  // namespace fcm::serving

@@ -95,7 +95,9 @@ std::string ServingReport::summary() const {
   if (queue.accepted + queue.rejected > 0) {
     os << "; queue: " << queue.accepted << " accepted, " << queue.rejected
        << " rejected, " << queue.expired << " expired, " << queue.blocked
-       << " blocked, max depth " << queue.max_depth;
+       << " blocked, max depth " << queue.max_depth << ", coalesced "
+       << queue.coalesced_batches << " batches/" << queue.coalesced_items
+       << " items";
   }
   return os.str();
 }

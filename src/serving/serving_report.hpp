@@ -24,7 +24,10 @@ double percentile(std::vector<double> xs, double p);
 /// requests resolved with ServeStatus::kRejected — turned away at admission
 /// (kReject policy, queue full) or drained unexecuted at engine shutdown.
 /// `blocked` counts enqueues that had to wait for space under the kBlock
-/// policy; `max_depth` is the queue's high-water mark.
+/// policy; `max_depth` is the queue's high-water mark. `coalesced_batches`
+/// counts dispatches that merged several single-image requests into one
+/// batch, `coalesced_items` the requests riding in them (each also counts
+/// into `completed` once it runs).
 struct QueueStats {
   std::int64_t accepted = 0;
   std::int64_t rejected = 0;
@@ -32,6 +35,8 @@ struct QueueStats {
   std::int64_t completed = 0;
   std::int64_t blocked = 0;
   std::int64_t max_depth = 0;
+  std::int64_t coalesced_batches = 0;
+  std::int64_t coalesced_items = 0;
 };
 
 /// Request statistics aggregated for one model.

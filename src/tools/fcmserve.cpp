@@ -12,6 +12,7 @@
 //   fcmserve --models Mob_v1,Mob_v2 --cache-dir plans/ --threads 8
 //   fcmserve --models Tiny --batch 4 --dtype i8 --queue-depth 8 --policy reject
 //   fcmserve --plan-only --cache-dir plans/     # cold/warm planning table only
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -43,6 +44,16 @@ void usage() {
       "                               needs DW/PW-only models, e.g. Tiny)\n"
       "  --queue-depth <n>            admission queue bound, default 32\n"
       "  --policy <block|reject>      full-queue behaviour, default block\n"
+      "  --discipline <fifo|edf>      dequeue order, default fifo (edf =\n"
+      "                               earliest deadline first)\n"
+      "  --coalesce <n>               merge up to n same-(model, dtype)\n"
+      "                               single-image requests into one batch\n"
+      "                               at dequeue, default 1 (off)\n"
+      "  --coalesce-wait-us <n>       batching window from the head's\n"
+      "                               enqueue, default 0 (merge only what\n"
+      "                               is already queued)\n"
+      "  --deadline-ms <x>            queueing deadline per request,\n"
+      "                               default 0 (none)\n"
       "  --threads <n>                worker threads (default: hardware)\n"
       "  --cache-dir <dir>            persistent plan-cache directory\n"
       "  --cache-capacity <n>         plan-cache LRU bound, default 32\n"
@@ -73,6 +84,10 @@ int main(int argc, char** argv) {
   bool triple = false, plan_only = false;
   DType dtype = DType::kF32;
   serving::AdmissionPolicy policy = serving::AdmissionPolicy::kBlock;
+  serving::QueueDiscipline discipline = serving::QueueDiscipline::kFifo;
+  int coalesce = 1;
+  std::uint64_t coalesce_wait_us = 0;
+  double deadline_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,6 +124,30 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg == "--discipline") {
+      const std::string v = next();
+      if (v == "fifo") discipline = serving::QueueDiscipline::kFifo;
+      else if (v == "edf") discipline = serving::QueueDiscipline::kEdf;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--coalesce") {
+      coalesce = static_cast<int>(
+          cli::parse_u64_or_usage_exit(next(), 1 << 12, usage));
+    } else if (arg == "--coalesce-wait-us") {
+      coalesce_wait_us = cli::parse_u64_or_usage_exit(next(), 1u << 30, usage);
+    } else if (arg == "--deadline-ms") {
+      // Fractional deadlines matter: Tiny's per-request service time is well
+      // under a millisecond, so parse as a double rather than an integer.
+      const std::string v = next();
+      char* end = nullptr;
+      deadline_ms = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(deadline_ms >= 0.0) ||
+          deadline_ms > 1e9) {
+        usage();
+        return 2;
+      }
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(
           cli::parse_u64_or_usage_exit(next(), 1024, usage));
@@ -126,7 +165,8 @@ int main(int argc, char** argv) {
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
-  if (requests < 1 || batch < 1 || cache_capacity < 1 || queue_depth < 1) {
+  if (requests < 1 || batch < 1 || cache_capacity < 1 || queue_depth < 1 ||
+      coalesce < 1) {
     usage();
     return 2;
   }
@@ -172,8 +212,12 @@ int main(int argc, char** argv) {
     opt.cache_dir = cache_dir;
     opt.seed = seed;
     opt.plan_options.enable_triple = triple;
-    opt.queue_depth = queue_depth;
-    opt.policy = policy;
+    opt.scheduler.queue_depth = queue_depth;
+    opt.scheduler.policy = policy;
+    opt.scheduler.discipline = discipline;
+    opt.scheduler.max_coalesce_batch = coalesce;
+    opt.scheduler.coalesce_wait_us =
+        static_cast<std::int64_t>(coalesce_wait_us);
     // --threads bounds serving concurrency too: the admission queue's
     // request workers, not only the simulator pool.
     opt.queue_workers = threads;
@@ -215,14 +259,21 @@ int main(int argc, char** argv) {
         mix.push_back({name,
                        seed + static_cast<std::uint64_t>(mix.size()) *
                                   static_cast<std::uint64_t>(batch),
-                       dtype, batch});
+                       dtype, batch, deadline_ms / 1e3});
       }
     }
     std::cout << "\n== replaying " << mix.size() << " requests ("
               << model_names.size() << " models x " << requests
               << ", round-robin, batch " << batch << ", "
               << dtype_name(dtype) << ", queue depth " << queue_depth << ", "
-              << serving::admission_policy_name(policy) << ") ==\n";
+              << serving::admission_policy_name(policy) << ", "
+              << serving::queue_discipline_name(discipline);
+    if (coalesce > 1) {
+      std::cout << ", coalesce " << coalesce << " within "
+                << coalesce_wait_us << " us";
+    }
+    if (deadline_ms > 0.0) std::cout << ", deadline " << deadline_ms << " ms";
+    std::cout << ") ==\n";
     const auto report = engine.replay(mix);
     std::cout << report.table() << report.group_table() << report.summary()
               << "\n";

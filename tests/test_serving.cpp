@@ -480,7 +480,7 @@ TEST(InferenceEngine, I8SubmitParityWithDirectRunner) {
 
 TEST(InferenceEngine, SubmitAsyncDeliversFuturesUnderConcurrentProducers) {
   EngineOptions opt;
-  opt.queue_depth = 16;
+  opt.scheduler.queue_depth = 16;
   opt.queue_workers = 2;
   InferenceEngine engine(gpusim::jetson_orin(), opt);
 
@@ -520,9 +520,9 @@ TEST(InferenceEngine, SubmitAsyncDeliversFuturesUnderConcurrentProducers) {
 
 TEST(InferenceEngine, RejectPolicyShedsLoadWhenQueueIsFull) {
   EngineOptions opt;
-  opt.queue_depth = 1;
+  opt.scheduler.queue_depth = 1;
   opt.queue_workers = 1;
-  opt.policy = AdmissionPolicy::kReject;
+  opt.scheduler.policy = AdmissionPolicy::kReject;
   InferenceEngine engine(gpusim::jetson_orin(), opt);
 
   // Flood: batch-4 requests keep the single worker busy for milliseconds
@@ -564,9 +564,9 @@ TEST(InferenceEngine, RejectPolicyShedsLoadWhenQueueIsFull) {
 
 TEST(InferenceEngine, BlockPolicyBackpressuresAndCompletesEverything) {
   EngineOptions opt;
-  opt.queue_depth = 1;
+  opt.scheduler.queue_depth = 1;
   opt.queue_workers = 1;
-  opt.policy = AdmissionPolicy::kBlock;
+  opt.scheduler.policy = AdmissionPolicy::kBlock;
   InferenceEngine engine(gpusim::jetson_orin(), opt);
 
   constexpr int kRequests = 6;
@@ -594,9 +594,9 @@ TEST(InferenceEngine, DestructionWakesBlockedProducerAndRejectsBacklog) {
   std::thread producer;
   {
     EngineOptions opt;
-    opt.queue_depth = 1;
+    opt.scheduler.queue_depth = 1;
     opt.queue_workers = 1;
-    opt.policy = AdmissionPolicy::kBlock;
+    opt.scheduler.policy = AdmissionPolicy::kBlock;
     InferenceEngine engine(gpusim::jetson_orin(), opt);
     // Worker busy on a slow batch, queue holding one more: the producer
     // thread's third submit parks in kBlock backpressure.
@@ -622,7 +622,7 @@ TEST(InferenceEngine, DestructionWakesBlockedProducerAndRejectsBacklog) {
 
 TEST(InferenceEngine, DeadlineExpiresRequestStuckInQueue) {
   EngineOptions opt;
-  opt.queue_depth = 8;
+  opt.scheduler.queue_depth = 8;
   opt.queue_workers = 1;
   InferenceEngine engine(gpusim::jetson_orin(), opt);
 
@@ -645,7 +645,7 @@ TEST(InferenceEngine, DeadlineExpiresRequestStuckInQueue) {
 
 TEST(InferenceEngine, ReplayCarriesDtypeBatchGroupsAndQueueCounters) {
   EngineOptions opt;
-  opt.queue_depth = 4;
+  opt.scheduler.queue_depth = 4;
   opt.queue_workers = 1;
   InferenceEngine engine(gpusim::jetson_orin(), opt);
   const std::vector<InferenceEngine::Request> mix = {
