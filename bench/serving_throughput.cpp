@@ -33,10 +33,21 @@
 // Part 5 contrasts FIFO with EDF under the same overloaded mixed-deadline
 // mix: EDF serves the tight-deadline half first, so more of it completes
 // before expiry (SLO attainment traded for fairness).
+//
+// Part 6 is the cluster-routing acceptance: a heterogeneous GTX+RTX
+// ServingCluster under overload, each shard's worker holding requests for
+// their simulated device time (EngineOptions::sim_dilation), so the GTX
+// shard genuinely drains slower than the RTX shard. Round-robin splits the
+// mix blindly and ends up rate-limited by the slow shard's backlog
+// (admission is kBlock, so the replay loop stalls on the full GTX queue
+// while RTX idles); least-loaded joins the shortest queue and keeps both
+// shards busy — its cluster throughput must be >= round-robin's. A 1-shard
+// RTX row anchors the scale.
 #include "bench_util.hpp"
 #include "common/clock.hpp"
 #include "common/random.hpp"
 #include "models/model_zoo.hpp"
+#include "serving/cluster.hpp"
 #include "serving/inference_engine.hpp"
 
 using namespace fcm;
@@ -307,6 +318,116 @@ int main() {
                  "same overload it expires\nno more (and typically fewer) "
                  "requests than FIFO — the fairness/SLO trade the\n"
                  "scheduler's discipline option encodes\n";
+  }
+
+  bench::print_header(
+      "Serving: cluster router sweep — heterogeneous GTX+RTX under overload "
+      "(Tiny, fp32, sim-paced shards, block)");
+  {
+    // Shard device models, launch-free: Tiny is so small that the
+    // device-INDEPENDENT kernel-launch constant (5 us x ~7 kernels) would
+    // swamp the devices' compute/bandwidth asymmetry and make the two
+    // shards near-identical (~1.1x). The routing question is about
+    // heterogeneous service rates, so the cluster zeroes the launch
+    // constant and lets the compute/BW model set the pace — GTX/RTX then
+    // differ by ~2.3x, the asymmetry least-loaded routing exists to absorb.
+    auto gtx = gpusim::gtx1660();
+    auto rtx = gpusim::rtx_a4000();
+    gtx.kernel_launch_overhead_s = 0.0;
+    rtx.kernel_launch_overhead_s = 0.0;
+
+    // Per-device simulated service time of one Tiny request, and a dilation
+    // that stretches the RTX shard to ~40 ms of real worker hold per request
+    // (comfortably above the functional execution cost, so the hold — not
+    // host speed — is the service time). Queue depth now encodes simulated
+    // device speed, which is exactly the signal least-loaded routes on.
+    auto sim_of = [](const gpusim::DeviceSpec& dev) {
+      serving::InferenceEngine probe(dev, {});
+      const auto shape =
+          models::model_by_name("Tiny").layers.front().ifm_shape();
+      probe.submit(serving::ServeRequest::f32("Tiny", batch_f32(shape, 1, 5)));
+      return probe.submit(serving::ServeRequest::f32("Tiny",
+                                                     batch_f32(shape, 1, 6)))
+          .sim_time_s;
+    };
+    const double sim_gtx = sim_of(gtx);
+    const double sim_rtx = sim_of(rtx);
+    const double dilation = 40e-3 / sim_rtx;
+    const double cap_gtx = 1.0 / (sim_gtx * dilation);
+    const double cap_rtx = 1.0 / (sim_rtx * dilation);
+
+    auto run_cell = [&](std::vector<gpusim::DeviceSpec> devices,
+                        serving::RouterPolicy policy, double offered) {
+      serving::ClusterOptions opt;
+      opt.engine.scheduler.queue_depth = 8;
+      // kBlock: a full shard backpressures the submitter, so a router that
+      // keeps feeding the slow shard throttles the whole replay to it —
+      // the head-of-line cost of load-blind routing.
+      opt.engine.scheduler.policy = serving::AdmissionPolicy::kBlock;
+      opt.engine.queue_workers = 1;
+      opt.engine.sim_dilation = dilation;
+      opt.router = policy;
+      serving::ServingCluster cluster(std::move(devices), opt);
+      // Warm every shard's plan + runner outside the measured replay.
+      const auto shape =
+          models::model_by_name("Tiny").layers.front().ifm_shape();
+      for (std::size_t s = 0; s < cluster.size(); ++s) {
+        cluster.engine(s).submit(
+            serving::ServeRequest::f32("Tiny", batch_f32(shape, 1, 7)));
+      }
+      std::vector<serving::InferenceEngine::Request> mix;
+      for (int i = 0; i < 48; ++i) {
+        mix.push_back({"Tiny", 9000 + static_cast<std::uint64_t>(i),
+                       DType::kF32, 1});
+      }
+      return cluster.replay(mix, offered);
+    };
+
+    Table t({"cluster", "router", "offered req/s", "achieved req/s",
+             "shard req split", "blocked", "p50 ms", "p95 ms"});
+    double rr_rps = 0.0, ll_rps = 0.0;
+    const auto policies = {serving::RouterPolicy::kRoundRobin,
+                           serving::RouterPolicy::kLeastLoaded,
+                           serving::RouterPolicy::kPlanAffinity};
+    for (const bool hetero : {true, false}) {
+      const double offered =
+          2.0 * (hetero ? cap_gtx + cap_rtx : 2.0 * cap_rtx);
+      for (const auto policy : policies) {
+        if (!hetero && policy == serving::RouterPolicy::kPlanAffinity) {
+          continue;  // identical to least-loaded once every shard is warm
+        }
+        auto devices = hetero ? std::vector<gpusim::DeviceSpec>{gtx, rtx}
+                              : std::vector<gpusim::DeviceSpec>{rtx, rtx};
+        const auto rep = run_cell(std::move(devices), policy, offered);
+        std::string split;
+        for (const auto& s : rep.shards) {
+          split += (split.empty() ? "" : "/") + std::to_string(s.requests);
+        }
+        if (hetero && policy == serving::RouterPolicy::kRoundRobin) {
+          rr_rps = rep.throughput_rps();
+        }
+        if (hetero && policy == serving::RouterPolicy::kLeastLoaded) {
+          ll_rps = rep.throughput_rps();
+        }
+        t.add_row({hetero ? "GTX+RTX" : "RTX+RTX",
+                   serving::router_policy_name(policy), fmt_f(offered, 1),
+                   fmt_f(rep.throughput_rps(), 1), split,
+                   std::to_string(rep.queue.blocked),
+                   rep.groups.empty() ? "-"
+                                      : fmt_f(rep.groups[0].p50_s() * 1e3, 2),
+                   rep.groups.empty()
+                       ? "-"
+                       : fmt_f(rep.groups[0].p95_s() * 1e3, 2)});
+      }
+    }
+    std::cout << t.str() << "shard service rates: GTX " << fmt_f(cap_gtx, 1)
+              << " req/s, RTX " << fmt_f(cap_rtx, 1)
+              << " req/s (sim-paced; GTX/RTX sim time ratio "
+              << fmt_f(sim_gtx / sim_rtx, 2) << "x)\n"
+              << "least-loaded >= round-robin cluster throughput under "
+              << "overload: " << (ll_rps >= rr_rps ? "yes" : "NO") << " ("
+              << fmt_f(ll_rps / std::max(1e-9, rr_rps), 3)
+              << "x)   [acceptance: >= 1x on the heterogeneous cluster]\n";
   }
   return 0;
 }

@@ -1,0 +1,124 @@
+#include "serving/cluster.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace fcm::serving {
+
+ServingCluster::ServingCluster(std::vector<gpusim::DeviceSpec> devices,
+                               ClusterOptions opt)
+    : opt_(std::move(opt)),
+      clock_(opt_.engine.clock ? opt_.engine.clock
+                               : std::make_shared<SteadyClock>()),
+      router_(make_router(opt_.router)) {
+  FCM_CHECK(!devices.empty(), "ServingCluster: device list must be non-empty");
+  EngineOptions eopt = opt_.engine;
+  eopt.clock = clock_;  // one timeline across every shard
+  shards_.reserve(devices.size());
+  for (auto& dev : devices) {
+    shards_.push_back(std::make_unique<InferenceEngine>(std::move(dev), eopt));
+  }
+  routed_.assign(shards_.size(), 0);
+}
+
+std::size_t ServingCluster::route(const ServeRequest& req) {
+  // Shard gauges are gathered outside the routing lock (each shard's load
+  // is internally consistent under its own queue mutex); the lock
+  // serialises the pick itself plus the routed counters that feed the
+  // least-loaded tie-break.
+  std::vector<ShardState> states(shards_.size());
+  const bool affinity = router_->policy() == RouterPolicy::kPlanAffinity;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    states[i].index = i;
+    states[i].load = shards_[i]->load();
+    if (affinity) {
+      PlanKey key;
+      key.model = req.model;
+      key.device = shards_[i]->device().name;
+      key.dtype = req.dtype;
+      key.options = opt_.engine.plan_options;
+      states[i].plan_resident = shards_[i]->plan_cache().contains(key);
+    }
+  }
+  std::lock_guard<std::mutex> lk(route_mu_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    states[i].routed = routed_[i];
+  }
+  const std::size_t shard = router_->pick(states);
+  ++routed_[shard];
+  return shard;
+}
+
+ServeResponse ServingCluster::submit(const ServeRequest& req) {
+  return shards_[route(req)]->submit(req);
+}
+
+std::future<ServeResponse> ServingCluster::submit_async(ServeRequest req) {
+  const std::size_t shard = route(req);
+  return shards_[shard]->submit_async(std::move(req));
+}
+
+std::vector<std::int64_t> ServingCluster::routed() const {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  return routed_;
+}
+
+ServingReport ServingCluster::replay(
+    const std::vector<InferenceEngine::Request>& mix, double offered_rps) {
+  // Bracket every shard's counters the way a single engine's replay
+  // brackets its own: cache/queue deltas and a fresh depth watermark.
+  const std::size_t n_shards = shards_.size();
+  std::vector<CacheStats> cache_before(n_shards);
+  std::vector<QueueStats> queue_before(n_shards);
+  const std::vector<std::int64_t> routed_before = routed();
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    cache_before[s] = shards_[s]->plan_cache().stats();
+    queue_before[s] = shards_[s]->queue_stats();
+    shards_[s]->reset_depth_watermark();
+  }
+
+  ServingReport report;
+  if (n_shards == 1) {
+    report.device = shards_[0]->device().name;
+  } else {
+    report.device = "cluster[";
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      report.device += (s > 0 ? "+" : "") + shards_[s]->device().name;
+    }
+    report.device += "]";
+  }
+  report.router = router_policy_name(router_->policy());
+
+  std::vector<std::size_t> shard_of(mix.size(), 0);
+  const std::vector<ReplayOutcome> outcomes = drive_replay(
+      mix, offered_rps, *clock_,
+      [&](ServeRequest req, std::size_t i) {
+        const std::size_t shard = route(req);
+        shard_of[i] = shard;
+        return shards_[shard]->submit_async(std::move(req));
+      },
+      &report.wall_s);
+
+  const std::vector<std::int64_t> routed_after = routed();
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    ShardServingStats shard;
+    shard.shard = static_cast<int>(s);
+    shard.device = shards_[s]->device().name;
+    shard.routed = static_cast<int>(routed_after[s] - routed_before[s]);
+    shard.queue = queue_delta(shards_[s]->queue_stats(), queue_before[s]);
+    shard.queue.max_depth = shards_[s]->depth_watermark();
+    cache_accumulate(report.cache, cache_delta(shards_[s]->plan_cache().stats(),
+                                               cache_before[s]));
+    queue_accumulate(report.queue, shard.queue);
+    report.shards.push_back(std::move(shard));
+  }
+
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    accumulate_outcome(report, mix[i], outcomes[i],
+                       &report.shards[shard_of[i]]);
+  }
+  return report;
+}
+
+}  // namespace fcm::serving

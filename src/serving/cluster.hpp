@@ -1,0 +1,108 @@
+// A serving cluster: one InferenceEngine shard per device behind a router.
+//
+// The ROADMAP's multi-engine sharding item made concrete: ServingCluster
+// owns N per-device engines — possibly heterogeneous (the gpusim layer
+// models three different GPUs) — and keeps the single-engine serving
+// contract: submit()/submit_async() take the same ServeRequest and resolve
+// the same ServeResponse, they just gain a routing hop. The Router policy
+// (router.hpp) picks the shard per request from the shards' race-free load
+// gauges (Scheduler::load(): queued + in-flight under one lock) and, for
+// kPlanAffinity, from each shard's PlanCache residency of the request's
+// plan key.
+//
+// Every shard runs the full single-engine stack (PlanCache → Scheduler →
+// workers) with the cluster-wide EngineOptions; the cluster injects ONE
+// shared Clock into all shards, so deadlines, pacing and latency live on a
+// single timeline and a ManualClock makes whole-cluster tests
+// deterministic. replay(mix, offered_rps) paces the mix through the router
+// on that clock and aggregates a ServingReport whose per-model and
+// per-(dtype × batch) sections match the single-engine shape, plus a
+// per-shard breakdown (device, routed/completed counts, latency
+// percentiles, queue counter deltas). Routing never touches numerics: a
+// request's outputs are bit-identical to submitting it to any shard of the
+// same device spec and seed directly — test_cluster asserts a homogeneous
+// cluster reproduces a single engine bit for bit.
+//
+// With EngineOptions::sim_dilation set, each shard's workers hold requests
+// for their simulated device time, turning the cluster into a small
+// heterogeneous serving-cluster simulator: a GTX shard genuinely drains
+// slower than an RTX shard, so join-shortest-queue routing beats blind
+// round-robin under overload (bench_serving_throughput part 6).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "gpusim/device_spec.hpp"
+#include "serving/inference_engine.hpp"
+#include "serving/router.hpp"
+
+namespace fcm::serving {
+
+struct ClusterOptions {
+  /// Options applied to every shard's engine. The clock field is special:
+  /// null makes the cluster create one SteadyClock shared by all shards; a
+  /// test-injected ManualClock is likewise shared cluster-wide.
+  EngineOptions engine;
+  /// Shard selection policy.
+  RouterPolicy router = RouterPolicy::kRoundRobin;
+};
+
+class ServingCluster {
+ public:
+  /// One shard per device, in order; `devices` must be non-empty and may
+  /// repeat a spec (a homogeneous multi-shard cluster).
+  explicit ServingCluster(std::vector<gpusim::DeviceSpec> devices,
+                          ClusterOptions opt = {});
+
+  ServingCluster(const ServingCluster&) = delete;
+  ServingCluster& operator=(const ServingCluster&) = delete;
+
+  /// Route `req` and execute it synchronously on the chosen shard's engine
+  /// (no admission queue — the single-engine submit contract).
+  ServeResponse submit(const ServeRequest& req);
+
+  /// Route `req` onto a shard's admission queue and return the future its
+  /// workers will resolve. Admission control is per shard: a full shard
+  /// blocks or rejects by the shard's own policy.
+  std::future<ServeResponse> submit_async(ServeRequest req);
+
+  /// Drive `mix` through the router — paced at `offered_rps` on the cluster
+  /// clock when > 0 — and aggregate a ServingReport: cluster-level model and
+  /// (dtype × batch) stats identical in shape to a single-engine replay,
+  /// cache/queue deltas summed over shards, plus the per-shard breakdown in
+  /// `report.shards` and the router policy in `report.router`.
+  ServingReport replay(const std::vector<InferenceEngine::Request>& mix,
+                       double offered_rps = 0.0);
+
+  std::size_t size() const { return shards_.size(); }
+  InferenceEngine& engine(std::size_t shard) { return *shards_[shard]; }
+  const gpusim::DeviceSpec& device(std::size_t shard) const {
+    return shards_[shard]->device();
+  }
+  RouterPolicy router_policy() const { return router_->policy(); }
+  const ClusterOptions& options() const { return opt_; }
+  Clock& clock() { return *clock_; }
+  /// Requests routed to each shard so far (lifetime, by shard index).
+  std::vector<std::int64_t> routed() const;
+
+ private:
+  /// Build the shards' ShardStates and ask the router; counts the pick.
+  std::size_t route(const ServeRequest& req);
+
+  ClusterOptions opt_;
+  std::shared_ptr<Clock> clock_;
+  std::vector<std::unique_ptr<InferenceEngine>> shards_;
+
+  /// Router state and routed counters, serialised across submitters.
+  mutable std::mutex route_mu_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::int64_t> routed_;
+};
+
+}  // namespace fcm::serving

@@ -163,11 +163,19 @@ void InferenceEngine::run_single(Scheduler::Item item, double popped_s) {
       resp.outputs_f32.clear();
       resp.outputs_i8.clear();
     }
+    if (opt_.sim_dilation > 0.0) {
+      // Occupancy pacing: hold the worker until the simulated device would
+      // have finished, so this engine's drain rate — and its load gauge —
+      // tracks the device it models rather than host functional-run speed.
+      clock_->sleep_until(popped_s + resp.sim_time_s * opt_.sim_dilation);
+      resp.latency_s = clock_->now_s() - popped_s;
+    }
     resp.queue_wait_s = wait_s;
     resp.latency_s += wait_s;
     scheduler_.record_completed(1);
     item.promise.set_value(std::move(resp));
   } catch (...) {
+    scheduler_.record_failed(1);
     item.promise.set_exception(std::current_exception());
   }
 }
@@ -193,6 +201,9 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
   std::size_t resolved = 0;
   try {
     ServeResponse batch = submit(merged);
+    if (opt_.sim_dilation > 0.0) {
+      clock_->sleep_until(d.popped_s + batch.sim_time_s * opt_.sim_dilation);
+    }
     const double end_s = clock_->now_s();
     for (std::size_t i = 0; i < n; ++i) {
       Scheduler::Item& item = d.items[i];
@@ -217,71 +228,68 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
       resp.sim_time_s = batch.sim_time_s / static_cast<double>(n);
       resp.gma_bytes = batch.gma_bytes / static_cast<std::int64_t>(n);
       if (i == 0) resp.gma_bytes += batch.gma_bytes % static_cast<std::int64_t>(n);
+      // Record each rider before resolving it, like run_single: a caller
+      // woken by its future must find the completion already in the stats
+      // and the in-flight gauge already retired.
+      scheduler_.record_completed(1);
       item.promise.set_value(std::move(resp));
       ++resolved;
     }
-    scheduler_.record_completed(n);
   } catch (...) {
-    if (resolved > 0) scheduler_.record_completed(resolved);
+    scheduler_.record_failed(n - resolved);
     for (std::size_t i = resolved; i < n; ++i) {
       d.items[i].promise.set_exception(std::current_exception());
     }
   }
 }
 
-ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
-                                      double offered_rps) {
+ServeRequest materialise_request(const InferenceEngine::Request& q,
+                                 const FmShape& shape) {
+  ServeRequest r;
+  r.model = q.model;
+  r.dtype = q.dtype;
+  r.deadline_s = q.deadline_s;
+  r.discard_outputs = true;  // replay aggregates metrics, never outputs
+  for (int j = 0; j < q.batch; ++j) {
+    const std::uint64_t seed = q.input_seed + static_cast<std::uint64_t>(j);
+    if (q.dtype == DType::kF32) {
+      TensorF in(shape);
+      fill_uniform(in, seed);
+      r.batch_f32.push_back(std::move(in));
+    } else {
+      TensorI8 in(shape);
+      fill_uniform_i8(in, seed);
+      r.batch_i8.push_back(std::move(in));
+    }
+  }
+  return r;
+}
+
+std::vector<ReplayOutcome> drive_replay(
+    const std::vector<InferenceEngine::Request>& mix, double offered_rps,
+    Clock& clock,
+    const std::function<std::future<ServeResponse>(ServeRequest, std::size_t)>&
+        submit,
+    double* wall_s) {
   // Input shapes are resolved once per distinct model (a mix is typically
   // thousands of requests over a handful of models); each request's tensors
   // are generated just before its submission, so replay's resident set is
   // bounded by the queue depth + in-flight requests, never by mix.size().
   std::unordered_map<std::string, FmShape> shapes;
-  for (const Request& q : mix) {
+  for (const InferenceEngine::Request& q : mix) {
     FCM_CHECK(q.batch >= 1, "replay: request batch must be >= 1");
     if (shapes.find(q.model) == shapes.end()) {
       shapes.emplace(
           q.model, models::model_by_name(q.model).layers.front().ifm_shape());
     }
   }
-  auto materialise = [&shapes](const Request& q) {
-    const FmShape& shape = shapes.at(q.model);
-    ServeRequest r;
-    r.model = q.model;
-    r.dtype = q.dtype;
-    r.deadline_s = q.deadline_s;
-    r.discard_outputs = true;  // replay aggregates metrics, never outputs
-    for (int j = 0; j < q.batch; ++j) {
-      const std::uint64_t seed = q.input_seed + static_cast<std::uint64_t>(j);
-      if (q.dtype == DType::kF32) {
-        TensorF in(shape);
-        fill_uniform(in, seed);
-        r.batch_f32.push_back(std::move(in));
-      } else {
-        TensorI8 in(shape);
-        fill_uniform_i8(in, seed);
-        r.batch_i8.push_back(std::move(in));
-      }
-    }
-    return r;
-  };
 
-  const CacheStats cache_before = cache_.stats();
-  const QueueStats queue_before = queue_stats();
-  // Start this replay's depth watermark at the backlog it inherits.
-  scheduler_.reset_depth_watermark();
-
-  // Responses come back output-free (discard_outputs above drops the batch
-  // tensors in the worker), so a resolved-but-unharvested future holds only
+  // Responses come back output-free (materialise_request sets
+  // discard_outputs), so a resolved-but-unharvested future holds only
   // scalar stats; the incremental in-order harvest below just keeps the
   // outcome records current while submission is still running.
-  struct Outcome {
-    ServeStatus status = ServeStatus::kOk;
-    double latency_s = 0.0;
-    double sim_time_s = 0.0;
-    std::int64_t gma_bytes = 0;
-  };
   std::vector<std::future<ServeResponse>> futures(mix.size());
-  std::vector<Outcome> outcomes(mix.size());
+  std::vector<ReplayOutcome> outcomes(mix.size());
   std::size_t submitted = 0, harvested = 0;
   auto harvest = [&](bool drain_all) {
     while (harvested < submitted) {
@@ -291,91 +299,91 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
         break;
       }
       const ServeResponse resp = f.get();
-      outcomes[harvested] =
-          Outcome{resp.status, resp.latency_s, resp.sim_time_s, resp.gma_bytes};
+      outcomes[harvested] = ReplayOutcome{resp.status, resp.latency_s,
+                                          resp.sim_time_s, resp.gma_bytes};
       ++harvested;
     }
   };
 
-  const double t0 = clock_->now_s();
+  const double t0 = clock.now_s();
   for (std::size_t i = 0; i < mix.size(); ++i) {
     // Generate before the pacing wait: the generation cost overlaps the
-    // idle gap instead of skewing the offered inter-arrival times.
-    ServeRequest req = materialise(mix[i]);
+    // idle gap instead of skewing the offered inter-arrival times. The
+    // submit callback runs after it — a routing decision must see the
+    // shard loads of the submission instant, not of one gap earlier.
+    ServeRequest req = materialise_request(mix[i], shapes.at(mix[i].model));
     if (offered_rps > 0.0) {
-      clock_->sleep_until(t0 + static_cast<double>(i) / offered_rps);
+      clock.sleep_until(t0 + static_cast<double>(i) / offered_rps);
     }
-    futures[i] = submit_async(std::move(req));
+    futures[i] = submit(std::move(req), i);
     submitted = i + 1;
     harvest(false);
   }
   harvest(true);
+  *wall_s = clock.now_s() - t0;
+  return outcomes;
+}
+
+void accumulate_outcome(ServingReport& report,
+                        const InferenceEngine::Request& q,
+                        const ReplayOutcome& outcome,
+                        ShardServingStats* shard) {
+  GroupServingStats& group = group_stats(report, q.dtype, q.batch);
+  if (outcome.status == ServeStatus::kRejected) {
+    ++group.rejected;
+    if (shard != nullptr) ++shard->rejected;
+    return;
+  }
+  if (outcome.status == ServeStatus::kExpired) {
+    ++group.expired;
+    if (shard != nullptr) ++shard->expired;
+    return;
+  }
+  ++group.requests;
+  group.items += q.batch;
+  group.latency_s.push_back(outcome.latency_s);
+  group.sim_time_s += outcome.sim_time_s;
+
+  ModelServingStats& stats = model_stats(report, q.model);
+  ++stats.requests;
+  stats.items += q.batch;
+  stats.latency_s.push_back(outcome.latency_s);
+  stats.sim_time_s += outcome.sim_time_s;
+  stats.gma_bytes += outcome.gma_bytes;
+
+  if (shard != nullptr) {
+    ++shard->requests;
+    shard->items += q.batch;
+    shard->latency_s.push_back(outcome.latency_s);
+    shard->sim_time_s += outcome.sim_time_s;
+    shard->gma_bytes += outcome.gma_bytes;
+  }
+}
+
+ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
+                                      double offered_rps) {
+  const CacheStats cache_before = cache_.stats();
+  const QueueStats queue_before = queue_stats();
+  // Start this replay's depth watermark at the backlog it inherits.
+  scheduler_.reset_depth_watermark();
 
   ServingReport report;
   report.device = dev_.name;
-  report.wall_s = clock_->now_s() - t0;
+  const std::vector<ReplayOutcome> outcomes = drive_replay(
+      mix, offered_rps, *clock_,
+      [this](ServeRequest req, std::size_t) {
+        return submit_async(std::move(req));
+      },
+      &report.wall_s);
+
   // Counter deltas over this replay only — the engine may have served other
   // traffic (e.g. a warm-up loop) before.
-  const CacheStats cache_after = cache_.stats();
-  report.cache.hits = cache_after.hits - cache_before.hits;
-  report.cache.misses = cache_after.misses - cache_before.misses;
-  report.cache.evictions = cache_after.evictions - cache_before.evictions;
-  report.cache.disk_hits = cache_after.disk_hits - cache_before.disk_hits;
-  report.cache.coalesced = cache_after.coalesced - cache_before.coalesced;
-  report.cache.lock_waits = cache_after.lock_waits - cache_before.lock_waits;
-  const QueueStats queue_after = queue_stats();
-  report.queue.accepted = queue_after.accepted - queue_before.accepted;
-  report.queue.rejected = queue_after.rejected - queue_before.rejected;
-  report.queue.expired = queue_after.expired - queue_before.expired;
-  report.queue.completed = queue_after.completed - queue_before.completed;
-  report.queue.blocked = queue_after.blocked - queue_before.blocked;
-  report.queue.coalesced_batches =
-      queue_after.coalesced_batches - queue_before.coalesced_batches;
-  report.queue.coalesced_items =
-      queue_after.coalesced_items - queue_before.coalesced_items;
+  report.cache = cache_delta(cache_.stats(), cache_before);
+  report.queue = queue_delta(queue_stats(), queue_before);
   report.queue.max_depth = scheduler_.depth_watermark();
 
   for (std::size_t i = 0; i < mix.size(); ++i) {
-    const Request& q = mix[i];
-    const Outcome& resp = outcomes[i];
-
-    GroupServingStats* group = nullptr;
-    for (auto& g : report.groups) {
-      if (g.dtype == q.dtype && g.batch == q.batch) group = &g;
-    }
-    if (group == nullptr) {
-      report.groups.push_back(GroupServingStats{});
-      group = &report.groups.back();
-      group->dtype = q.dtype;
-      group->batch = q.batch;
-    }
-    if (resp.status == ServeStatus::kRejected) {
-      ++group->rejected;
-      continue;
-    }
-    if (resp.status == ServeStatus::kExpired) {
-      ++group->expired;
-      continue;
-    }
-    ++group->requests;
-    group->items += q.batch;
-    group->latency_s.push_back(resp.latency_s);
-    group->sim_time_s += resp.sim_time_s;
-
-    ModelServingStats* stats = nullptr;
-    for (auto& m : report.models) {
-      if (m.model == q.model) stats = &m;
-    }
-    if (stats == nullptr) {
-      report.models.push_back(ModelServingStats{});
-      stats = &report.models.back();
-      stats->model = q.model;
-    }
-    ++stats->requests;
-    stats->items += q.batch;
-    stats->latency_s.push_back(resp.latency_s);
-    stats->sim_time_s += resp.sim_time_s;
-    stats->gma_bytes += resp.gma_bytes;
+    accumulate_outcome(report, mix[i], outcomes[i], nullptr);
   }
   return report;
 }

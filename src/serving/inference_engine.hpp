@@ -30,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,15 @@ struct EngineOptions {
   SchedulerOptions scheduler;
   /// Threads draining the admission queue; 0 = hardware concurrency (min 1).
   unsigned queue_workers = 0;
+  /// > 0: after executing a dispatch, the queue worker holds it for the
+  /// dispatch's simulated GPU time × this factor on the engine clock before
+  /// resolving — occupancy pacing. Functional execution costs the same host
+  /// time for every simulated device, so without pacing a GTX shard drains
+  /// exactly as fast as an RTX shard and queue depth says nothing about
+  /// device speed; with it, a shard's drain rate (and therefore the
+  /// cluster router's load signal) tracks the simulated device. 0 (the
+  /// default) disables: workers run at host speed.
+  double sim_dilation = 0.0;
   /// Host time source for latency, deadlines, coalescing windows and replay
   /// pacing. Null selects the real SteadyClock; tests inject a ManualClock.
   std::shared_ptr<Clock> clock;
@@ -132,8 +142,18 @@ class InferenceEngine {
   const EngineOptions& options() const { return opt_; }
   PlanCache& plan_cache() { return cache_; }
   Clock& clock() { return *clock_; }
-  /// Lifetime admission-queue counters (replay reports deltas of these).
+  /// Lifetime admission-queue counters (replay reports deltas of these),
+  /// including the queued/in-flight gauges at snapshot time.
   QueueStats queue_stats() const { return scheduler_.stats(); }
+  /// Current load of this engine's admission queue: queued + in-flight,
+  /// read under one lock — the signal the cluster router balances on.
+  std::size_t load() const { return scheduler_.load(); }
+  /// Queue high-water mark bracketing (cluster replays bracket every shard
+  /// the same way replay() brackets its own scheduler).
+  std::int64_t reset_depth_watermark() {
+    return scheduler_.reset_depth_watermark();
+  }
+  std::int64_t depth_watermark() const { return scheduler_.depth_watermark(); }
 
  private:
   /// The runner serving (model, quant); built once, shared afterwards.
@@ -169,5 +189,43 @@ class InferenceEngine {
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;
 };
+
+/// Materialise one replay Request into a concrete ServeRequest of `shape`-d
+/// inputs (item j seeded with input_seed + j, outputs discarded — replay
+/// aggregates metrics, never tensors). Shared by InferenceEngine::replay and
+/// ServingCluster::replay so both load generators offer identical traffic.
+ServeRequest materialise_request(const InferenceEngine::Request& q,
+                                 const FmShape& shape);
+
+/// Scalar outcome of one replayed request (replay responses carry no
+/// outputs, so this is all a report needs).
+struct ReplayOutcome {
+  ServeStatus status = ServeStatus::kOk;
+  double latency_s = 0.0;
+  double sim_time_s = 0.0;
+  std::int64_t gma_bytes = 0;
+};
+
+/// The open-loop replay driver shared by InferenceEngine::replay and
+/// ServingCluster::replay: materialises each Request, paces submissions at
+/// `offered_rps` on `clock` (0 = all at once), submits through `submit`
+/// (called with the concrete request and its mix index — the cluster routes
+/// here) and harvests responses incrementally in submission order. Sets
+/// *wall_s to the clock span from first submission to full drain.
+std::vector<ReplayOutcome> drive_replay(
+    const std::vector<InferenceEngine::Request>& mix, double offered_rps,
+    Clock& clock,
+    const std::function<std::future<ServeResponse>(ServeRequest, std::size_t)>&
+        submit,
+    double* wall_s);
+
+/// Fold one replay outcome into the report's per-(dtype × batch) group and
+/// per-model stats — and, when `shard` is non-null, into that cluster
+/// shard's stats — keeping the rejected/expired/completed branching in one
+/// place for both replay flavours.
+void accumulate_outcome(ServingReport& report,
+                        const InferenceEngine::Request& q,
+                        const ReplayOutcome& outcome,
+                        ShardServingStats* shard);
 
 }  // namespace fcm::serving

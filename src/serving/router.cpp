@@ -1,0 +1,88 @@
+#include "serving/router.hpp"
+
+#include "common/error.hpp"
+
+namespace fcm::serving {
+
+const char* router_policy_name(RouterPolicy p) {
+  switch (p) {
+    case RouterPolicy::kRoundRobin: return "round-robin";
+    case RouterPolicy::kLeastLoaded: return "least-loaded";
+    case RouterPolicy::kPlanAffinity: return "plan-affinity";
+  }
+  return "?";
+}
+
+std::optional<RouterPolicy> router_policy_from_name(const std::string& name) {
+  if (name == "round-robin") return RouterPolicy::kRoundRobin;
+  if (name == "least-loaded") return RouterPolicy::kLeastLoaded;
+  if (name == "plan-affinity") return RouterPolicy::kPlanAffinity;
+  return std::nullopt;
+}
+
+namespace {
+
+class RoundRobinRouter final : public Router {
+ public:
+  RouterPolicy policy() const override { return RouterPolicy::kRoundRobin; }
+
+  std::size_t pick(const std::vector<ShardState>& shards) override {
+    return shards[next_++ % shards.size()].index;
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Join-shortest-queue over `shards`, lexicographic (load, routed-so-far,
+/// first-seen index): an all-idle cluster fans out round-robin-ish instead
+/// of funnelling every request into shard 0. Pure — the cluster supplies
+/// both gauges through ShardState.
+std::size_t least_loaded_pick(const std::vector<ShardState>& shards) {
+  const ShardState* best = nullptr;
+  for (const ShardState& s : shards) {
+    if (best == nullptr || s.load < best->load ||
+        (s.load == best->load && s.routed < best->routed)) {
+      best = &s;
+    }
+  }
+  return best->index;
+}
+
+class LeastLoadedRouter final : public Router {
+ public:
+  RouterPolicy policy() const override { return RouterPolicy::kLeastLoaded; }
+
+  std::size_t pick(const std::vector<ShardState>& shards) override {
+    return least_loaded_pick(shards);
+  }
+};
+
+class PlanAffinityRouter final : public Router {
+ public:
+  RouterPolicy policy() const override { return RouterPolicy::kPlanAffinity; }
+
+  std::size_t pick(const std::vector<ShardState>& shards) override {
+    std::vector<ShardState> warm;
+    for (const ShardState& s : shards) {
+      if (s.plan_resident) warm.push_back(s);
+    }
+    return least_loaded_pick(warm.empty() ? shards : warm);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Router> make_router(RouterPolicy p) {
+  switch (p) {
+    case RouterPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RouterPolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedRouter>();
+    case RouterPolicy::kPlanAffinity:
+      return std::make_unique<PlanAffinityRouter>();
+  }
+  throw Error("make_router: unknown RouterPolicy");
+}
+
+}  // namespace fcm::serving

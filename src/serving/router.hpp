@@ -1,0 +1,78 @@
+// Routing policies for the serving cluster: which shard gets the next
+// request.
+//
+// A ServingCluster owns one InferenceEngine per device and consults a Router
+// on every submit. The router sees one ShardState per shard — its index, its
+// admission-queue load (queued + in-flight, Scheduler::load()) and, for the
+// affinity policy, whether the shard's PlanCache already holds the request's
+// (model, device, dtype, PlanOptions) key. Policies:
+//
+//  * kRoundRobin — a rotating cursor; exact fan-out regardless of load. The
+//    fair baseline the bench compares against.
+//  * kLeastLoaded — join-shortest-queue: the shard with the smallest load
+//    gauge wins; ties break by fewest requests routed so far (so an idle
+//    cluster still fans out instead of piling onto shard 0), then by index.
+//    On heterogeneous devices this shifts traffic toward the faster shard
+//    exactly as fast as the slow shard's backlog grows.
+//  * kPlanAffinity — cache-warmth-aware: among the shards whose PlanCache
+//    already holds the request's plan key, pick the least loaded; when no
+//    shard is warm, fall back to least-loaded over all shards (the miss
+//    will warm whichever shard wins).
+//
+// Routers are deliberately pure over ShardState (the cluster feeds loads,
+// routed counts and plan residency in) so policies unit-test without a
+// cluster; the one mutable policy — the round-robin cursor — is serialised
+// by the cluster's routing lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fcm::serving {
+
+enum class RouterPolicy : std::uint8_t {
+  kRoundRobin,   ///< rotating cursor, exact fan-out
+  kLeastLoaded,  ///< join-shortest-queue on the shards' load gauges
+  kPlanAffinity, ///< prefer plan-warm shards, fall back to least-loaded
+};
+
+/// CLI/report spelling: "round-robin", "least-loaded", "plan-affinity".
+const char* router_policy_name(RouterPolicy p);
+
+/// Inverse of router_policy_name; nullopt for unknown spellings (the CLI
+/// turns that into a usage error instead of silently defaulting).
+std::optional<RouterPolicy> router_policy_from_name(const std::string& name);
+
+/// What a Router sees of one shard at the moment of a routing decision. The
+/// cluster rebuilds these per request — loads are point-in-time gauges.
+struct ShardState {
+  /// Shard index in the cluster's device list (the pick() return value).
+  std::size_t index = 0;
+  /// Scheduler::load() of the shard's engine: queued + in-flight requests.
+  std::size_t load = 0;
+  /// Requests the cluster has routed to this shard so far — the
+  /// least-loaded tie-break (an all-idle cluster fans out instead of
+  /// funnelling every pick into shard 0).
+  std::int64_t routed = 0;
+  /// kPlanAffinity only: the shard's PlanCache holds the request's plan key.
+  bool plan_resident = false;
+};
+
+/// Strategy interface. pick() returns the chosen ShardState::index; `shards`
+/// is never empty and arrives in index order. The only implementation state
+/// is the round-robin cursor — the load-based policies are pure over
+/// ShardState — and the cluster serialises pick() under its routing lock,
+/// so implementations need no locking of their own.
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual RouterPolicy policy() const = 0;
+  virtual std::size_t pick(const std::vector<ShardState>& shards) = 0;
+};
+
+std::unique_ptr<Router> make_router(RouterPolicy p);
+
+}  // namespace fcm::serving

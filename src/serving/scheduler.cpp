@@ -324,6 +324,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
       continue;
     }
     Item head = take_at_locked(static_cast<std::size_t>(head_idx));
+    ++in_flight_;  // claimed: the load gauge must not drop while it is held
     cv_not_full_.notify_one();
 
     out->items.clear();
@@ -363,6 +364,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
         // The head itself may have out-waited its own deadline during the
         // window; its riders go back through the loop as the new backlog.
         if (clock_->now_s() > head.deadline_s) {
+          --in_flight_;  // never dispatched: expired inside its own window
           resolve_expired_locked(std::move(head), clock_->now_s());
           cv_pop_.notify_all();  // the released key re-opens its peers
           continue;
@@ -370,6 +372,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
       }
       out->items.push_back(std::move(head));
       extract_matches_locked(key, want, &out->items);
+      in_flight_ += static_cast<std::int64_t>(out->items.size()) - 1;
       if (blocking) {
         cv_pop_.notify_all();  // beyond-budget peers are dispatchable again
       }
@@ -389,6 +392,14 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
 void Scheduler::record_completed(std::size_t requests) {
   std::lock_guard<std::mutex> lk(mu_);
   qstats_.completed += static_cast<std::int64_t>(requests);
+  in_flight_ = std::max<std::int64_t>(
+      0, in_flight_ - static_cast<std::int64_t>(requests));
+}
+
+void Scheduler::record_failed(std::size_t requests) {
+  std::lock_guard<std::mutex> lk(mu_);
+  in_flight_ = std::max<std::int64_t>(
+      0, in_flight_ - static_cast<std::int64_t>(requests));
 }
 
 void Scheduler::stop() {
@@ -416,12 +427,25 @@ void Scheduler::stop() {
 
 QueueStats Scheduler::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return qstats_;
+  QueueStats s = qstats_;
+  s.queued = static_cast<std::int64_t>(q_.size());
+  s.in_flight = in_flight_;
+  return s;
 }
 
 std::size_t Scheduler::depth() const {
   std::lock_guard<std::mutex> lk(mu_);
   return q_.size();
+}
+
+std::size_t Scheduler::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<std::size_t>(in_flight_);
+}
+
+std::size_t Scheduler::load() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size() + static_cast<std::size_t>(in_flight_);
 }
 
 std::int64_t Scheduler::reset_depth_watermark() {

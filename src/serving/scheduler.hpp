@@ -202,7 +202,13 @@ class Scheduler {
 
   /// Count `requests` completed executions (the consumer calls this after a
   /// dispatch runs successfully; a coalesced dispatch counts every rider).
+  /// Also retires them from the in-flight gauge.
   void record_completed(std::size_t requests);
+
+  /// Retire `requests` from the in-flight gauge without counting them as
+  /// completed — the consumer's path for dispatches that ended in an
+  /// exception (the promise carries the error instead of a response).
+  void record_failed(std::size_t requests);
 
   /// Wake blocked producers (they self-reject), resolve the whole backlog
   /// as kRejected, and make every current and future pop() return false.
@@ -212,6 +218,13 @@ class Scheduler {
   QueueStats stats() const;
   /// Requests currently queued (excludes items a pop holds in its window).
   std::size_t depth() const;
+  /// Requests popped but not yet retired by record_completed/record_failed —
+  /// including a head a coalescing pop holds in its open window.
+  std::size_t in_flight() const;
+  /// The load gauge a cluster router balances on: queued + in-flight, read
+  /// atomically under the queue mutex so two shards' loads compared by the
+  /// router are each internally consistent.
+  std::size_t load() const;
   /// Restart the depth watermark at the current backlog and return the old
   /// mark; stats().max_depth keeps the lifetime mark. replay() brackets
   /// itself with these two calls.
@@ -267,6 +280,9 @@ class Scheduler {
   /// return immediately for deadline-free traffic instead of walking the
   /// backlog on every pop.
   std::size_t deadlined_ = 0;
+  /// Requests popped (claimed by a consumer) but not yet retired via
+  /// record_completed/record_failed; a window-holding head counts too.
+  std::int64_t in_flight_ = 0;
   /// Coalescing keys with an open batching window (one waiter per key).
   std::unordered_set<std::string> window_keys_;
   QueueStats qstats_;

@@ -33,6 +33,76 @@ double ModelServingStats::mean_latency_s() const { return mean_of(latency_s); }
 
 double GroupServingStats::mean_latency_s() const { return mean_of(latency_s); }
 
+double ShardServingStats::mean_latency_s() const { return mean_of(latency_s); }
+
+QueueStats queue_delta(const QueueStats& after, const QueueStats& before) {
+  QueueStats d;
+  d.accepted = after.accepted - before.accepted;
+  d.rejected = after.rejected - before.rejected;
+  d.expired = after.expired - before.expired;
+  d.completed = after.completed - before.completed;
+  d.blocked = after.blocked - before.blocked;
+  d.max_depth = after.max_depth;  // watermark, not a counter
+  d.coalesced_batches = after.coalesced_batches - before.coalesced_batches;
+  d.coalesced_items = after.coalesced_items - before.coalesced_items;
+  d.queued = after.queued;
+  d.in_flight = after.in_flight;
+  return d;
+}
+
+void queue_accumulate(QueueStats& into, const QueueStats& add) {
+  into.accepted += add.accepted;
+  into.rejected += add.rejected;
+  into.expired += add.expired;
+  into.completed += add.completed;
+  into.blocked += add.blocked;
+  into.max_depth = std::max(into.max_depth, add.max_depth);
+  into.coalesced_batches += add.coalesced_batches;
+  into.coalesced_items += add.coalesced_items;
+  into.queued += add.queued;
+  into.in_flight += add.in_flight;
+}
+
+void cache_accumulate(CacheStats& into, const CacheStats& add) {
+  into.hits += add.hits;
+  into.misses += add.misses;
+  into.evictions += add.evictions;
+  into.disk_hits += add.disk_hits;
+  into.coalesced += add.coalesced;
+  into.lock_waits += add.lock_waits;
+}
+
+CacheStats cache_delta(const CacheStats& after, const CacheStats& before) {
+  CacheStats d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.evictions = after.evictions - before.evictions;
+  d.disk_hits = after.disk_hits - before.disk_hits;
+  d.coalesced = after.coalesced - before.coalesced;
+  d.lock_waits = after.lock_waits - before.lock_waits;
+  return d;
+}
+
+ModelServingStats& model_stats(ServingReport& report,
+                               const std::string& model) {
+  for (auto& m : report.models) {
+    if (m.model == model) return m;
+  }
+  report.models.push_back(ModelServingStats{});
+  report.models.back().model = model;
+  return report.models.back();
+}
+
+GroupServingStats& group_stats(ServingReport& report, DType dtype, int batch) {
+  for (auto& g : report.groups) {
+    if (g.dtype == dtype && g.batch == batch) return g;
+  }
+  report.groups.push_back(GroupServingStats{});
+  report.groups.back().dtype = dtype;
+  report.groups.back().batch = batch;
+  return report.groups.back();
+}
+
 int ServingReport::total_requests() const {
   int n = 0;
   for (const auto& m : models) n += m.requests;
@@ -84,6 +154,23 @@ std::string ServingReport::group_table() const {
   return t.str();
 }
 
+std::string ServingReport::shard_table() const {
+  if (shards.empty()) return {};
+  Table t({"shard", "device", "routed", "reqs", "items", "rej", "exp",
+           "req/s", "p50 ms", "p95 ms", "p99 ms", "sim ms/req", "max depth"});
+  for (const auto& s : shards) {
+    const double n = std::max(1, s.requests);
+    t.add_row({std::to_string(s.shard), s.device, std::to_string(s.routed),
+               std::to_string(s.requests), std::to_string(s.items),
+               std::to_string(s.rejected), std::to_string(s.expired),
+               fmt_f(wall_s > 0.0 ? s.requests / wall_s : 0.0, 1),
+               fmt_f(s.p50_s() * 1e3, 2), fmt_f(s.p95_s() * 1e3, 2),
+               fmt_f(s.p99_s() * 1e3, 2), fmt_f(s.sim_time_s / n * 1e3, 3),
+               std::to_string(s.queue.max_depth)});
+  }
+  return t.str();
+}
+
 std::string ServingReport::summary() const {
   std::ostringstream os;
   os << total_requests() << " requests (" << total_items() << " items) on "
@@ -98,6 +185,12 @@ std::string ServingReport::summary() const {
        << " blocked, max depth " << queue.max_depth << ", coalesced "
        << queue.coalesced_batches << " batches/" << queue.coalesced_items
        << " items";
+  }
+  if (!shards.empty()) {
+    int served = 0;
+    for (const auto& s : shards) served += s.requests > 0 ? 1 : 0;
+    os << "; router " << router << ", " << served << "/" << shards.size()
+       << " shards served";
   }
   return os.str();
 }

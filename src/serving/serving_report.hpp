@@ -37,7 +37,28 @@ struct QueueStats {
   std::int64_t max_depth = 0;
   std::int64_t coalesced_batches = 0;
   std::int64_t coalesced_items = 0;
+  /// Point-in-time gauges, not counters: requests waiting in the queue and
+  /// requests popped but not yet finished, read under the queue mutex at
+  /// snapshot time. Their sum is the load signal the cluster router's
+  /// join-shortest-queue policy balances on (Scheduler::load() reads the
+  /// same two numbers under the same lock). Delta helpers copy the `after`
+  /// side instead of subtracting.
+  std::int64_t queued = 0;
+  std::int64_t in_flight = 0;
 };
+
+/// Counter deltas `after - before`; the queued/in-flight gauges are copied
+/// from `after` (a gauge difference is meaningless).
+QueueStats queue_delta(const QueueStats& after, const QueueStats& before);
+
+/// Plan-cache counter deltas `after - before`.
+CacheStats cache_delta(const CacheStats& after, const CacheStats& before);
+
+/// Fold one shard's stats into a cluster aggregate: counters and gauges
+/// sum, max_depth takes the max over shards. Keeps the field list in one
+/// place beside queue_delta.
+void queue_accumulate(QueueStats& into, const QueueStats& add);
+void cache_accumulate(CacheStats& into, const CacheStats& add);
 
 /// Request statistics aggregated for one model.
 struct ModelServingStats {
@@ -79,19 +100,56 @@ struct GroupServingStats {
   double p99_s() const { return percentile(latency_s, 99.0); }
 };
 
-/// One replayed request mix, aggregated per model and per (dtype, batch).
+/// Request statistics aggregated for one cluster shard (one per-device
+/// InferenceEngine behind the router). Only cluster replays fill these; a
+/// single-engine report has no shards.
+struct ShardServingStats {
+  /// Shard index in the cluster's device list.
+  int shard = 0;
+  std::string device;
+  /// Requests the router sent to this shard (including ones later rejected
+  /// or expired by the shard's admission queue).
+  int routed = 0;
+  /// Completed requests and their summed batch items.
+  int requests = 0;
+  int items = 0;
+  int rejected = 0;
+  int expired = 0;
+  /// Latency of each completed request, seconds.
+  std::vector<double> latency_s;
+  /// Summed simulated GPU time and traffic over completed requests.
+  double sim_time_s = 0.0;
+  std::int64_t gma_bytes = 0;
+  /// This shard's admission-queue counter deltas over the replay
+  /// (max_depth is the shard's queue high-water mark during it).
+  QueueStats queue;
+
+  double mean_latency_s() const;
+  double p50_s() const { return percentile(latency_s, 50.0); }
+  double p95_s() const { return percentile(latency_s, 95.0); }
+  double p99_s() const { return percentile(latency_s, 99.0); }
+};
+
+/// One replayed request mix, aggregated per model and per (dtype, batch) —
+/// and, for a cluster replay, per shard.
 struct ServingReport {
   std::string device;
+  /// Cluster replays: the router policy that distributed the mix ("" for a
+  /// single-engine replay).
+  std::string router;
   /// Host wall-clock time of the whole replay, seconds.
   double wall_s = 0.0;
   /// Plan-cache counter deltas attributable to this replay alone (not the
-  /// engine's lifetime totals).
+  /// engine's lifetime totals). A cluster replay sums its shards' deltas.
   CacheStats cache;
-  /// Admission-queue counter deltas of this replay.
+  /// Admission-queue counter deltas of this replay. A cluster replay sums
+  /// its shards' deltas (max_depth is the max over shards).
   QueueStats queue;
   std::vector<ModelServingStats> models;
   /// First-appearance order over the mix, like `models`.
   std::vector<GroupServingStats> groups;
+  /// Cluster replays only: per-shard breakdown, in device-list order.
+  std::vector<ShardServingStats> shards;
 
   int total_requests() const;
   /// Batch items completed across all models.
@@ -107,8 +165,19 @@ struct ServingReport {
   /// Per-(dtype × batch) table: requests, items, rejected/expired,
   /// throughput and latency percentiles. Empty string when no groups.
   std::string group_table() const;
-  /// One-line roll-up including cache and queue counters.
+  /// Per-shard table: routed/completed counts, latency percentiles,
+  /// simulated time and queue counters. Empty string when no shards.
+  std::string shard_table() const;
+  /// One-line roll-up including cache and queue counters (and, for a
+  /// cluster, the router policy and how many shards served requests).
   std::string summary() const;
 };
+
+/// The report's stats row for `model`, appended in first-appearance order on
+/// first use (replay aggregation shares this between engine and cluster).
+ModelServingStats& model_stats(ServingReport& report, const std::string& model);
+
+/// The report's stats row for (dtype, batch), appended on first use.
+GroupServingStats& group_stats(ServingReport& report, DType dtype, int batch);
 
 }  // namespace fcm::serving

@@ -11,6 +11,7 @@
 //   fcmserve --device RTX --requests 4
 //   fcmserve --models Mob_v1,Mob_v2 --cache-dir plans/ --threads 8
 //   fcmserve --models Tiny --batch 4 --dtype i8 --queue-depth 8 --policy reject
+//   fcmserve --devices GTX,RTX --router least-loaded --models Tiny --requests 8
 //   fcmserve --plan-only --cache-dir plans/     # cold/warm planning table only
 #include <cstdlib>
 #include <iostream>
@@ -26,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "gpusim/device_spec.hpp"
 #include "models/model_zoo.hpp"
+#include "serving/cluster.hpp"
 #include "serving/inference_engine.hpp"
 
 using namespace fcm;
@@ -36,6 +38,15 @@ void usage() {
   std::cout <<
       "fcmserve — cached-plan inference serving for the bundled models\n"
       "  --device <GTX|RTX|Orin>      default RTX\n"
+      "  --devices <csv>              serve a CLUSTER: one engine shard per\n"
+      "                               listed device (repeats allowed, e.g.\n"
+      "                               GTX,RTX,RTX), requests routed per\n"
+      "                               --router; overrides --device\n"
+      "  --router <round-robin|least-loaded|plan-affinity>\n"
+      "                               cluster shard selection, default\n"
+      "                               round-robin (least-loaded = join the\n"
+      "                               shortest queue; plan-affinity = prefer\n"
+      "                               plan-warm shards, then least-loaded)\n"
       "  --models <csv>               zoo short names, default all seven\n"
       "                               (Mob_v1,Mob_v2,XCe,Prox,CeiT,CMT,EffNet_B0)\n"
       "  --requests <n>               requests per model, default 3\n"
@@ -54,6 +65,10 @@ void usage() {
       "                               is already queued)\n"
       "  --deadline-ms <x>            queueing deadline per request,\n"
       "                               default 0 (none)\n"
+      "  --sim-dilation <x>           hold each request on its worker for\n"
+      "                               simulated-GPU-time x this factor, so\n"
+      "                               shard drain rates track the simulated\n"
+      "                               devices; default 0 (off)\n"
       "  --threads <n>                worker threads (default: hardware)\n"
       "  --cache-dir <dir>            persistent plan-cache directory\n"
       "  --cache-capacity <n>         plan-cache LRU bound, default 32\n"
@@ -61,6 +76,16 @@ void usage() {
       "  --seed <n>                   weight seed, default 2024\n"
       "  --plan-only                  cold/warm planning table only (no\n"
       "                               functional execution of requests)\n";
+}
+
+/// Enum-valued flag got a value outside its closed set: name the value and
+/// the accepted spellings, print usage, exit 2 — never silently default.
+[[noreturn]] void bad_value(const std::string& flag, const std::string& value,
+                            const char* expected) {
+  std::cerr << "error: unknown value '" << value << "' for " << flag
+            << " (expected " << expected << ")\n";
+  usage();
+  std::exit(2);
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -76,7 +101,7 @@ std::vector<std::string> split_csv(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string device = "RTX", models_csv, cache_dir;
+  std::string device = "RTX", devices_csv, models_csv, cache_dir;
   int requests = 3, batch = 1;
   unsigned threads = 0;
   std::size_t cache_capacity = 32, queue_depth = 32;
@@ -85,20 +110,37 @@ int main(int argc, char** argv) {
   DType dtype = DType::kF32;
   serving::AdmissionPolicy policy = serving::AdmissionPolicy::kBlock;
   serving::QueueDiscipline discipline = serving::QueueDiscipline::kFifo;
+  serving::RouterPolicy router = serving::RouterPolicy::kRoundRobin;
+  bool router_set = false;
   int coalesce = 1;
   std::uint64_t coalesce_wait_us = 0;
-  double deadline_ms = 0.0;
+  double deadline_ms = 0.0, sim_dilation = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
         usage();
         std::exit(2);
       }
       return argv[++i];
     };
+    // Fractional millisecond/factor flags: parse as double, reject garbage.
+    auto next_double = [&](double max) {
+      const std::string v = next();
+      char* end = nullptr;
+      const double x = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || !(x >= 0.0) || x > max) {
+        std::cerr << "error: bad numeric value '" << v << "' for " << arg
+                  << " (expected 0.." << max << ")\n";
+        usage();
+        std::exit(2);
+      }
+      return x;
+    };
     if (arg == "--device") device = next();
+    else if (arg == "--devices") devices_csv = next();
     else if (arg == "--models") models_csv = next();
     else if (arg == "--requests") {
       requests = static_cast<int>(
@@ -110,28 +152,27 @@ int main(int argc, char** argv) {
       const std::string v = next();
       if (v == "f32" || v == "fp32") dtype = DType::kF32;
       else if (v == "i8" || v == "int8") dtype = DType::kI8;
-      else {
-        usage();
-        return 2;
-      }
+      else bad_value("--dtype", v, "f32|i8");
     } else if (arg == "--queue-depth") {
       queue_depth = cli::parse_u64_or_usage_exit(next(), 1 << 20, usage);
     } else if (arg == "--policy") {
       const std::string v = next();
       if (v == "block") policy = serving::AdmissionPolicy::kBlock;
       else if (v == "reject") policy = serving::AdmissionPolicy::kReject;
-      else {
-        usage();
-        return 2;
-      }
+      else bad_value("--policy", v, "block|reject");
     } else if (arg == "--discipline") {
       const std::string v = next();
       if (v == "fifo") discipline = serving::QueueDiscipline::kFifo;
       else if (v == "edf") discipline = serving::QueueDiscipline::kEdf;
-      else {
-        usage();
-        return 2;
+      else bad_value("--discipline", v, "fifo|edf");
+    } else if (arg == "--router") {
+      const std::string v = next();
+      const auto parsed = serving::router_policy_from_name(v);
+      if (!parsed.has_value()) {
+        bad_value("--router", v, "round-robin|least-loaded|plan-affinity");
       }
+      router = *parsed;
+      router_set = true;
     } else if (arg == "--coalesce") {
       coalesce = static_cast<int>(
           cli::parse_u64_or_usage_exit(next(), 1 << 12, usage));
@@ -139,15 +180,10 @@ int main(int argc, char** argv) {
       coalesce_wait_us = cli::parse_u64_or_usage_exit(next(), 1u << 30, usage);
     } else if (arg == "--deadline-ms") {
       // Fractional deadlines matter: Tiny's per-request service time is well
-      // under a millisecond, so parse as a double rather than an integer.
-      const std::string v = next();
-      char* end = nullptr;
-      deadline_ms = std::strtod(v.c_str(), &end);
-      if (end == v.c_str() || *end != '\0' || !(deadline_ms >= 0.0) ||
-          deadline_ms > 1e9) {
-        usage();
-        return 2;
-      }
+      // under a millisecond.
+      deadline_ms = next_double(1e9);
+    } else if (arg == "--sim-dilation") {
+      sim_dilation = next_double(1e12);
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(
           cli::parse_u64_or_usage_exit(next(), 1024, usage));
@@ -160,13 +196,27 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--triple") triple = true;
     else if (arg == "--plan-only") plan_only = true;
-    else {
+    else if (arg == "--help" || arg == "-h") {
       usage();
-      return arg == "--help" || arg == "-h" ? 0 : 2;
+      return 0;
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      usage();
+      return 2;
     }
   }
   if (requests < 1 || batch < 1 || cache_capacity < 1 || queue_depth < 1 ||
       coalesce < 1) {
+    std::cerr << "error: --requests/--batch/--cache-capacity/--queue-depth/"
+                 "--coalesce must all be >= 1\n";
+    usage();
+    return 2;
+  }
+  if (router_set && devices_csv.empty()) {
+    // Routing only exists in cluster mode; accepting the flag and running a
+    // routerless single engine would be exactly the silent default the
+    // enum-flag validation above refuses to be.
+    std::cerr << "error: --router requires --devices (cluster mode)\n";
     usage();
     return 2;
   }
@@ -180,7 +230,15 @@ int main(int argc, char** argv) {
       pool_guard = std::make_unique<ScopedPoolOverride>(*own_pool);
     }
 
-    const auto dev = gpusim::device_by_name(device);
+    // Cluster mode: one engine shard per --devices entry behind the router.
+    std::vector<gpusim::DeviceSpec> cluster_devices;
+    for (const auto& name : split_csv(devices_csv)) {
+      cluster_devices.push_back(gpusim::device_by_name(name));
+    }
+    const bool cluster_mode = !cluster_devices.empty();
+
+    const auto dev = cluster_mode ? cluster_devices.front()
+                                  : gpusim::device_by_name(device);
     std::vector<std::string> model_names = split_csv(models_csv);
     if (model_names.empty()) {
       // The INT8 functional path needs DW/PW-only models; every paper model
@@ -221,29 +279,61 @@ int main(int argc, char** argv) {
     // --threads bounds serving concurrency too: the admission queue's
     // request workers, not only the simulator pool.
     opt.queue_workers = threads;
-    serving::InferenceEngine engine(dev, opt);
+    opt.sim_dilation = sim_dilation;
+
+    std::unique_ptr<serving::ServingCluster> cluster;
+    std::unique_ptr<serving::InferenceEngine> single;
+    if (cluster_mode) {
+      serving::ClusterOptions copt;
+      copt.engine = opt;
+      copt.router = router;
+      cluster = std::make_unique<serving::ServingCluster>(cluster_devices,
+                                                          copt);
+    } else {
+      single = std::make_unique<serving::InferenceEngine>(dev, opt);
+    }
+    // Cold/warm timing below works per shard engine; in single mode the one
+    // engine is "shard 0" of a size-1 list.
+    const std::size_t n_shards = cluster_mode ? cluster->size() : 1;
+    auto shard_engine = [&](std::size_t s) -> serving::InferenceEngine& {
+      return cluster_mode ? cluster->engine(s) : *single;
+    };
 
     // --- cold vs warm planning -------------------------------------------
-    std::cout << "== plan cache: cold vs warm (" << dev.name << ", "
-              << dtype_name(dtype) << (triple ? ", triple" : "") << ") ==\n";
-    Table t({"model", "cold ms", "warm us", "speedup", "source"});
-    for (const auto& name : model_names) {
-      const auto before = engine.plan_cache().stats();
-      auto t0 = steady_now();
-      const auto plan = engine.plan_for(name, dtype);
-      const double cold_s = seconds_since(t0);
-      const auto after = engine.plan_cache().stats();
-      const bool from_disk = after.disk_hits > before.disk_hits;
+    std::cout << "== plan cache: cold vs warm ("
+              << (cluster_mode ? std::to_string(n_shards) + " shards"
+                               : dev.name)
+              << ", " << dtype_name(dtype) << (triple ? ", triple" : "")
+              << ") ==\n";
+    Table t(cluster_mode
+                ? std::vector<std::string>{"device", "model", "cold ms",
+                                           "warm us", "speedup", "source"}
+                : std::vector<std::string>{"model", "cold ms", "warm us",
+                                           "speedup", "source"});
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      serving::InferenceEngine& engine = shard_engine(s);
+      for (const auto& name : model_names) {
+        const auto before = engine.plan_cache().stats();
+        auto t0 = steady_now();
+        const auto plan = engine.plan_for(name, dtype);
+        const double cold_s = seconds_since(t0);
+        const auto after = engine.plan_cache().stats();
+        const bool from_disk = after.disk_hits > before.disk_hits;
 
-      constexpr int kWarmReps = 32;
-      t0 = steady_now();
-      for (int r = 0; r < kWarmReps; ++r) engine.plan_for(name, dtype);
-      const double warm_s = seconds_since(t0) / kWarmReps;
+        constexpr int kWarmReps = 32;
+        t0 = steady_now();
+        for (int r = 0; r < kWarmReps; ++r) engine.plan_for(name, dtype);
+        const double warm_s = seconds_since(t0) / kWarmReps;
 
-      t.add_row({name, fmt_f(cold_s * 1e3, 2), fmt_f(warm_s * 1e6, 1),
-                 fmt_f(warm_s > 0.0 ? cold_s / warm_s : 0.0, 0) + "x",
-                 from_disk ? "disk" : "planned"});
-      (void)plan;
+        std::vector<std::string> row;
+        if (cluster_mode) row.push_back(engine.device().name);
+        row.insert(row.end(),
+                   {name, fmt_f(cold_s * 1e3, 2), fmt_f(warm_s * 1e6, 1),
+                    fmt_f(warm_s > 0.0 ? cold_s / warm_s : 0.0, 0) + "x",
+                    from_disk ? "disk" : "planned"});
+        t.add_row(row);
+        (void)plan;
+      }
     }
     std::cout << t.str();
     if (!cache_dir.empty()) {
@@ -264,19 +354,25 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n== replaying " << mix.size() << " requests ("
               << model_names.size() << " models x " << requests
-              << ", round-robin, batch " << batch << ", "
+              << ", interleaved, batch " << batch << ", "
               << dtype_name(dtype) << ", queue depth " << queue_depth << ", "
               << serving::admission_policy_name(policy) << ", "
               << serving::queue_discipline_name(discipline);
+    if (cluster_mode) {
+      std::cout << ", " << n_shards << " shards, router "
+                << serving::router_policy_name(router);
+    }
     if (coalesce > 1) {
       std::cout << ", coalesce " << coalesce << " within "
                 << coalesce_wait_us << " us";
     }
     if (deadline_ms > 0.0) std::cout << ", deadline " << deadline_ms << " ms";
+    if (sim_dilation > 0.0) std::cout << ", sim-dilation " << sim_dilation;
     std::cout << ") ==\n";
-    const auto report = engine.replay(mix);
-    std::cout << report.table() << report.group_table() << report.summary()
-              << "\n";
+    const auto report =
+        cluster_mode ? cluster->replay(mix) : single->replay(mix);
+    std::cout << report.table() << report.group_table()
+              << report.shard_table() << report.summary() << "\n";
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

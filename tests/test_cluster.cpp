@@ -1,0 +1,345 @@
+// Cluster serving tests: router policies as pure strategies over ShardState,
+// then the ServingCluster end to end — exact round-robin fan-out, the
+// race-free load gauge (queued + in-flight under one lock), least-loaded
+// routing around a deliberately skewed backlog on a frozen ManualClock (zero
+// real sleeps), plan-affinity pinning warm keys to their shard, per-shard
+// report aggregation, and the acceptance bit-identity: a homogeneous cluster
+// serves the same mix bit-identical to a single engine — routing never
+// touches numerics.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/random.hpp"
+#include "gpusim/device_spec.hpp"
+#include "models/model_zoo.hpp"
+#include "serving/cluster.hpp"
+#include "serving/router.hpp"
+
+namespace fcm::serving {
+namespace {
+
+ShardState shard(std::size_t index, std::size_t load,
+                 std::int64_t routed = 0, bool warm = false) {
+  ShardState s;
+  s.index = index;
+  s.load = load;
+  s.routed = routed;
+  s.plan_resident = warm;
+  return s;
+}
+
+TEST(RouterPolicy, NamesRoundTripAndRejectUnknown) {
+  for (const auto p :
+       {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+        RouterPolicy::kPlanAffinity}) {
+    const auto back = router_policy_from_name(router_policy_name(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(router_policy_from_name("weighted").has_value());
+  EXPECT_FALSE(router_policy_from_name("").has_value());
+}
+
+TEST(Router, RoundRobinCyclesExactlyRegardlessOfLoad) {
+  auto r = make_router(RouterPolicy::kRoundRobin);
+  EXPECT_EQ(r->policy(), RouterPolicy::kRoundRobin);
+  const std::vector<ShardState> shards = {shard(0, 99), shard(1, 0),
+                                          shard(2, 5)};
+  for (const std::size_t want : {0u, 1u, 2u, 0u, 1u, 2u, 0u}) {
+    EXPECT_EQ(r->pick(shards), want);
+  }
+}
+
+TEST(Router, LeastLoadedPicksMinLoadAndBreaksTiesByRoutedCount) {
+  auto r = make_router(RouterPolicy::kLeastLoaded);
+  EXPECT_EQ(r->policy(), RouterPolicy::kLeastLoaded);
+  EXPECT_EQ(r->pick({shard(0, 5), shard(1, 2), shard(2, 9)}), 1u);
+  EXPECT_EQ(r->pick({shard(0, 0), shard(1, 2), shard(2, 9)}), 0u);
+  // All idle: the routed-count tie-break (fed by the cluster) fans out
+  // instead of funnelling every pick into shard 0.
+  EXPECT_EQ(r->pick({shard(0, 0, 1), shard(1, 0, 1), shard(2, 0, 0)}), 2u);
+  // Tie on both load and routed count: lowest index (first seen) wins.
+  EXPECT_EQ(r->pick({shard(0, 3, 2), shard(1, 3, 2)}), 0u);
+  // Load always dominates the routed count.
+  EXPECT_EQ(r->pick({shard(0, 1, 0), shard(1, 0, 9)}), 1u);
+}
+
+TEST(Router, PlanAffinityPrefersWarmShardsThenFallsBackLeastLoaded) {
+  auto r = make_router(RouterPolicy::kPlanAffinity);
+  EXPECT_EQ(r->policy(), RouterPolicy::kPlanAffinity);
+  // A warm shard wins even when it is the more loaded one.
+  EXPECT_EQ(r->pick({shard(0, 0), shard(1, 7, 0, true)}), 1u);
+  // Several warm shards: least loaded among them.
+  EXPECT_EQ(r->pick({shard(0, 4, 0, true), shard(1, 1, 0, true),
+                     shard(2, 0)}),
+            1u);
+  // No warm shard: plain least-loaded over everything, routed tie-break
+  // included.
+  EXPECT_EQ(r->pick({shard(0, 4), shard(1, 9), shard(2, 2)}), 2u);
+  EXPECT_EQ(r->pick({shard(0, 2, 5), shard(1, 2, 1)}), 1u);
+}
+
+/// `n` deterministic Tiny-shaped FP32 inputs seeded from `seed0`.
+std::vector<TensorF> tiny_batch_f32(int n, std::uint64_t seed0) {
+  const FmShape shape = models::tiny().layers.front().ifm_shape();
+  std::vector<TensorF> batch;
+  for (int i = 0; i < n; ++i) {
+    TensorF in(shape);
+    fill_uniform(in, seed0 + static_cast<std::uint64_t>(i));
+    batch.push_back(std::move(in));
+  }
+  return batch;
+}
+
+std::vector<TensorI8> tiny_batch_i8(int n, std::uint64_t seed0) {
+  const FmShape shape = models::tiny().layers.front().ifm_shape();
+  std::vector<TensorI8> batch;
+  for (int i = 0; i < n; ++i) {
+    TensorI8 in(shape);
+    fill_uniform_i8(in, seed0 + static_cast<std::uint64_t>(i));
+    batch.push_back(std::move(in));
+  }
+  return batch;
+}
+
+TEST(ServingCluster, RoundRobinFanOutIsExact) {
+  ClusterOptions opt;
+  opt.engine.seed = 77;
+  opt.router = RouterPolicy::kRoundRobin;
+  ServingCluster cluster({gpusim::jetson_orin(), gpusim::jetson_orin()}, opt);
+  ASSERT_EQ(cluster.size(), 2u);
+
+  std::vector<std::future<ServeResponse>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(cluster.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 100 + i))));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+
+  const auto routed = cluster.routed();
+  ASSERT_EQ(routed.size(), 2u);
+  EXPECT_EQ(routed[0], 3);
+  EXPECT_EQ(routed[1], 3);
+  EXPECT_EQ(cluster.engine(0).queue_stats().accepted, 3);
+  EXPECT_EQ(cluster.engine(1).queue_stats().accepted, 3);
+  EXPECT_EQ(cluster.engine(0).queue_stats().completed, 3);
+  EXPECT_EQ(cluster.engine(1).queue_stats().completed, 3);
+}
+
+// The satellite load gauge: queued + in-flight under one lock. A frozen
+// batching window parks the single worker with the head claimed (in-flight)
+// while the peers stay queued — the gauge must count both, and drain to
+// zero once virtual time releases the window.
+TEST(ServingCluster, LoadGaugeCountsQueuedAndInFlight) {
+  auto clock = std::make_shared<ManualClock>();
+  EngineOptions opt;
+  opt.seed = 77;
+  opt.queue_workers = 1;
+  opt.scheduler.max_coalesce_batch = 8;          // budget never fills with 3
+  opt.scheduler.coalesce_wait_us = 1'000'000;    // 1 virtual second, frozen
+  opt.clock = clock;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+
+  std::vector<std::future<ServeResponse>> futs;
+  for (int i = 0; i < 3; ++i) {
+    futs.push_back(engine.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 200 + i))));
+  }
+  // Wherever the worker is — not yet popped (3 queued) or parked in its
+  // window (1 in-flight + 2 queued) — the load gauge reads exactly 3.
+  EXPECT_EQ(engine.load(), 3u);
+  const QueueStats st = engine.queue_stats();
+  EXPECT_EQ(st.queued + st.in_flight, 3);
+
+  clock->advance(2.0);  // close the window: the merged batch dispatches
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  // Each rider is recorded (completed + in-flight retirement) before its
+  // promise resolves, so the drained gauge is visible the moment the last
+  // future is.
+  EXPECT_EQ(engine.load(), 0u);
+  const QueueStats done = engine.queue_stats();
+  EXPECT_EQ(done.completed, 3);
+  EXPECT_EQ(done.queued, 0);
+  EXPECT_EQ(done.in_flight, 0);
+  EXPECT_EQ(done.coalesced_batches, 1);
+  EXPECT_EQ(done.coalesced_items, 3);
+}
+
+// Least-loaded routing drains around a deliberately skewed backlog: shard 0
+// is pre-loaded with three requests held by a frozen coalescing window, so
+// every cluster submit must go to the idle shard 1. ManualClock, zero real
+// sleeps.
+TEST(ServingCluster, LeastLoadedRoutesAroundASkewedBacklog) {
+  auto clock = std::make_shared<ManualClock>();
+  ClusterOptions opt;
+  opt.engine.seed = 77;
+  opt.engine.queue_workers = 1;
+  opt.engine.scheduler.max_coalesce_batch = 8;
+  opt.engine.scheduler.coalesce_wait_us = 1'000'000;
+  opt.engine.clock = clock;
+  opt.router = RouterPolicy::kLeastLoaded;
+  ServingCluster cluster({gpusim::jetson_orin(), gpusim::jetson_orin()}, opt);
+
+  // Skew shard 0 directly (bypassing the router): its worker claims the
+  // head and parks in the frozen window; the rest queue behind it.
+  std::vector<std::future<ServeResponse>> futs;
+  for (int i = 0; i < 3; ++i) {
+    futs.push_back(cluster.engine(0).submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 300 + i))));
+  }
+  EXPECT_EQ(cluster.engine(0).load(), 3u);
+  EXPECT_EQ(cluster.engine(1).load(), 0u);
+
+  // Both routed submits must join the shortest queue — shard 1.
+  for (int i = 0; i < 2; ++i) {
+    futs.push_back(cluster.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 400 + i))));
+  }
+  const auto routed = cluster.routed();
+  EXPECT_EQ(routed[0], 0);
+  EXPECT_EQ(routed[1], 2);
+  EXPECT_EQ(cluster.engine(1).queue_stats().accepted, 2);
+
+  clock->advance(2.0);  // release every window; both shards drain
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+}
+
+// Plan-affinity pins a warm (model, device, dtype, options) key to its
+// shard even when round-robin or load would choose otherwise; a key warm
+// nowhere falls back to least-loaded.
+TEST(ServingCluster, PlanAffinityRoutesWarmKeyToItsShard) {
+  ClusterOptions opt;
+  opt.engine.seed = 77;
+  opt.router = RouterPolicy::kPlanAffinity;
+  ServingCluster cluster({gpusim::gtx1660(), gpusim::rtx_a4000()}, opt);
+
+  cluster.engine(1).plan_for("Tiny", DType::kF32);  // warm shard 1 only
+  std::vector<std::future<ServeResponse>> futs;
+  for (int i = 0; i < 3; ++i) {
+    futs.push_back(cluster.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 500 + i))));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(cluster.engine(0).queue_stats().accepted, 0);
+  EXPECT_EQ(cluster.engine(1).queue_stats().accepted, 3);
+
+  // Same model, different dtype: the i8 key is warm nowhere, so the router
+  // falls back to least-loaded — which must not pick the shard that just
+  // took three affinity requests when the other is equally idle.
+  auto i8fut =
+      cluster.submit_async(ServeRequest::i8("Tiny", tiny_batch_i8(1, 600)));
+  EXPECT_TRUE(i8fut.get().ok());
+  EXPECT_EQ(cluster.engine(0).queue_stats().accepted, 1);
+}
+
+// Acceptance: a homogeneous cluster serves a mix bit-identical to a single
+// engine of the same device and seed — the routing hop never changes
+// numerics, FP32 or INT8.
+TEST(ServingCluster, OutputsBitIdenticalToSingleEngine) {
+  ClusterOptions copt;
+  copt.engine.seed = 77;
+  copt.router = RouterPolicy::kRoundRobin;
+  ServingCluster cluster({gpusim::jetson_orin(), gpusim::jetson_orin()},
+                         copt);
+  EngineOptions eopt;
+  eopt.seed = 77;
+  InferenceEngine engine(gpusim::jetson_orin(), eopt);
+
+  std::vector<std::future<ServeResponse>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(cluster.submit_async(
+        ServeRequest::f32("Tiny", tiny_batch_f32(1, 700 + i))));
+  }
+  for (int i = 0; i < 6; ++i) {
+    ServeResponse got = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.outputs_f32.size(), 1u);
+    const ServeResponse want =
+        engine.submit(ServeRequest::f32("Tiny", tiny_batch_f32(1, 700 + i)));
+    EXPECT_EQ(max_abs_diff(got.outputs_f32[0], want.outputs_f32[0]), 0.0f)
+        << "request " << i << " diverged through the cluster";
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    ServeResponse got =
+        cluster.submit(ServeRequest::i8("Tiny", tiny_batch_i8(1, 800 + i)));
+    ASSERT_TRUE(got.ok());
+    const ServeResponse want =
+        engine.submit(ServeRequest::i8("Tiny", tiny_batch_i8(1, 800 + i)));
+    ASSERT_EQ(got.outputs_i8[0].size(), want.outputs_i8[0].size());
+    for (std::int64_t e = 0; e < got.outputs_i8[0].size(); ++e) {
+      ASSERT_EQ(got.outputs_i8[0][e], want.outputs_i8[0][e])
+          << "i8 request " << i << " element " << e;
+    }
+  }
+}
+
+// Cluster replay on a ManualClock: pacing advances virtual time only, so the
+// report's wall clock is exactly the offered schedule; the per-shard
+// breakdown, groups and models must tile the mix exactly.
+TEST(ServingCluster, ReplayAggregatesPerShardDeterministically) {
+  auto clock = std::make_shared<ManualClock>();
+  ClusterOptions opt;
+  opt.engine.seed = 77;
+  opt.engine.queue_workers = 1;
+  opt.engine.clock = clock;
+  opt.router = RouterPolicy::kRoundRobin;
+  ServingCluster cluster({gpusim::jetson_orin(), gpusim::jetson_orin()}, opt);
+
+  std::vector<InferenceEngine::Request> mix;
+  for (int i = 0; i < 8; ++i) {
+    mix.push_back({"Tiny", 900 + static_cast<std::uint64_t>(i), DType::kF32,
+                   1, 0.0});
+  }
+  const ServingReport rep = cluster.replay(mix, 100.0);
+
+  EXPECT_EQ(rep.device, "cluster[Jetson-AGX-Orin+Jetson-AGX-Orin]");
+  EXPECT_EQ(rep.router, "round-robin");
+  // 8 arrivals at 100 req/s: the last submission is at t0 + 7/100. Nothing
+  // else moves the virtual clock, so wall_s is exact.
+  EXPECT_DOUBLE_EQ(rep.wall_s, 0.07);
+
+  ASSERT_EQ(rep.shards.size(), 2u);
+  int shard_requests = 0;
+  for (const auto& s : rep.shards) {
+    EXPECT_EQ(s.routed, 4);  // round-robin fan-out is exact
+    EXPECT_EQ(s.requests, 4);
+    EXPECT_EQ(s.items, 4);
+    EXPECT_EQ(s.rejected, 0);
+    EXPECT_EQ(s.expired, 0);
+    EXPECT_EQ(s.queue.accepted, 4);
+    EXPECT_EQ(s.queue.completed, 4);
+    EXPECT_GT(s.sim_time_s, 0.0);
+    shard_requests += s.requests;
+  }
+  EXPECT_EQ(shard_requests, rep.total_requests());
+  EXPECT_EQ(rep.total_requests(), 8);
+  ASSERT_EQ(rep.models.size(), 1u);
+  EXPECT_EQ(rep.models[0].requests, 8);
+  ASSERT_EQ(rep.groups.size(), 1u);
+  EXPECT_EQ(rep.groups[0].requests, 8);
+  EXPECT_EQ(rep.queue.accepted, 8);
+  EXPECT_EQ(rep.queue.completed, 8);
+  EXPECT_FALSE(rep.shard_table().empty());
+  EXPECT_NE(rep.summary().find("router round-robin"), std::string::npos);
+  EXPECT_NE(rep.summary().find("2/2 shards served"), std::string::npos);
+}
+
+// A single-engine report has no shards: the table is empty and the summary
+// stays in its single-engine shape.
+TEST(ServingCluster, SingleEngineReportHasNoShardSection) {
+  EngineOptions opt;
+  opt.seed = 77;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+  const ServingReport rep =
+      engine.replay({{"Tiny", 1, DType::kF32, 1, 0.0}});
+  EXPECT_TRUE(rep.shards.empty());
+  EXPECT_TRUE(rep.shard_table().empty());
+  EXPECT_EQ(rep.summary().find("router"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcm::serving
