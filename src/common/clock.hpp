@@ -11,11 +11,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace fcm {
 
@@ -51,16 +51,18 @@ class Clock {
   /// now_s() >= deadline_s. Spurious wakeups are absorbed; like
   /// std::condition_variable::wait, the predicate is re-evaluated under the
   /// lock. A ManualClock must have the (mutex, cv) pair registered (see
-  /// below) or the wait can only end via pred() notifications.
-  virtual void wait_until(std::unique_lock<std::mutex>& lk,
-                          std::condition_variable& cv, double deadline_s,
+  /// below) or the wait can only end via pred() notifications. The
+  /// capability analysis cannot see through the wait (the lock is released
+  /// and reacquired inside), so predicates touching guarded state open with
+  /// lk.mutex().assert_held().
+  virtual void wait_until(MutexLock& lk, CondVar& cv, double deadline_s,
                           const std::function<bool()>& pred) = 0;
 
   /// Register a (mutex, cv) pair the clock will nudge whenever virtual time
   /// advances. Real clocks need no nudging (timed waits) — the default is a
   /// no-op. Must not be called while holding the registered mutex.
-  virtual void register_waiter(std::mutex*, std::condition_variable*) {}
-  virtual void unregister_waiter(std::condition_variable*) {}
+  virtual void register_waiter(Mutex*, CondVar*) {}
+  virtual void unregister_waiter(CondVar*) {}
 };
 
 /// The real clock: std::chrono::steady_clock behind the Clock interface.
@@ -72,8 +74,7 @@ class SteadyClock final : public Clock {
     std::this_thread::sleep_until(time_point(t_s));
   }
 
-  void wait_until(std::unique_lock<std::mutex>& lk,
-                  std::condition_variable& cv, double deadline_s,
+  void wait_until(MutexLock& lk, CondVar& cv, double deadline_s,
                   const std::function<bool()>& pred) override {
     const auto tp = time_point(deadline_s);
     while (!pred() && now_s() < deadline_s) {
@@ -103,32 +104,31 @@ class ManualClock final : public Clock {
   /// Move virtual time forward by `dt_s` seconds and wake registered
   /// waiters. The read-modify-write happens under wmu_, so concurrent
   /// advances add up instead of losing each other's interval.
-  void advance(double dt_s) {
-    std::lock_guard<std::mutex> g(wmu_);
+  void advance(double dt_s) EXCLUDES(wmu_) {
+    MutexLock g(wmu_);
     bump_and_notify(now_.load() + dt_s);
   }
 
   /// Jump virtual time to max(now, t_s) and wake registered waiters.
-  void set(double t_s) {
-    std::lock_guard<std::mutex> g(wmu_);
+  void set(double t_s) EXCLUDES(wmu_) {
+    MutexLock g(wmu_);
     bump_and_notify(t_s);
   }
 
   void sleep_until(double t_s) override { set(t_s); }
 
-  void wait_until(std::unique_lock<std::mutex>& lk,
-                  std::condition_variable& cv, double deadline_s,
+  void wait_until(MutexLock& lk, CondVar& cv, double deadline_s,
                   const std::function<bool()>& pred) override {
     while (!pred() && now_s() < deadline_s) cv.wait(lk);
   }
 
-  void register_waiter(std::mutex* m, std::condition_variable* cv) override {
-    std::lock_guard<std::mutex> g(wmu_);
+  void register_waiter(Mutex* m, CondVar* cv) override EXCLUDES(wmu_) {
+    MutexLock g(wmu_);
     waiters_.push_back(Waiter{m, cv});
   }
 
-  void unregister_waiter(std::condition_variable* cv) override {
-    std::lock_guard<std::mutex> g(wmu_);
+  void unregister_waiter(CondVar* cv) override EXCLUDES(wmu_) {
+    MutexLock g(wmu_);
     for (auto it = waiters_.begin(); it != waiters_.end();) {
       it = it->cv == cv ? waiters_.erase(it) : it + 1;
     }
@@ -136,28 +136,31 @@ class ManualClock final : public Clock {
 
  private:
   struct Waiter {
-    std::mutex* m;
-    std::condition_variable* cv;
+    Mutex* m;
+    CondVar* cv;
   };
 
   /// Monotonic store + waiter nudges; wmu_ held. Holding wmu_ across the
   /// notify loop keeps every Waiter alive against a concurrent
-  /// unregister_waiter (which blocks on wmu_ until we finish).
-  void bump_and_notify(double t_s) {
+  /// unregister_waiter (which blocks on wmu_ until we finish). Locking each
+  /// waiter's mutex here is the ONE sanctioned lock nesting in the repo
+  /// (wmu_ → waiter mutex; see thread_annotations.hpp).
+  void bump_and_notify(double t_s) REQUIRES(wmu_) {
     now_.store(std::max(now_.load(), t_s));
     for (const Waiter& w : waiters_) {
       // Lock/unlock the waiter's mutex before notifying: a thread between
       // its predicate check and cv.wait() holds that mutex, so acquiring it
       // serialises us after the wait starts and the notification cannot be
       // lost (the classic missed-wakeup fence).
-      { std::lock_guard<std::mutex> lm(*w.m); }
+      w.m->lock();
+      w.m->unlock();
       w.cv->notify_all();
     }
   }
 
   std::atomic<double> now_;
-  mutable std::mutex wmu_;
-  std::vector<Waiter> waiters_;
+  mutable Mutex wmu_;
+  std::vector<Waiter> waiters_ GUARDED_BY(wmu_);
 };
 
 }  // namespace fcm

@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -39,8 +39,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      cv_.wait(lk, [this] {
+        mu_.assert_held();
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -97,7 +100,7 @@ void ThreadPool::parallel_for(std::int64_t count,
   };
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     for (std::int64_t c = 0; c < chunks; ++c) {
       queue_.push(Task{body});
     }

@@ -4,13 +4,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace fcm {
 
@@ -51,7 +51,7 @@ class ThreadPool {
   /// blocked waiting for queued sub-tasks no one is free to run.
   void parallel_for(std::int64_t count,
                     const std::function<void(std::int64_t)>& fn,
-                    std::int64_t grain = 0);
+                    std::int64_t grain = 0) EXCLUDES(mu_);
 
   /// Process-wide pool shared by the planner, runtime and simulator.
   static ThreadPool& global();
@@ -67,13 +67,13 @@ class ThreadPool {
     std::function<void()> fn;
   };
 
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<Task> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// RAII pool override: global() returns `pool` for this object's lifetime,

@@ -28,7 +28,7 @@ std::size_t ServingCluster::route(const ServeRequest& req) {
   // serialises the pick itself plus the routed counters that feed the
   // least-loaded tie-break.
   std::vector<ShardState> states(shards_.size());
-  const bool affinity = router_->policy() == RouterPolicy::kPlanAffinity;
+  const bool affinity = opt_.router == RouterPolicy::kPlanAffinity;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     states[i].index = i;
     states[i].load = shards_[i]->load();
@@ -41,7 +41,7 @@ std::size_t ServingCluster::route(const ServeRequest& req) {
       states[i].plan_resident = shards_[i]->plan_cache().contains(key);
     }
   }
-  std::lock_guard<std::mutex> lk(route_mu_);
+  MutexLock lk(route_mu_);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     states[i].routed = routed_[i];
   }
@@ -60,7 +60,7 @@ std::future<ServeResponse> ServingCluster::submit_async(ServeRequest req) {
 }
 
 std::vector<std::int64_t> ServingCluster::routed() const {
-  std::lock_guard<std::mutex> lk(route_mu_);
+  MutexLock lk(route_mu_);
   return routed_;
 }
 
@@ -88,7 +88,7 @@ ServingReport ServingCluster::replay(
     }
     report.device += "]";
   }
-  report.router = router_policy_name(router_->policy());
+  report.router = router_policy_name(opt_.router);
 
   std::vector<std::size_t> shard_of(mix.size(), 0);
   const std::vector<ReplayOutcome> outcomes = drive_replay(

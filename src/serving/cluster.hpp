@@ -33,11 +33,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/thread_annotations.hpp"
 #include "gpusim/device_spec.hpp"
 #include "serving/inference_engine.hpp"
 #include "serving/router.hpp"
@@ -85,24 +85,30 @@ class ServingCluster {
   const gpusim::DeviceSpec& device(std::size_t shard) const {
     return shards_[shard]->device();
   }
-  RouterPolicy router_policy() const { return router_->policy(); }
+  /// The policy is immutable after construction (opt_.router built the
+  /// router), so reading it never needs the routing lock.
+  RouterPolicy router_policy() const { return opt_.router; }
   const ClusterOptions& options() const { return opt_; }
   Clock& clock() { return *clock_; }
   /// Requests routed to each shard so far (lifetime, by shard index).
-  std::vector<std::int64_t> routed() const;
+  std::vector<std::int64_t> routed() const EXCLUDES(route_mu_);
 
  private:
   /// Build the shards' ShardStates and ask the router; counts the pick.
-  std::size_t route(const ServeRequest& req);
+  /// Gathers every shard gauge BEFORE taking route_mu_ — no shard mutex is
+  /// ever acquired under it (the lock-ordering rule in
+  /// thread_annotations.hpp).
+  std::size_t route(const ServeRequest& req) EXCLUDES(route_mu_);
 
   ClusterOptions opt_;
   std::shared_ptr<Clock> clock_;
   std::vector<std::unique_ptr<InferenceEngine>> shards_;
 
-  /// Router state and routed counters, serialised across submitters.
-  mutable std::mutex route_mu_;
-  std::unique_ptr<Router> router_;
-  std::vector<std::int64_t> routed_;
+  /// Router state (the round-robin cursor) and routed counters, serialised
+  /// across submitters.
+  mutable Mutex route_mu_;
+  std::unique_ptr<Router> router_ GUARDED_BY(route_mu_) PT_GUARDED_BY(route_mu_);
+  std::vector<std::int64_t> routed_ GUARDED_BY(route_mu_);
 };
 
 }  // namespace fcm::serving

@@ -22,6 +22,7 @@ InferenceEngine::~InferenceEngine() {
   // every pop return false; then the workers drain out. In-flight dispatches
   // complete first — a worker mid-execution still resolves its futures.
   scheduler_.stop();
+  MutexLock lk(workers_mu_);  // workers never take workers_mu_: join-safe
   for (auto& w : workers_) w.join();
 }
 
@@ -45,7 +46,7 @@ std::string runner_key(const std::string& model,
 std::shared_ptr<const runtime::ModelRunner> InferenceEngine::runner_keyed(
     const std::string& model_name, const std::optional<QuantParams>& quant) {
   const std::string key = runner_key(model_name, quant);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
     auto it = runners_.find(key);
     if (it == runners_.end()) break;  // this thread becomes the builder
@@ -129,7 +130,7 @@ InferenceEngine::Result InferenceEngine::submit(const std::string& model_name,
 }
 
 void InferenceEngine::ensure_workers() {
-  std::lock_guard<std::mutex> lk(workers_mu_);
+  MutexLock lk(workers_mu_);
   if (!workers_.empty()) return;
   unsigned n = opt_.queue_workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());

@@ -28,12 +28,10 @@
 // queueing ever changes numerics.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -41,6 +39,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/executor.hpp"
 #include "serving/plan_cache.hpp"
 #include "serving/scheduler.hpp"
@@ -158,9 +157,10 @@ class InferenceEngine {
  private:
   /// The runner serving (model, quant); built once, shared afterwards.
   std::shared_ptr<const runtime::ModelRunner> runner_keyed(
-      const std::string& model_name, const std::optional<QuantParams>& quant);
+      const std::string& model_name, const std::optional<QuantParams>& quant)
+      EXCLUDES(mu_);
   /// Spawn the queue workers on first submit_async.
-  void ensure_workers();
+  void ensure_workers() EXCLUDES(workers_mu_);
   void worker_loop();
   /// Execute one popped item and resolve its promise.
   void run_single(Scheduler::Item item, double popped_s);
@@ -181,13 +181,14 @@ class InferenceEngine {
     std::shared_ptr<const runtime::ModelRunner> runner;
     bool ready = false;
   };
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, RunnerSlot> runners_;
+  Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<std::string, RunnerSlot> runners_ GUARDED_BY(mu_);
 
-  /// Queue workers (lazily started by the first submit_async).
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  /// Queue workers (lazily started by the first submit_async). Leaf mutex,
+  /// never nested with mu_ or the scheduler's lock.
+  Mutex workers_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
 };
 
 /// Materialise one replay Request into a concrete ServeRequest of `shape`-d

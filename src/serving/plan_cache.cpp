@@ -131,7 +131,7 @@ std::shared_ptr<const planner::Plan> PlanCache::try_load_disk(
               "plan cache file does not match its key");
     planner::reconcile(dev, model, plan);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       ++stats_.disk_hits;
     }
     return std::make_shared<const planner::Plan>(std::move(plan));
@@ -163,7 +163,7 @@ std::shared_ptr<const planner::Plan> PlanCache::produce(
     lock_owner = claim == LockClaim::kOwner;
     if (claim == LockClaim::kBusy) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         ++stats_.lock_waits;
       }
       for (;;) {
@@ -209,7 +209,7 @@ std::shared_ptr<const planner::Plan> PlanCache::produce(
 
   PlanFn fn;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     fn = plan_fn_;
   }
   std::shared_ptr<const planner::Plan> plan;
@@ -266,7 +266,7 @@ std::shared_ptr<const planner::Plan> PlanCache::get_or_plan(
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (auto it = map_.find(key); it != map_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
@@ -284,8 +284,11 @@ std::shared_ptr<const planner::Plan> PlanCache::get_or_plan(
   }
 
   if (!owner) {
-    std::unique_lock<std::mutex> lk(flight->m);
-    flight->cv.wait(lk, [&] { return flight->done; });
+    MutexLock lk(flight->m);
+    flight->cv.wait(lk, [&] {
+      flight->m.assert_held();
+      return flight->done;
+    });
     if (flight->error) std::rethrow_exception(flight->error);
     return flight->plan;
   }
@@ -302,12 +305,12 @@ std::shared_ptr<const planner::Plan> PlanCache::get_or_plan(
   }
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!error) insert_locked(key, plan);
     inflight_.erase(key);
   }
   {
-    std::lock_guard<std::mutex> lk(flight->m);
+    MutexLock lk(flight->m);
     flight->done = true;
     flight->plan = plan;
     flight->error = error;
@@ -319,29 +322,29 @@ std::shared_ptr<const planner::Plan> PlanCache::get_or_plan(
 }
 
 bool PlanCache::contains(const PlanKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return map_.find(key) != map_.end();
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return map_.size();
 }
 
 CacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   map_.clear();
   lru_.clear();
 }
 
 void PlanCache::set_plan_fn(PlanFn fn) {
   FCM_CHECK(static_cast<bool>(fn), "PlanCache::set_plan_fn: empty function");
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   plan_fn_ = std::move(fn);
 }
 

@@ -14,15 +14,14 @@
 // left by crashed owners are stolen via an atomic rename.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "gpusim/device_spec.hpp"
 #include "layers/model_graph.hpp"
 #include "planner/fuse_planner.hpp"
@@ -89,63 +88,67 @@ class PlanCache {
   /// outside the cache lock and at most once per key.
   std::shared_ptr<const planner::Plan> get_or_plan(
       const gpusim::DeviceSpec& dev, const ModelGraph& model, DType dt,
-      const planner::PlanOptions& opt = {});
+      const planner::PlanOptions& opt = {}) EXCLUDES(mu_);
 
   /// True when the key is resident in memory (does not touch LRU order).
-  bool contains(const PlanKey& key) const;
+  bool contains(const PlanKey& key) const EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   const std::string& cache_dir() const { return cache_dir_; }
-  CacheStats stats() const;
+  CacheStats stats() const EXCLUDES(mu_);
 
   /// Drop every in-memory entry (stats and on-disk files are kept).
-  void clear();
+  void clear() EXCLUDES(mu_);
 
   /// Replace the planning function (default: planner::plan_model). Lets
   /// tests instrument call counts and inject synthetic planners; must not
   /// race with in-flight get_or_plan calls.
-  void set_plan_fn(PlanFn fn);
+  void set_plan_fn(PlanFn fn) EXCLUDES(mu_);
 
  private:
   struct Entry {
     PlanKey key;
     std::shared_ptr<const planner::Plan> plan;
   };
-  /// One in-flight planning of a key; later arrivals block on `cv`.
+  /// One in-flight planning of a key; later arrivals block on `cv`. Taken
+  /// strictly AFTER the cache mutex is released, never nested inside it
+  /// (see the lock-ordering rule in thread_annotations.hpp).
   struct InFlight {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
-    std::shared_ptr<const planner::Plan> plan;
-    std::exception_ptr error;
+    Mutex m;
+    CondVar cv;
+    bool done GUARDED_BY(m) = false;
+    std::shared_ptr<const planner::Plan> plan GUARDED_BY(m);
+    std::exception_ptr error GUARDED_BY(m);
   };
 
   /// Insert under the lock, evicting LRU tails beyond capacity.
   void insert_locked(const PlanKey& key,
-                     std::shared_ptr<const planner::Plan> plan);
+                     std::shared_ptr<const planner::Plan> plan) REQUIRES(mu_);
   /// Produce the plan for a key: disk first (when enabled), planner second
   /// — deduplicated across processes by a lock file next to the plan file.
   std::shared_ptr<const planner::Plan> produce(const gpusim::DeviceSpec& dev,
                                                const ModelGraph& model,
-                                               DType dt, const PlanKey& key);
+                                               DType dt, const PlanKey& key)
+      EXCLUDES(mu_);
   /// Load + reconcile the key's plan file; nullptr when absent or invalid.
   std::shared_ptr<const planner::Plan> try_load_disk(
       const gpusim::DeviceSpec& dev, const ModelGraph& model,
-      const PlanKey& key);
+      const PlanKey& key) EXCLUDES(mu_);
   std::string file_path(const PlanKey& key) const;
   std::string lock_path(const PlanKey& key) const;
 
   const std::size_t capacity_;
   const std::string cache_dir_;
-  PlanFn plan_fn_;
 
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
-  std::unordered_map<PlanKey, std::shared_ptr<InFlight>, PlanKeyHash>
-      inflight_;
-  CacheStats stats_;
+  mutable Mutex mu_;
+  PlanFn plan_fn_ GUARDED_BY(mu_);
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_
+      GUARDED_BY(mu_);
+  std::unordered_map<PlanKey, std::shared_ptr<InFlight>, PlanKeyHash> inflight_
+      GUARDED_BY(mu_);
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace fcm::serving

@@ -111,14 +111,16 @@ Scheduler::~Scheduler() {
 std::future<ServeResponse> Scheduler::push(ServeRequest req) {
   std::promise<ServeResponse> promise;
   std::future<ServeResponse> fut = promise.get_future();
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++producers_;
   const auto leave = [this] {
+    mu_.assert_held();  // only ever called with lk still locked
     // Last producer out wakes a stop() waiting to reject the backlog.
     --producers_;
     if (producers_ == 0 && stopping_) cv_producers_done_.notify_all();
   };
   const auto reject_now = [&] {
+    mu_.assert_held();
     ++qstats_.rejected;
     promise.set_value(response_stub(req, ServeStatus::kRejected));
     leave();
@@ -136,6 +138,7 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
     }
     ++qstats_.blocked;
     cv_not_full_.wait(lk, [this] {
+      mu_.assert_held();
       return q_.size() < opt_.queue_depth || stopping_;
     });
     if (stopping_) {
@@ -212,6 +215,7 @@ void Scheduler::erase_compacted_locked(std::size_t w) {
 int Scheduler::select_head_locked() const {
   if (q_.empty()) return -1;
   const auto eligible = [this](const Item& it) {
+    mu_.assert_held();  // select_head_locked REQUIRES(mu_)
     return !(coalescible(it) && window_keys_.count(it.ckey) > 0);
   };
   if (opt_.discipline == QueueDiscipline::kFifo) {
@@ -236,6 +240,7 @@ int Scheduler::select_head_locked() const {
 
 Scheduler::Item Scheduler::take_at_locked(std::size_t idx) {
   const auto take = [this](std::size_t i) {
+    mu_.assert_held();  // take_at_locked REQUIRES(mu_)
     if (opt_.discipline == QueueDiscipline::kEdf && i == 0) {
       std::pop_heap(q_.begin(), q_.end(), EdfAfter{});
       Item it = std::move(q_.back());
@@ -277,6 +282,7 @@ void Scheduler::extract_matches_locked(const std::string& ckey,
   // storage is already seq-ordered; EDF selects the earliest deadlines.
   if (opt_.discipline == QueueDiscipline::kEdf) {
     std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+      mu_.assert_held();  // extract_matches_locked REQUIRES(mu_)
       return EdfAfter{}(q_[b], q_[a]);
     });
   }
@@ -309,7 +315,7 @@ bool Scheduler::try_pop(Dispatch* out) {
 }
 
 bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
     if (stopping_) return false;  // stop() rejects any backlog itself
     expire_due_locked();
@@ -319,6 +325,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
       // riding another worker's open window.
       if (!blocking) return false;
       cv_pop_.wait(lk, [this] {
+        mu_.assert_held();
         return stopping_ || select_head_locked() >= 0;
       });
       continue;
@@ -356,6 +363,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
             break;
           }
           clock_->wait_until(lk, cv_pop_, wait_end_s, [&] {
+            mu_.assert_held();
             return stopping_ || matches_locked(key) >= want ||
                    q_.size() >= opt_.queue_depth;
           });
@@ -390,14 +398,14 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
 }
 
 void Scheduler::record_completed(std::size_t requests) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   qstats_.completed += static_cast<std::int64_t>(requests);
   in_flight_ = std::max<std::int64_t>(
       0, in_flight_ - static_cast<std::int64_t>(requests));
 }
 
 void Scheduler::record_failed(std::size_t requests) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   in_flight_ = std::max<std::int64_t>(
       0, in_flight_ - static_cast<std::int64_t>(requests));
 }
@@ -405,7 +413,7 @@ void Scheduler::record_failed(std::size_t requests) {
 void Scheduler::stop() {
   std::deque<Item> backlog;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!stopping_) {
       stopping_ = true;
       cv_pop_.notify_all();
@@ -413,7 +421,10 @@ void Scheduler::stop() {
     }
     // Producers parked in push (kBlock backpressure) wake, resolve their
     // futures as kRejected and leave; only then is the backlog final.
-    cv_producers_done_.wait(lk, [this] { return producers_ == 0; });
+    cv_producers_done_.wait(lk, [this] {
+      mu_.assert_held();
+      return producers_ == 0;
+    });
     backlog.swap(q_);
     deadlined_ = 0;
     qstats_.rejected += static_cast<std::int64_t>(backlog.size());
@@ -426,7 +437,7 @@ void Scheduler::stop() {
 }
 
 QueueStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   QueueStats s = qstats_;
   s.queued = static_cast<std::int64_t>(q_.size());
   s.in_flight = in_flight_;
@@ -434,29 +445,29 @@ QueueStats Scheduler::stats() const {
 }
 
 std::size_t Scheduler::depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return q_.size();
 }
 
 std::size_t Scheduler::in_flight() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return static_cast<std::size_t>(in_flight_);
 }
 
 std::size_t Scheduler::load() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return q_.size() + static_cast<std::size_t>(in_flight_);
 }
 
 std::int64_t Scheduler::reset_depth_watermark() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const std::int64_t old = depth_watermark_;
   depth_watermark_ = static_cast<std::int64_t>(q_.size());
   return old;
 }
 
 std::int64_t Scheduler::depth_watermark() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return depth_watermark_;
 }
 

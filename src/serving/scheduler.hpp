@@ -30,19 +30,18 @@
 // decision above is reproducible in unit tests without a single real sleep.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/tensor.hpp"
 #include "kernels/epilogue.hpp"
 #include "serving/serving_report.hpp"
@@ -184,7 +183,7 @@ class Scheduler {
   /// Admit `req` and return the future its consumer will resolve. A full
   /// queue blocks or rejects per the policy; rejected (and post-stop)
   /// requests resolve immediately as kRejected without ever enqueueing.
-  std::future<ServeResponse> push(ServeRequest req);
+  std::future<ServeResponse> push(ServeRequest req) EXCLUDES(mu_);
 
   /// Block for the next dispatch. Expired requests are resolved kExpired
   /// (and skipped) here, lazily, wherever they sit in the backlog. Returns
@@ -192,102 +191,102 @@ class Scheduler {
   /// consumer's signal to exit. A coalescing pop may wait on the Clock for
   /// the batching window; it never waits past SchedulerOptions'
   /// coalesce_wait_us of *queue* time.
-  bool pop(Dispatch* out);
+  bool pop(Dispatch* out) EXCLUDES(mu_);
 
   /// Non-blocking pop: like pop(), but returns false instead of waiting
   /// when nothing is runnable, and flushes a coalescible head immediately
   /// with whatever peers are already queued (no batching window). Meant for
   /// tests and drain loops.
-  bool try_pop(Dispatch* out);
+  bool try_pop(Dispatch* out) EXCLUDES(mu_);
 
   /// Count `requests` completed executions (the consumer calls this after a
   /// dispatch runs successfully; a coalesced dispatch counts every rider).
   /// Also retires them from the in-flight gauge.
-  void record_completed(std::size_t requests);
+  void record_completed(std::size_t requests) EXCLUDES(mu_);
 
   /// Retire `requests` from the in-flight gauge without counting them as
   /// completed — the consumer's path for dispatches that ended in an
   /// exception (the promise carries the error instead of a response).
-  void record_failed(std::size_t requests);
+  void record_failed(std::size_t requests) EXCLUDES(mu_);
 
   /// Wake blocked producers (they self-reject), resolve the whole backlog
   /// as kRejected, and make every current and future pop() return false.
   /// Idempotent; the destructor calls it.
-  void stop();
+  void stop() EXCLUDES(mu_);
 
-  QueueStats stats() const;
+  QueueStats stats() const EXCLUDES(mu_);
   /// Requests currently queued (excludes items a pop holds in its window).
-  std::size_t depth() const;
+  std::size_t depth() const EXCLUDES(mu_);
   /// Requests popped but not yet retired by record_completed/record_failed —
   /// including a head a coalescing pop holds in its open window.
-  std::size_t in_flight() const;
+  std::size_t in_flight() const EXCLUDES(mu_);
   /// The load gauge a cluster router balances on: queued + in-flight, read
   /// atomically under the queue mutex so two shards' loads compared by the
   /// router are each internally consistent.
-  std::size_t load() const;
+  std::size_t load() const EXCLUDES(mu_);
   /// Restart the depth watermark at the current backlog and return the old
   /// mark; stats().max_depth keeps the lifetime mark. replay() brackets
   /// itself with these two calls.
-  std::int64_t reset_depth_watermark();
-  std::int64_t depth_watermark() const;
+  std::int64_t reset_depth_watermark() EXCLUDES(mu_);
+  std::int64_t depth_watermark() const EXCLUDES(mu_);
 
   const SchedulerOptions& options() const { return opt_; }
   Clock& clock() { return *clock_; }
 
  private:
-  bool pop_impl(Dispatch* out, bool blocking);
+  bool pop_impl(Dispatch* out, bool blocking) EXCLUDES(mu_);
   /// Resolve one item as kExpired (counter + stub + waits). Lock held.
-  void resolve_expired_locked(Item&& it, double now_s);
+  void resolve_expired_locked(Item&& it, double now_s) REQUIRES(mu_);
   /// Resolve every queued item whose deadline has passed. Lock held.
-  void expire_due_locked();
+  void expire_due_locked() REQUIRES(mu_);
   /// Index of the next dispatchable item per the discipline, skipping
   /// coalescible items whose key another worker's open window has reserved
   /// (they ride that window's batch instead); -1 when nothing is
   /// dispatchable. Lock held.
-  int select_head_locked() const;
+  int select_head_locked() const REQUIRES(mu_);
   /// Remove and return q_[idx], keeping the discipline's invariants (heap
   /// fast path when idx is the root). Lock held.
-  Item take_at_locked(std::size_t idx);
+  Item take_at_locked(std::size_t idx) REQUIRES(mu_);
   /// Queued single-image items sharing `ckey`. Lock held.
-  std::size_t matches_locked(const std::string& ckey) const;
+  std::size_t matches_locked(const std::string& ckey) const REQUIRES(mu_);
   /// Move up to `limit` ckey-matching items into `out` in dispatch order.
   /// Lock held.
   void extract_matches_locked(const std::string& ckey, std::size_t limit,
-                              std::vector<Item>* out);
+                              std::vector<Item>* out) REQUIRES(mu_);
   /// Drop the moved-from tail [w, end) after an in-place compaction and
   /// re-establish the EDF heap. Lock held.
-  void erase_compacted_locked(std::size_t w);
+  void erase_compacted_locked(std::size_t w) REQUIRES(mu_);
   /// Re-establish the EDF heap after arbitrary removals. Lock held.
-  void reheap_locked();
+  void reheap_locked() REQUIRES(mu_);
 
   SchedulerOptions opt_;
   std::shared_ptr<Clock> clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_pop_;        // consumers; clock-registered
-  std::condition_variable cv_not_full_;   // blocked producers
-  std::condition_variable cv_producers_done_;
+  mutable Mutex mu_;
+  CondVar cv_pop_;        // consumers; clock-registered
+  CondVar cv_not_full_;   // blocked producers
+  CondVar cv_producers_done_;
   /// FIFO: arrival (seq) order, O(1) pop_front. EDF: binary heap over the
   /// same (random-access) container, earliest deadline at the root.
-  std::deque<Item> q_;
-  bool stopping_ = false;
+  std::deque<Item> q_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   /// Threads currently inside push. stop() wakes blocked producers (they
   /// resolve their futures as kRejected) and waits for this to reach zero
   /// before rejecting the backlog.
-  int producers_ = 0;
-  std::uint64_t next_seq_ = 0;
+  int producers_ GUARDED_BY(mu_) = 0;
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   /// Queued items carrying a finite deadline — lets the lazy expiry scan
   /// return immediately for deadline-free traffic instead of walking the
   /// backlog on every pop.
-  std::size_t deadlined_ = 0;
+  std::size_t deadlined_ GUARDED_BY(mu_) = 0;
   /// Requests popped (claimed by a consumer) but not yet retired via
   /// record_completed/record_failed; a window-holding head counts too.
-  std::int64_t in_flight_ = 0;
+  std::int64_t in_flight_ GUARDED_BY(mu_) = 0;
   /// Coalescing keys with an open batching window (one waiter per key).
-  std::unordered_set<std::string> window_keys_;
-  QueueStats qstats_;
+  std::unordered_set<std::string> window_keys_ GUARDED_BY(mu_);
+  QueueStats qstats_ GUARDED_BY(mu_);
   /// Queue high-water mark since the last reset_depth_watermark().
-  std::int64_t depth_watermark_ = 0;
+  std::int64_t depth_watermark_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fcm::serving

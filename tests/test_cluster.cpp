@@ -8,7 +8,9 @@
 // touches numerics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -166,6 +168,69 @@ TEST(ServingCluster, LoadGaugeCountsQueuedAndInFlight) {
   EXPECT_EQ(done.in_flight, 0);
   EXPECT_EQ(done.coalesced_batches, 1);
   EXPECT_EQ(done.coalesced_items, 3);
+}
+
+// The load gauge under concurrency: queued + in-flight is read under ONE
+// lock, so no sampled snapshot may ever see a request in neither state
+// (popped but not yet counted in-flight) or both. K requests go in, T
+// threads drain with try_pop + record_completed while every participant
+// samples the gauge; every sample must stay within [0, K] and the fully
+// drained scheduler must read exactly zero. Deterministic in outcome (the
+// counters must tile K exactly) though not in interleaving — TSan checks
+// the latter in CI.
+TEST(ServingCluster, LoadGaugeConsistentUnderConcurrentPops) {
+  constexpr std::size_t kRequests = 16;
+  SchedulerOptions opt;
+  opt.queue_depth = kRequests;
+  Scheduler sched(opt, nullptr);
+
+  const FmShape shape = models::tiny().layers.front().ifm_shape();
+  std::vector<std::future<ServeResponse>> futs;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    TensorF in(shape);
+    fill_uniform(in, 600 + static_cast<std::uint64_t>(i));
+    std::vector<TensorF> batch;
+    batch.push_back(std::move(in));
+    futs.push_back(sched.push(ServeRequest::f32("Tiny", std::move(batch))));
+  }
+  EXPECT_EQ(sched.load(), kRequests);
+
+  std::atomic<std::size_t> drained{0};
+  std::vector<std::thread> poppers;
+  for (int t = 0; t < 4; ++t) {
+    poppers.emplace_back([&] {
+      Scheduler::Dispatch d;
+      while (sched.try_pop(&d)) {
+        // The popped item moved from queued to in-flight atomically: the
+        // gauge still counts it until record_completed retires it.
+        const QueueStats held = sched.stats();
+        EXPECT_GE(held.queued + held.in_flight,
+                  static_cast<std::int64_t>(d.items.size()));
+        for (auto& it : d.items) {
+          it.promise.set_value(response_stub(it.req, ServeStatus::kOk));
+        }
+        sched.record_completed(d.items.size());
+        drained.fetch_add(d.items.size(), std::memory_order_relaxed);
+        // Every snapshot is internally consistent: the two gauges are read
+        // under the same lock, so their sum can never exceed the requests
+        // still unretired nor dip below zero.
+        const QueueStats st = sched.stats();
+        EXPECT_GE(st.queued, 0);
+        EXPECT_GE(st.in_flight, 0);
+        EXPECT_LE(st.queued + st.in_flight,
+                  static_cast<std::int64_t>(kRequests));
+      }
+    });
+  }
+  for (auto& th : poppers) th.join();
+
+  EXPECT_EQ(drained.load(), kRequests);
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(sched.load(), 0u);
+  const QueueStats done = sched.stats();
+  EXPECT_EQ(done.completed, static_cast<std::int64_t>(kRequests));
+  EXPECT_EQ(done.queued, 0);
+  EXPECT_EQ(done.in_flight, 0);
 }
 
 // Least-loaded routing drains around a deliberately skewed backlog: shard 0

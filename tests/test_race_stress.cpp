@@ -1,0 +1,257 @@
+// TSan hammer tests for the serving stack's concurrency seams. Every test
+// here also runs (and must pass) in the plain build, but the point is the
+// FCM_SANITIZE=thread configuration in CI: real threads racing on the real
+// clock, shaped so the interesting interleavings — concurrent submitters vs
+// a replay driver, routing vs gauge polling, plan-cache miss stampedes, and
+// stop() against live producers/consumers — actually happen. Counts stay
+// small (Tiny model, single-digit threads) so the suite is cheap even on a
+// one-core TSan runner; determinism here means "every future resolves and
+// every counter adds up", not fixed interleavings — the ManualClock
+// scheduling tests live in test_scheduler/test_cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "gpusim/device_spec.hpp"
+#include "models/model_zoo.hpp"
+#include "planner/fuse_planner.hpp"
+#include "serving/cluster.hpp"
+#include "serving/plan_cache.hpp"
+#include "serving/scheduler.hpp"
+
+namespace fcm::serving {
+namespace {
+
+ServeRequest tiny_request(std::uint64_t seed) {
+  const FmShape shape = models::tiny().layers.front().ifm_shape();
+  TensorF in(shape);
+  fill_uniform(in, seed);
+  std::vector<TensorF> batch;
+  batch.push_back(std::move(in));
+  return ServeRequest::f32("Tiny", std::move(batch));
+}
+
+// submit_async from one thread while another drives replay() through the
+// same admission queue and a third polls the gauges: the engine's plan
+// cache, runner pool, scheduler and worker pool all see concurrent traffic.
+TEST(RaceStress, EngineSubmitAsyncAndReplayConcurrently) {
+  EngineOptions opt;
+  opt.seed = 77;
+  opt.queue_workers = 2;
+  opt.scheduler.queue_depth = 64;
+  InferenceEngine engine(gpusim::jetson_orin(), opt);
+
+  constexpr int kDirect = 10;
+  std::vector<std::future<ServeResponse>> futs(kDirect);
+  std::atomic<bool> done{false};
+
+  std::thread submitter([&] {
+    for (int i = 0; i < kDirect; ++i) {
+      futs[static_cast<std::size_t>(i)] =
+          engine.submit_async(tiny_request(1000 + static_cast<std::uint64_t>(i)));
+    }
+  });
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const QueueStats st = engine.queue_stats();
+      ASSERT_GE(st.queued, 0);
+      ASSERT_GE(st.in_flight, 0);
+      ASSERT_LE(engine.load(), opt.scheduler.queue_depth + 2 * kDirect);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<InferenceEngine::Request> mix;
+  for (int i = 0; i < 8; ++i) {
+    mix.push_back({"Tiny", 2000 + static_cast<std::uint64_t>(i), DType::kF32,
+                   1, 0.0});
+  }
+  const ServingReport rep = engine.replay(mix);
+
+  submitter.join();
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  EXPECT_EQ(rep.total_requests(), 8);
+  const QueueStats st = engine.queue_stats();
+  EXPECT_EQ(st.completed, kDirect + 8);
+  EXPECT_EQ(st.queued, 0);
+  EXPECT_EQ(st.in_flight, 0);
+}
+
+// Concurrent submitters routing through a two-shard cluster while a poller
+// reads every shard's load gauge and the routed counters: route() reads
+// shard gauges outside route_mu_ and counts under it, which is exactly the
+// seam this hammers.
+TEST(RaceStress, ClusterRoutingWhileLoadGaugePolled) {
+  ClusterOptions opt;
+  opt.engine.seed = 77;
+  opt.engine.queue_workers = 1;
+  opt.engine.scheduler.queue_depth = 64;
+  opt.router = RouterPolicy::kLeastLoaded;
+  ServingCluster cluster({gpusim::jetson_orin(), gpusim::jetson_orin()}, opt);
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 4;
+  std::vector<std::vector<std::future<ServeResponse>>> futs(kThreads);
+  std::atomic<bool> done{false};
+
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      std::int64_t total = 0;
+      for (const std::int64_t r : cluster.routed()) total += r;
+      ASSERT_LE(total, kThreads * kPerThread);
+      (void)cluster.engine(0).load();
+      (void)cluster.engine(1).load();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futs[static_cast<std::size_t>(t)].push_back(cluster.submit_async(
+            tiny_request(static_cast<std::uint64_t>(3000 + t * 100 + i))));
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (auto& per : futs) {
+    for (auto& f : per) EXPECT_TRUE(f.get().ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  std::int64_t total = 0;
+  for (const std::int64_t r : cluster.routed()) total += r;
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_EQ(cluster.engine(0).queue_stats().completed +
+                cluster.engine(1).queue_stats().completed,
+            kThreads * kPerThread);
+}
+
+// A miss stampede on one key must single-flight: the planner runs exactly
+// once per key no matter how many threads arrive cold together, and every
+// thread shares the one resulting plan instance.
+TEST(RaceStress, PlanCacheSingleFlightStampede) {
+  PlanCache cache(8);
+  std::atomic<int> plans{0};
+  cache.set_plan_fn([&plans](const gpusim::DeviceSpec& dev,
+                             const ModelGraph& model, DType dt,
+                             const planner::PlanOptions& opt) {
+    plans.fetch_add(1, std::memory_order_relaxed);
+    return planner::plan_model(dev, model, dt, opt);
+  });
+
+  const ModelGraph tiny = models::tiny();
+  const gpusim::DeviceSpec dev = gpusim::gtx1660();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const planner::Plan>> got(kThreads);
+  std::atomic<int> ready{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Spin barrier: release every thread into get_or_plan together so the
+      // cold miss genuinely stampedes instead of serialising on startup.
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < kThreads) {
+        std::this_thread::yield();
+      }
+      // Half the threads ask for F32, half for I8 — two keys, two flights.
+      const DType dt = (t % 2 == 0) ? DType::kF32 : DType::kI8;
+      got[static_cast<std::size_t>(t)] = cache.get_or_plan(dev, tiny, dt);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(plans.load(), 2);  // exactly one planning per key
+  for (int t = 2; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(t)],
+              got[static_cast<std::size_t>(t % 2)])
+        << "thread " << t << " did not share the single-flighted plan";
+  }
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses + st.coalesced, kThreads);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// stop() racing live producers and consumers: blocked producers must wake
+// and self-reject, the backlog must resolve as kRejected, consumers' pop()
+// must return false, and — the actual assertion — every single future
+// resolves (no hangs, no abandoned promises) with consistent counters.
+TEST(RaceStress, SchedulerStopMidTraffic) {
+  SchedulerOptions opt;
+  opt.queue_depth = 4;  // small: producers genuinely block
+  opt.policy = AdmissionPolicy::kBlock;
+  Scheduler sched(opt, nullptr);
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 8;
+  std::vector<std::vector<std::future<ServeResponse>>> futs(kProducers);
+  std::atomic<std::int64_t> executed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      Scheduler::Dispatch d;
+      while (sched.pop(&d)) {
+        for (auto& it : d.items) {
+          it.promise.set_value(response_stub(it.req, ServeStatus::kOk));
+        }
+        sched.record_completed(d.items.size());
+        executed.fetch_add(static_cast<std::int64_t>(d.items.size()),
+                           std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        futs[static_cast<std::size_t>(p)].push_back(
+            sched.push(tiny_request(static_cast<std::uint64_t>(4000 + p))));
+      }
+    });
+  }
+
+  // Let real traffic flow, then cut it off mid-stream.
+  while (executed.load(std::memory_order_relaxed) < 4) {
+    std::this_thread::yield();
+  }
+  sched.stop();
+  for (auto& th : producers) th.join();
+  for (auto& th : consumers) th.join();
+
+  // Every future resolves — served before the stop or rejected by it.
+  std::int64_t ok = 0, rejected = 0;
+  for (auto& per : futs) {
+    for (auto& f : per) {
+      const ServeResponse r = f.get();
+      (r.status == ServeStatus::kOk ? ok : rejected)++;
+      EXPECT_NE(r.status, ServeStatus::kExpired);
+    }
+  }
+  EXPECT_EQ(ok + rejected, kProducers * kPerProducer);
+  EXPECT_GE(ok, 4);
+  const QueueStats st = sched.stats();
+  EXPECT_EQ(st.completed, ok);
+  EXPECT_EQ(st.completed + st.rejected, kProducers * kPerProducer);
+  EXPECT_EQ(st.queued, 0);
+  EXPECT_EQ(st.in_flight, 0);
+  EXPECT_EQ(sched.load(), 0u);
+
+  // Idempotent stop, and pushes after it reject immediately.
+  sched.stop();
+  auto late = sched.push(tiny_request(4999));
+  EXPECT_EQ(late.get().status, ServeStatus::kRejected);
+}
+
+}  // namespace
+}  // namespace fcm::serving
