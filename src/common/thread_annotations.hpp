@@ -29,11 +29,18 @@
 //    RELEASED (lookup drops the cache lock, then waits on the flight), never
 //    nested inside it.
 //  * ManualClock::wmu_ → waiter mutex (Scheduler::mu_) — the ONE sanctioned
-//    nesting: advancing virtual time locks each registered waiter's mutex to
-//    fence the classic missed wakeup. The reverse edge cannot form because
-//    Clock methods called under Scheduler::mu_ (now_s, wait_until) never
-//    touch wmu_, and register_/unregister_waiter are documented to be called
-//    without the waiter's mutex held.
+//    subsystem nesting: advancing virtual time locks each registered
+//    waiter's mutex to fence the classic missed wakeup. The reverse edge
+//    cannot form because Clock methods called under Scheduler::mu_ (now_s,
+//    wait_until) never touch wmu_, and register_/unregister_waiter are
+//    documented to be called without the waiter's mutex held.
+//  * any mutex → obs sink mutexes (obs::Tracer::mu_, obs::Family::mu_,
+//    obs::MetricsRegistry::mu_) — instrumentation sinks are TERMINAL
+//    leaves: record()/with()/family getters touch only their own state and
+//    never acquire another FCM mutex while held, so no cycle through them
+//    can form. Export paths (prometheus_text/json_text/chrome_trace_json)
+//    snapshot pointers under these mutexes, then RELEASE them and format
+//    lock-free — a scrape never blocks a writer beyond the snapshot copy.
 //
 // New code should keep new mutexes leaves; any new nesting must be added to
 // this list with the cycle argument spelled out.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 
@@ -19,6 +20,17 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  auto& reg = obs::MetricsRegistry::global();
+  m_.tasks = &reg.counter_family("fcm_pool_tasks_total",
+                                 "Tasks executed by thread-pool workers", {})
+                  .get();
+  m_.task_time =
+      &reg.histogram_family("fcm_pool_task_seconds",
+                            "Wall time of each thread-pool task", {})
+           .get();
+  m_.depth = &reg.gauge_family("fcm_pool_queue_depth",
+                               "Tasks waiting in the thread-pool queue", {})
+                  .get();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -47,8 +59,16 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      if (obs::enabled()) m_.depth->set(static_cast<double>(queue_.size()));
     }
-    task.fn();
+    if (obs::enabled()) {
+      const SteadyTime t0 = steady_now();
+      task.fn();
+      m_.task_time->observe(seconds_since(t0));
+      m_.tasks->inc();
+    } else {
+      task.fn();
+    }
   }
 }
 
@@ -104,6 +124,7 @@ void ThreadPool::parallel_for(std::int64_t count,
     for (std::int64_t c = 0; c < chunks; ++c) {
       queue_.push(Task{body});
     }
+    if (obs::enabled()) m_.depth->set(static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
 
 namespace fcm {
 
@@ -68,6 +69,16 @@ class ThreadPool {
   };
 
   void worker_loop() EXCLUDES(mu_);
+
+  /// Registry handles (process-wide totals across every pool), bound once at
+  /// construction: tasks executed, wall time per task, and the queue depth
+  /// sampled at every push/pop under mu_.
+  struct Metrics {
+    obs::Counter* tasks;
+    obs::Histogram* task_time;
+    obs::Gauge* depth;
+  };
+  Metrics m_;
 
   std::vector<std::thread> workers_;
   Mutex mu_;

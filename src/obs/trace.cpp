@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace fcm::obs {
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  // Do not reserve capacity eagerly — a 1M-span default would pin ~100MB.
+  // The vector grows geometrically up to the cap and never past it.
+}
+
+void Tracer::record(TraceSpan span) {
+  MutexLock lk(mu_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Tracer::size() const {
+  MutexLock lk(mu_);
+  return spans_.size();
+}
+
+std::int64_t Tracer::dropped() const {
+  MutexLock lk(mu_);
+  return dropped_;
+}
+
+std::vector<TraceSpan> Tracer::snapshot() const {
+  MutexLock lk(mu_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  MutexLock lk(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceSpan> spans = snapshot();  // lock released after this
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return std::tie(a.begin_s, a.end_s, a.trace_id, a.name) <
+                            std::tie(b.begin_s, b.end_s, b.trace_id, b.name);
+                   });
+
+  const auto micros = [](double s) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", s * 1e6);
+    return std::string(buf);
+  };
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& sp : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(sp.name) + "\"";
+    out += ",\"cat\":\"serving\"";
+    if (sp.end_s > sp.begin_s) {
+      out += ",\"ph\":\"X\",\"ts\":" + micros(sp.begin_s) +
+             ",\"dur\":" + micros(sp.end_s - sp.begin_s);
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + micros(sp.begin_s);
+    }
+    // pid 0 keeps one process row; tid = lane groups spans by shard.
+    out += ",\"pid\":0,\"tid\":" + std::to_string(sp.lane);
+    out += ",\"args\":{\"trace_id\":" + std::to_string(sp.trace_id);
+    for (const auto& [k, v] : sp.args) {
+      out += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fcm::obs

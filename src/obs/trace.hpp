@@ -1,0 +1,62 @@
+// Request tracer: per-request spans (admit -> queue -> coalesce -> dispatch
+// -> execute -> respond) with timestamps taken through the Clock seam, so a
+// ManualClock test reproduces the exact virtual-time span sequence. Exported
+// as Chrome trace_event JSON — load the file in chrome://tracing or Perfetto.
+//
+// A Tracer is shared by every subsystem of one serving stack (EngineOptions/
+// SchedulerOptions carry a shared_ptr); record() appends under a leaf mutex
+// into a bounded buffer (drops-and-counts past capacity, never reallocates
+// past it), and chrome_trace_json() formats from a snapshot taken under the
+// lock — no lock is held while formatting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace fcm::obs {
+
+/// One span: a named interval (or instant, when end_s == begin_s) on a
+/// request's timeline. `lane` groups spans into rows in the trace viewer —
+/// the serving stack uses the shard index. `args` become the event's "args"
+/// object (model, dtype, batch, ...); trace_id is always included.
+struct TraceSpan {
+  std::uint64_t trace_id = 0;
+  std::string name;
+  double begin_s = 0.0;
+  double end_s = 0.0;  // == begin_s -> instant event
+  int lane = 0;
+  Labels args;
+};
+
+/// Bounded in-memory span sink. Thread-safe; capacity is fixed at
+/// construction and overflow increments dropped() instead of growing.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1u << 20);
+
+  void record(TraceSpan span) EXCLUDES(mu_);
+
+  std::size_t size() const EXCLUDES(mu_);
+  std::int64_t dropped() const EXCLUDES(mu_);
+  std::vector<TraceSpan> snapshot() const EXCLUDES(mu_);
+  void clear() EXCLUDES(mu_);
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}. Events are sorted by
+  /// (begin, end, trace_id, name) so the output is deterministic regardless
+  /// of recording interleaving; ts/dur are microseconds. Intervals are "X"
+  /// (complete) events, instants are "i".
+  std::string chrome_trace_json() const EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  std::size_t capacity_;
+  std::int64_t dropped_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fcm::obs

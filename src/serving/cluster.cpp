@@ -16,10 +16,28 @@ ServingCluster::ServingCluster(std::vector<gpusim::DeviceSpec> devices,
   EngineOptions eopt = opt_.engine;
   eopt.clock = clock_;  // one timeline across every shard
   shards_.reserve(devices.size());
-  for (auto& dev : devices) {
-    shards_.push_back(std::make_unique<InferenceEngine>(std::move(dev), eopt));
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    // Each shard labels its metrics and trace lanes with its index.
+    eopt.shard = static_cast<int>(i);
+    shards_.push_back(
+        std::make_unique<InferenceEngine>(std::move(devices[i]), eopt));
   }
   routed_.assign(shards_.size(), 0);
+
+  auto& reg = obs::MetricsRegistry::global();
+  auto& routed_fam = reg.counter_family(
+      "fcm_routed_total", "Requests the router sent to each shard",
+      {"shard", "policy"});
+  auto& load_fam = reg.gauge_family(
+      "fcm_shard_load",
+      "Shard load gauge (queued + in-flight) sampled at routing decisions",
+      {"shard"});
+  const std::string policy = router_policy_name(opt_.router);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string shard = std::to_string(i);
+    m_routed_.push_back(&routed_fam.with({shard, policy}));
+    m_load_.push_back(&load_fam.with({shard}));
+  }
 }
 
 std::size_t ServingCluster::route(const ServeRequest& req) {
@@ -29,9 +47,11 @@ std::size_t ServingCluster::route(const ServeRequest& req) {
   // least-loaded tie-break.
   std::vector<ShardState> states(shards_.size());
   const bool affinity = opt_.router == RouterPolicy::kPlanAffinity;
+  const bool obs_on = obs::enabled();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     states[i].index = i;
     states[i].load = shards_[i]->load();
+    if (obs_on) m_load_[i]->set(static_cast<double>(states[i].load));
     if (affinity) {
       PlanKey key;
       key.model = req.model;
@@ -47,6 +67,7 @@ std::size_t ServingCluster::route(const ServeRequest& req) {
   }
   const std::size_t shard = router_->pick(states);
   ++routed_[shard];
+  if (obs_on) m_routed_[shard]->inc();
   return shard;
 }
 

@@ -109,6 +109,11 @@ class ServingCluster {
   mutable Mutex route_mu_;
   std::unique_ptr<Router> router_ GUARDED_BY(route_mu_) PT_GUARDED_BY(route_mu_);
   std::vector<std::int64_t> routed_ GUARDED_BY(route_mu_);
+
+  /// Per-shard registry handles (index = shard), bound once at construction:
+  /// routing decisions and the load gauge the router just balanced on.
+  std::vector<obs::Counter*> m_routed_;
+  std::vector<obs::Gauge*> m_load_;
 };
 
 }  // namespace fcm::serving

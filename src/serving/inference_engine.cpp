@@ -6,16 +6,47 @@
 #include <utility>
 
 #include "common/random.hpp"
+#include "gpusim/roofline.hpp"
 #include "models/model_zoo.hpp"
 
 namespace fcm::serving {
+
+namespace {
+
+/// The scheduler inherits the engine's tracer and shard index unless its
+/// options already carry their own.
+SchedulerOptions wire_scheduler_options(const EngineOptions& opt) {
+  SchedulerOptions s = opt.scheduler;
+  if (!s.tracer) s.tracer = opt.tracer;
+  s.shard = opt.shard;
+  return s;
+}
+
+}  // namespace
 
 InferenceEngine::InferenceEngine(gpusim::DeviceSpec dev, EngineOptions opt)
     : dev_(std::move(dev)),
       opt_(std::move(opt)),
       cache_(opt_.plan_cache_capacity, opt_.cache_dir),
       clock_(opt_.clock ? opt_.clock : std::make_shared<SteadyClock>()),
-      scheduler_(opt_.scheduler, clock_) {}
+      scheduler_(wire_scheduler_options(opt_), clock_) {
+  auto& reg = obs::MetricsRegistry::global();
+  m_.latency = &reg.histogram_family(
+      "fcm_request_latency_seconds",
+      "End-to-end request latency (sync: plan lookup + execution; async: "
+      "+ queue wait), seconds",
+      {"model", "dtype", "batch"});
+  m_.executed_sim_s = &reg.gauge_family(
+      "fcm_executed_sim_seconds_total",
+      "Simulated GPU seconds executed, summed over requests",
+      {"model", "dtype"});
+  m_.predicted_sim_s = &reg.gauge_family(
+      "fcm_predicted_sim_seconds_total",
+      "Planner-predicted simulated GPU seconds (roofline estimate over the "
+      "executed plan's steps), summed over requests — compare against "
+      "fcm_executed_sim_seconds_total to calibrate the cost model",
+      {"model", "dtype"});
+}
 
 InferenceEngine::~InferenceEngine() {
   // Wake blocked producers (they self-reject), reject the backlog, and make
@@ -90,7 +121,7 @@ std::shared_ptr<const planner::Plan> InferenceEngine::plan_for(
                             opt_.plan_options);
 }
 
-ServeResponse InferenceEngine::submit(const ServeRequest& req) {
+ServeResponse InferenceEngine::execute_request(const ServeRequest& req) {
   FCM_CHECK(req.batch() >= 1, "ServeRequest: empty batch");
   FCM_CHECK(req.dtype == DType::kF32 ? req.batch_i8.empty()
                                      : req.batch_f32.empty(),
@@ -113,6 +144,54 @@ ServeResponse InferenceEngine::submit(const ServeRequest& req) {
   resp.sim_time_s = report.total_time_s();
   resp.gma_bytes = report.total_gma_bytes();
   resp.latency_s = clock_->now_s() - t0;
+
+  if (obs::enabled()) {
+    // Predicted-vs-executed sim time, the feed for the future calibrated
+    // cost model: the planner's per-step roofline estimate summed over the
+    // executed plan against what the batch run actually simulated.
+    double predicted_s = 0.0;
+    for (const planner::PlanStep& step : plan->steps) {
+      predicted_s += gpusim::estimate_time(dev_, step.stats).total_s;
+    }
+    const std::string dtype = dtype_name(req.dtype);
+    m_.predicted_sim_s->with({req.model, dtype}).add(predicted_s);
+    m_.executed_sim_s->with({req.model, dtype}).add(resp.sim_time_s);
+  }
+  return resp;
+}
+
+void InferenceEngine::observe_latency(const ServeResponse& resp,
+                                      double latency_s) {
+  if (!obs::enabled()) return;
+  m_.latency
+      ->with({resp.model, dtype_name(resp.dtype), std::to_string(resp.batch)})
+      .observe(latency_s);
+}
+
+void InferenceEngine::trace_request(const char* name, std::uint64_t trace_id,
+                                    const std::string& model, double begin_s,
+                                    double end_s) const {
+  if (!opt_.tracer || !obs::enabled()) return;
+  obs::TraceSpan span;
+  span.trace_id = trace_id;
+  span.name = name;
+  span.begin_s = begin_s;
+  span.end_s = end_s;
+  span.lane = opt_.shard;
+  span.args = {{"model", model}};
+  opt_.tracer->record(std::move(span));
+}
+
+ServeResponse InferenceEngine::submit(const ServeRequest& req) {
+  const double t0 = clock_->now_s();
+  ServeResponse resp = execute_request(req);
+  // Sync submits bypass the scheduler, so the id is assigned here (callers
+  // that set their own keep it — the response echoes it either way).
+  if (resp.request_id == 0) resp.request_id = obs::next_request_id();
+  const double end_s = clock_->now_s();
+  observe_latency(resp, resp.latency_s);
+  trace_request("execute", resp.request_id, resp.model, t0, end_s);
+  trace_request("respond", resp.request_id, resp.model, end_s, end_s);
   return resp;
 }
 
@@ -159,7 +238,7 @@ void InferenceEngine::worker_loop() {
 void InferenceEngine::run_single(Scheduler::Item item, double popped_s) {
   const double wait_s = popped_s - item.enqueued_s;
   try {
-    ServeResponse resp = submit(item.req);
+    ServeResponse resp = execute_request(item.req);
     if (item.req.discard_outputs) {
       resp.outputs_f32.clear();
       resp.outputs_i8.clear();
@@ -173,6 +252,10 @@ void InferenceEngine::run_single(Scheduler::Item item, double popped_s) {
     }
     resp.queue_wait_s = wait_s;
     resp.latency_s += wait_s;
+    const double end_s = clock_->now_s();
+    observe_latency(resp, resp.latency_s);
+    trace_request("execute", resp.request_id, resp.model, popped_s, end_s);
+    trace_request("respond", resp.request_id, resp.model, end_s, end_s);
     scheduler_.record_completed(1);
     item.promise.set_value(std::move(resp));
   } catch (...) {
@@ -201,7 +284,7 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
   // throws std::future_error out of the catch and terminates the worker.
   std::size_t resolved = 0;
   try {
-    ServeResponse batch = submit(merged);
+    ServeResponse batch = execute_request(merged);
     if (opt_.sim_dilation > 0.0) {
       clock_->sleep_until(d.popped_s + batch.sim_time_s * opt_.sim_dilation);
     }
@@ -210,6 +293,7 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
       Scheduler::Item& item = d.items[i];
       ServeResponse resp;
       resp.status = ServeStatus::kOk;
+      resp.request_id = item.req.request_id;
       resp.model = merged.model;
       resp.dtype = merged.dtype;
       resp.batch = 1;
@@ -229,6 +313,11 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
       resp.sim_time_s = batch.sim_time_s / static_cast<double>(n);
       resp.gma_bytes = batch.gma_bytes / static_cast<std::int64_t>(n);
       if (i == 0) resp.gma_bytes += batch.gma_bytes % static_cast<std::int64_t>(n);
+      observe_latency(resp, resp.latency_s);
+      // The merged batch executed as one run: every rider's execute span
+      // covers the same [dispatch, end] interval under its own trace id.
+      trace_request("execute", resp.request_id, resp.model, d.popped_s, end_s);
+      trace_request("respond", resp.request_id, resp.model, end_s, end_s);
       // Record each rider before resolving it, like run_single: a caller
       // woken by its future must find the completion already in the stats
       // and the in-flight gauge already retired.
@@ -342,20 +431,20 @@ void accumulate_outcome(ServingReport& report,
   }
   ++group.requests;
   group.items += q.batch;
-  group.latency_s.push_back(outcome.latency_s);
+  group.latency.observe(outcome.latency_s);
   group.sim_time_s += outcome.sim_time_s;
 
   ModelServingStats& stats = model_stats(report, q.model);
   ++stats.requests;
   stats.items += q.batch;
-  stats.latency_s.push_back(outcome.latency_s);
+  stats.latency.observe(outcome.latency_s);
   stats.sim_time_s += outcome.sim_time_s;
   stats.gma_bytes += outcome.gma_bytes;
 
   if (shard != nullptr) {
     ++shard->requests;
     shard->items += q.batch;
-    shard->latency_s.push_back(outcome.latency_s);
+    shard->latency.observe(outcome.latency_s);
     shard->sim_time_s += outcome.sim_time_s;
     shard->gma_bytes += outcome.gma_bytes;
   }

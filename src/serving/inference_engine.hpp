@@ -72,6 +72,13 @@ struct EngineOptions {
   /// Host time source for latency, deadlines, coalescing windows and replay
   /// pacing. Null selects the real SteadyClock; tests inject a ManualClock.
   std::shared_ptr<Clock> clock;
+  /// Request tracer shared across this engine and its scheduler (null
+  /// disables span recording). Copied into SchedulerOptions::tracer unless
+  /// the scheduler options already carry one.
+  std::shared_ptr<obs::Tracer> tracer;
+  /// Shard index for metric labels and trace lanes; a ServingCluster numbers
+  /// its shards, a standalone engine stays 0.
+  int shard = 0;
 };
 
 class InferenceEngine {
@@ -155,6 +162,17 @@ class InferenceEngine {
   std::int64_t depth_watermark() const { return scheduler_.depth_watermark(); }
 
  private:
+  /// The untraced execution core shared by the sync and async paths:
+  /// validation, runner + plan lookup, batch execution, sim stats. The
+  /// public submit() wraps it with id assignment, spans and the latency
+  /// histogram; the queue workers wrap it with their own timing instead.
+  ServeResponse execute_request(const ServeRequest& req);
+  /// Observe `latency_s` into the per-(model, dtype, batch) histogram.
+  void observe_latency(const ServeResponse& resp, double latency_s);
+  /// Record a span on the engine tracer (no-op without one / disabled).
+  void trace_request(const char* name, std::uint64_t trace_id,
+                     const std::string& model, double begin_s,
+                     double end_s) const;
   /// The runner serving (model, quant); built once, shared afterwards.
   std::shared_ptr<const runtime::ModelRunner> runner_keyed(
       const std::string& model_name, const std::optional<QuantParams>& quant)
@@ -173,6 +191,15 @@ class InferenceEngine {
   PlanCache cache_;
   std::shared_ptr<Clock> clock_;
   Scheduler scheduler_;
+
+  /// Registry families, bound once at construction; children are fetched
+  /// per request (leaf-mutex map lookup) only when obs::enabled().
+  struct Metrics {
+    obs::Family<obs::Histogram>* latency;       // {model, dtype, batch}
+    obs::Family<obs::Gauge>* executed_sim_s;    // {model, dtype}
+    obs::Family<obs::Gauge>* predicted_sim_s;   // {model, dtype}
+  };
+  Metrics m_;
 
   /// Lazily-built runner pool keyed on model name + quant override. A runner
   /// under construction is represented by a pending slot other threads wait

@@ -15,6 +15,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "planner/plan_io.hpp"
 
@@ -108,6 +109,28 @@ PlanCache::PlanCache(std::size_t capacity, std::string cache_dir)
         return planner::plan_model(dev, model, dt, opt);
       }) {
   FCM_CHECK(capacity_ >= 1, "PlanCache capacity must be >= 1");
+  auto& reg = obs::MetricsRegistry::global();
+  const auto counter = [&](const char* name, const char* help) {
+    return &reg.counter_family(name, help).get();
+  };
+  m_.hits = counter("fcm_plan_cache_hits_total", "In-memory plan-cache hits");
+  m_.misses = counter("fcm_plan_cache_misses_total",
+                      "Lookups that left the in-memory plan cache");
+  m_.evictions =
+      counter("fcm_plan_cache_evictions_total", "LRU plan-cache evictions");
+  m_.disk_hits = counter("fcm_plan_cache_disk_hits_total",
+                         "Misses satisfied by the persistent cache directory");
+  m_.coalesced = counter("fcm_plan_cache_coalesced_total",
+                         "Lookups that waited on another thread's in-flight "
+                         "planning of the same key (single-flight)");
+  m_.lock_waits = counter("fcm_plan_cache_lock_waits_total",
+                          "Misses that waited on another process's plan lock "
+                          "file instead of planning");
+  m_.plan_time = &reg.histogram_family(
+      "fcm_plan_seconds",
+      "Wall time of actual planner runs (cache misses that reached the "
+      "planner; disk loads excluded), seconds",
+      {"model", "dtype"});
 }
 
 std::string PlanCache::file_path(const PlanKey& key) const {
@@ -134,6 +157,7 @@ std::shared_ptr<const planner::Plan> PlanCache::try_load_disk(
       MutexLock lk(mu_);
       ++stats_.disk_hits;
     }
+    if (obs::enabled()) m_.disk_hits->inc();
     return std::make_shared<const planner::Plan>(std::move(plan));
   } catch (const Error&) {
     // Stale or foreign file (model changed, truncated write, wrong dtype):
@@ -166,6 +190,7 @@ std::shared_ptr<const planner::Plan> PlanCache::produce(
         MutexLock lk(mu_);
         ++stats_.lock_waits;
       }
+      if (obs::enabled()) m_.lock_waits->inc();
       for (;;) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
         if (auto plan = try_load_disk(dev, model, key)) return plan;
@@ -214,7 +239,14 @@ std::shared_ptr<const planner::Plan> PlanCache::produce(
   }
   std::shared_ptr<const planner::Plan> plan;
   try {
+    const SteadyTime t0 = steady_now();
     plan = std::make_shared<const planner::Plan>(fn(dev, model, dt, key.options));
+    if (obs::enabled()) {
+      // Planning is host compute, so it is timed on the real clock even when
+      // the serving stack runs on a ManualClock.
+      m_.plan_time->with({key.model, dtype_name(key.dtype)})
+          .observe(seconds_since(t0));
+    }
   } catch (...) {
     if (lock_owner) {
       std::error_code ec;
@@ -255,6 +287,7 @@ void PlanCache::insert_locked(const PlanKey& key,
     map_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    if (obs::enabled()) m_.evictions->inc();
   }
 }
 
@@ -269,14 +302,17 @@ std::shared_ptr<const planner::Plan> PlanCache::get_or_plan(
     MutexLock lk(mu_);
     if (auto it = map_.find(key); it != map_.end()) {
       ++stats_.hits;
+      if (obs::enabled()) m_.hits->inc();
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       return it->second->plan;
     }
     if (auto it = inflight_.find(key); it != inflight_.end()) {
       ++stats_.coalesced;
+      if (obs::enabled()) m_.coalesced->inc();
       flight = it->second;
     } else {
       ++stats_.misses;
+      if (obs::enabled()) m_.misses->inc();
       flight = std::make_shared<InFlight>();
       inflight_[key] = flight;
       owner = true;

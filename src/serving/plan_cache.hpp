@@ -24,6 +24,7 @@
 #include "common/thread_annotations.hpp"
 #include "gpusim/device_spec.hpp"
 #include "layers/model_graph.hpp"
+#include "obs/metrics.hpp"
 #include "planner/fuse_planner.hpp"
 
 namespace fcm::serving {
@@ -140,6 +141,20 @@ class PlanCache {
 
   const std::size_t capacity_;
   const std::string cache_dir_;
+
+  /// Registry handles mirroring CacheStats (process-wide totals across every
+  /// cache), bound once at construction; plan_time samples the wall time of
+  /// actual planner runs (not disk loads), labeled by (model, dtype).
+  struct Metrics {
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* evictions;
+    obs::Counter* disk_hits;
+    obs::Counter* coalesced;
+    obs::Counter* lock_waits;
+    obs::Family<obs::Histogram>* plan_time;
+  };
+  Metrics m_;
 
   mutable Mutex mu_;
   PlanFn plan_fn_ GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace fcm::serving {
 
@@ -47,6 +48,7 @@ ServeRequest ServeRequest::i8(std::string model, std::vector<TensorI8> batch,
 ServeResponse response_stub(const ServeRequest& req, ServeStatus status) {
   ServeResponse resp;
   resp.status = status;
+  resp.request_id = req.request_id;
   resp.model = req.model;
   resp.dtype = req.dtype;
   resp.batch = req.batch();
@@ -93,7 +95,7 @@ struct EdfAfter {
 }  // namespace
 
 Scheduler::Scheduler(SchedulerOptions opt, std::shared_ptr<Clock> clock)
-    : opt_(opt), clock_(std::move(clock)) {
+    : opt_(std::move(opt)), clock_(std::move(clock)) {
   FCM_CHECK(opt_.queue_depth >= 1, "SchedulerOptions::queue_depth must be >= 1");
   FCM_CHECK(opt_.max_coalesce_batch >= 1,
             "SchedulerOptions::max_coalesce_batch must be >= 1");
@@ -101,6 +103,63 @@ Scheduler::Scheduler(SchedulerOptions opt, std::shared_ptr<Clock> clock)
             "SchedulerOptions::coalesce_wait_us must be >= 0");
   if (!clock_) clock_ = std::make_shared<SteadyClock>();
   clock_->register_waiter(&mu_, &cv_pop_);
+
+  // Bind the registry handles once; the hot path only bumps atomics.
+  auto& reg = obs::MetricsRegistry::global();
+  const std::vector<std::string> shard_keys = {"shard"};
+  const std::string shard = std::to_string(opt_.shard);
+  const auto counter = [&](const char* name, const char* help) {
+    return &reg.counter_family(name, help, shard_keys).with({shard});
+  };
+  m_.accepted = counter("fcm_queue_accepted_total",
+                        "Requests admitted into the bounded queue");
+  m_.rejected = counter("fcm_queue_rejected_total",
+                        "Requests resolved kRejected (admission or shutdown)");
+  m_.expired = counter("fcm_queue_expired_total",
+                       "Requests dropped past their queueing deadline");
+  m_.completed = counter("fcm_queue_completed_total",
+                         "Requests executed to completion");
+  m_.blocked = counter("fcm_queue_blocked_total",
+                       "Producers that waited on a full queue (kBlock)");
+  m_.coalesced_batches = counter(
+      "fcm_queue_coalesced_batches_total",
+      "Dispatches that merged several single-image requests into one batch");
+  m_.coalesced_items = counter("fcm_queue_coalesced_items_total",
+                               "Requests riding in coalesced batches");
+  m_.depth =
+      &reg.gauge_family("fcm_queue_depth", "Requests currently queued",
+                        shard_keys)
+           .with({shard});
+  m_.in_flight =
+      &reg.gauge_family("fcm_queue_in_flight",
+                        "Requests popped but not yet retired", shard_keys)
+           .with({shard});
+  m_.queue_wait =
+      &reg.histogram_family("fcm_queue_wait_seconds",
+                            "Queue wait per dispatched request, seconds",
+                            {"shard", "discipline"})
+           .with({shard, queue_discipline_name(opt_.discipline)});
+}
+
+void Scheduler::update_gauges_locked() {
+  if (!obs::enabled()) return;
+  m_.depth->set(static_cast<double>(q_.size()));
+  m_.in_flight->set(static_cast<double>(in_flight_));
+}
+
+void Scheduler::trace_item(const char* name, const Item& it, double begin_s,
+                           double end_s) const {
+  if (!opt_.tracer || !obs::enabled()) return;
+  obs::TraceSpan span;
+  span.trace_id = it.req.request_id;
+  span.name = name;
+  span.begin_s = begin_s;
+  span.end_s = end_s;
+  span.lane = opt_.shard;
+  span.args = {{"model", it.req.model},
+               {"dtype", it.req.dtype == DType::kF32 ? "f32" : "i8"},
+               {"batch", std::to_string(it.req.batch())}};
+  opt_.tracer->record(std::move(span));
 }
 
 Scheduler::~Scheduler() {
@@ -109,6 +168,9 @@ Scheduler::~Scheduler() {
 }
 
 std::future<ServeResponse> Scheduler::push(ServeRequest req) {
+  // Assign the correlation/trace id before any resolution path (rejected
+  // responses echo it too); callers that set their own id keep it.
+  if (req.request_id == 0) req.request_id = obs::next_request_id();
   std::promise<ServeResponse> promise;
   std::future<ServeResponse> fut = promise.get_future();
   MutexLock lk(mu_);
@@ -122,6 +184,7 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
   const auto reject_now = [&] {
     mu_.assert_held();
     ++qstats_.rejected;
+    if (obs::enabled()) m_.rejected->inc();
     promise.set_value(response_stub(req, ServeStatus::kRejected));
     leave();
   };
@@ -137,6 +200,7 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
       return fut;
     }
     ++qstats_.blocked;
+    if (obs::enabled()) m_.blocked->inc();
     cv_not_full_.wait(lk, [this] {
       mu_.assert_held();
       return q_.size() < opt_.queue_depth || stopping_;
@@ -147,6 +211,7 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
     }
   }
   ++qstats_.accepted;
+  if (obs::enabled()) m_.accepted->inc();
   Item it;
   it.enqueued_s = clock_->now_s();
   if (req.deadline_s > 0.0) {
@@ -159,6 +224,7 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
   if (opt_.max_coalesce_batch > 1) it.ckey = coalesce_key(req);
   it.req = std::move(req);
   it.promise = std::move(promise);
+  trace_item("admit", it, it.enqueued_s, it.enqueued_s);
   q_.push_back(std::move(it));
   if (opt_.discipline == QueueDiscipline::kEdf) {
     std::push_heap(q_.begin(), q_.end(), EdfAfter{});
@@ -166,6 +232,7 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
   const auto depth = static_cast<std::int64_t>(q_.size());
   qstats_.max_depth = std::max(qstats_.max_depth, depth);
   depth_watermark_ = std::max(depth_watermark_, depth);
+  update_gauges_locked();
   leave();
   lk.unlock();
   // notify_all, not notify_one: consumers wait on cv_pop_ with different
@@ -178,6 +245,8 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
 
 void Scheduler::resolve_expired_locked(Item&& it, double now_s) {
   ++qstats_.expired;
+  if (obs::enabled()) m_.expired->inc();
+  trace_item("expire", it, now_s, now_s);
   ServeResponse resp = response_stub(it.req, ServeStatus::kExpired);
   resp.queue_wait_s = now_s - it.enqueued_s;
   resp.latency_s = resp.queue_wait_s;
@@ -340,6 +409,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
       const std::string key = head.ckey;
       const std::size_t want = budget - 1;
       if (blocking) {
+        const double window_open_s = clock_->now_s();
         // Batching window, anchored at the head's enqueue so backlogged
         // traffic merges greedily without adding wait on top of queueing —
         // and capped by the head's own deadline, so a deadline request
@@ -369,10 +439,17 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
           });
         }
         window_keys_.erase(key);
+        // Record the batching window only when it actually waited (virtual
+        // or real time passed between open and close).
+        if (const double window_close_s = clock_->now_s();
+            window_close_s > window_open_s) {
+          trace_item("coalesce", head, window_open_s, window_close_s);
+        }
         // The head itself may have out-waited its own deadline during the
         // window; its riders go back through the loop as the new backlog.
         if (clock_->now_s() > head.deadline_s) {
           --in_flight_;  // never dispatched: expired inside its own window
+          update_gauges_locked();
           resolve_expired_locked(std::move(head), clock_->now_s());
           cv_pop_.notify_all();  // the released key re-opens its peers
           continue;
@@ -391,7 +468,31 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
     if (out->items.size() > 1) {
       ++qstats_.coalesced_batches;
       qstats_.coalesced_items += static_cast<std::int64_t>(out->items.size());
+      if (obs::enabled()) {
+        m_.coalesced_batches->inc();
+        m_.coalesced_items->inc(static_cast<std::int64_t>(out->items.size()));
+      }
       cv_not_full_.notify_all();
+    }
+    update_gauges_locked();
+    // Per-item queue spans + wait samples, then one dispatch instant keyed
+    // on the head's trace id carrying the merged batch size.
+    if (obs::enabled()) {
+      for (const Item& it : out->items) {
+        m_.queue_wait->observe(out->popped_s - it.enqueued_s);
+        trace_item("queue", it, it.enqueued_s, out->popped_s);
+      }
+      if (opt_.tracer) {
+        obs::TraceSpan span;
+        span.trace_id = out->items.front().req.request_id;
+        span.name = "dispatch";
+        span.begin_s = out->popped_s;
+        span.end_s = out->popped_s;
+        span.lane = opt_.shard;
+        span.args = {{"model", out->items.front().req.model},
+                     {"batch", std::to_string(out->items.size())}};
+        opt_.tracer->record(std::move(span));
+      }
     }
     return true;
   }
@@ -400,14 +501,19 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
 void Scheduler::record_completed(std::size_t requests) {
   MutexLock lk(mu_);
   qstats_.completed += static_cast<std::int64_t>(requests);
+  if (obs::enabled()) {
+    m_.completed->inc(static_cast<std::int64_t>(requests));
+  }
   in_flight_ = std::max<std::int64_t>(
       0, in_flight_ - static_cast<std::int64_t>(requests));
+  update_gauges_locked();
 }
 
 void Scheduler::record_failed(std::size_t requests) {
   MutexLock lk(mu_);
   in_flight_ = std::max<std::int64_t>(
       0, in_flight_ - static_cast<std::int64_t>(requests));
+  update_gauges_locked();
 }
 
 void Scheduler::stop() {
@@ -428,6 +534,10 @@ void Scheduler::stop() {
     backlog.swap(q_);
     deadlined_ = 0;
     qstats_.rejected += static_cast<std::int64_t>(backlog.size());
+    if (obs::enabled()) {
+      m_.rejected->inc(static_cast<std::int64_t>(backlog.size()));
+    }
+    update_gauges_locked();
   }
   // Shutdown drains the backlog as rejected rather than executing it
   // (accepted stays monotonic; see the QueueStats contract).

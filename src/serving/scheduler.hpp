@@ -44,6 +44,7 @@
 #include "common/thread_annotations.hpp"
 #include "common/tensor.hpp"
 #include "kernels/epilogue.hpp"
+#include "obs/trace.hpp"
 #include "serving/serving_report.hpp"
 
 namespace fcm::serving {
@@ -74,6 +75,11 @@ const char* queue_discipline_name(QueueDiscipline d);
 /// batch vectors is used, selected by `dtype`; every tensor in it must share
 /// one FmShape (the model's input shape).
 struct ServeRequest {
+  /// Caller-visible correlation id, echoed on the ServeResponse and used as
+  /// the trace id. 0 (the default) asks the serving stack to assign one from
+  /// the process-wide obs::next_request_id() sequence at admission; callers
+  /// that set it keep their own id end to end.
+  std::uint64_t request_id = 0;
   std::string model;
   DType dtype = DType::kF32;
   std::vector<TensorF> batch_f32;
@@ -107,6 +113,9 @@ struct ServeRequest {
 /// plus latency and simulated-execution statistics.
 struct ServeResponse {
   ServeStatus status = ServeStatus::kOk;
+  /// Echo of the request's correlation id (the assigned one when the caller
+  /// left request_id at 0) — responses correlate by id, not by position.
+  std::uint64_t request_id = 0;
   std::string model;
   DType dtype = DType::kF32;
   std::vector<TensorF> outputs_f32;
@@ -144,6 +153,13 @@ struct SchedulerOptions {
   /// head request's enqueue. 0 merges only what is already queued (greedy,
   /// never waits) — the latency-safe default.
   std::int64_t coalesce_wait_us = 0;
+  /// Request tracer shared across the serving stack (null disables span
+  /// recording). The scheduler records admit/queue/coalesce/dispatch/expire
+  /// spans on it, stamped through the injected Clock.
+  std::shared_ptr<obs::Tracer> tracer;
+  /// Shard index: the `shard` label on this queue's metrics and the lane of
+  /// its trace spans. A cluster numbers its shards; standalone engines use 0.
+  int shard = 0;
 };
 
 /// The bounded, discipline-aware, coalescing admission queue. Thread-safe;
@@ -258,9 +274,33 @@ class Scheduler {
   void erase_compacted_locked(std::size_t w) REQUIRES(mu_);
   /// Re-establish the EDF heap after arbitrary removals. Lock held.
   void reheap_locked() REQUIRES(mu_);
+  /// Refresh the queue-depth / in-flight gauges from q_.size() and
+  /// in_flight_. Lock held; no-op when obs is disabled.
+  void update_gauges_locked() REQUIRES(mu_);
+  /// Record a span for `it` on the configured tracer (no-op without one or
+  /// with obs disabled). end_s == begin_s records an instant.
+  void trace_item(const char* name, const Item& it, double begin_s,
+                  double end_s) const;
 
   SchedulerOptions opt_;
   std::shared_ptr<Clock> clock_;
+
+  /// Registry metric handles, bound once at construction (family children
+  /// are never erased, so the pointers are stable); updates are lock-free
+  /// atomic bumps gated on obs::enabled().
+  struct Metrics {
+    obs::Counter* accepted;
+    obs::Counter* rejected;
+    obs::Counter* expired;
+    obs::Counter* completed;
+    obs::Counter* blocked;
+    obs::Counter* coalesced_batches;
+    obs::Counter* coalesced_items;
+    obs::Gauge* depth;
+    obs::Gauge* in_flight;
+    obs::Histogram* queue_wait;
+  };
+  Metrics m_;
 
   mutable Mutex mu_;
   CondVar cv_pop_;        // consumers; clock-registered

@@ -18,23 +18,6 @@ double percentile(std::vector<double> xs, double p) {
   return xs[rank == 0 ? 0 : rank - 1];
 }
 
-namespace {
-
-double mean_of(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
-  double sum = 0.0;
-  for (double v : xs) sum += v;
-  return sum / static_cast<double>(xs.size());
-}
-
-}  // namespace
-
-double ModelServingStats::mean_latency_s() const { return mean_of(latency_s); }
-
-double GroupServingStats::mean_latency_s() const { return mean_of(latency_s); }
-
-double ShardServingStats::mean_latency_s() const { return mean_of(latency_s); }
-
 QueueStats queue_delta(const QueueStats& after, const QueueStats& before) {
   QueueStats d;
   d.accepted = after.accepted - before.accepted;

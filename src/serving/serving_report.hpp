@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "serving/plan_cache.hpp"
 
 namespace fcm::serving {
@@ -66,17 +67,21 @@ struct ModelServingStats {
   int requests = 0;
   /// Batch items summed over all requests (== requests for single-image).
   int items = 0;
-  /// Host wall-clock latency of each request, seconds (includes the plan
-  /// lookup — the first request of a cold model pays the planning cost).
-  std::vector<double> latency_s;
+  /// Host wall-clock latency distribution over all requests, seconds
+  /// (includes the plan lookup — the first request of a cold model pays the
+  /// planning cost). A bounded fixed-bucket histogram: memory is O(buckets)
+  /// no matter how long the replay, and the percentiles below come from the
+  /// same bucket math the registry exporters use.
+  obs::HistogramData latency;
+
   /// Summed simulated GPU time and traffic over all requests.
   double sim_time_s = 0.0;
   std::int64_t gma_bytes = 0;
 
-  double mean_latency_s() const;
-  double p50_s() const { return percentile(latency_s, 50.0); }
-  double p95_s() const { return percentile(latency_s, 95.0); }
-  double p99_s() const { return percentile(latency_s, 99.0); }
+  double mean_latency_s() const { return latency.mean(); }
+  double p50_s() const { return latency.percentile(0.50); }
+  double p95_s() const { return latency.percentile(0.95); }
+  double p99_s() const { return latency.percentile(0.99); }
 };
 
 /// Request statistics aggregated for one (dtype, batch size) combination —
@@ -90,14 +95,15 @@ struct GroupServingStats {
   /// Requests of this group turned away by admission control / deadlines.
   int rejected = 0;
   int expired = 0;
-  /// Latency of each completed request, seconds.
-  std::vector<double> latency_s;
+  /// Latency distribution of completed requests, seconds (bounded
+  /// fixed-bucket histogram).
+  obs::HistogramData latency;
   double sim_time_s = 0.0;
 
-  double mean_latency_s() const;
-  double p50_s() const { return percentile(latency_s, 50.0); }
-  double p95_s() const { return percentile(latency_s, 95.0); }
-  double p99_s() const { return percentile(latency_s, 99.0); }
+  double mean_latency_s() const { return latency.mean(); }
+  double p50_s() const { return latency.percentile(0.50); }
+  double p95_s() const { return latency.percentile(0.95); }
+  double p99_s() const { return latency.percentile(0.99); }
 };
 
 /// Request statistics aggregated for one cluster shard (one per-device
@@ -115,8 +121,9 @@ struct ShardServingStats {
   int items = 0;
   int rejected = 0;
   int expired = 0;
-  /// Latency of each completed request, seconds.
-  std::vector<double> latency_s;
+  /// Latency distribution of completed requests, seconds (bounded
+  /// fixed-bucket histogram).
+  obs::HistogramData latency;
   /// Summed simulated GPU time and traffic over completed requests.
   double sim_time_s = 0.0;
   std::int64_t gma_bytes = 0;
@@ -124,10 +131,10 @@ struct ShardServingStats {
   /// (max_depth is the shard's queue high-water mark during it).
   QueueStats queue;
 
-  double mean_latency_s() const;
-  double p50_s() const { return percentile(latency_s, 50.0); }
-  double p95_s() const { return percentile(latency_s, 95.0); }
-  double p99_s() const { return percentile(latency_s, 99.0); }
+  double mean_latency_s() const { return latency.mean(); }
+  double p50_s() const { return latency.percentile(0.50); }
+  double p95_s() const { return latency.percentile(0.95); }
+  double p99_s() const { return latency.percentile(0.99); }
 };
 
 /// One replayed request mix, aggregated per model and per (dtype, batch) —

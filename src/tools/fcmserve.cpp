@@ -13,12 +13,15 @@
 //   fcmserve --models Tiny --batch 4 --dtype i8 --queue-depth 8 --policy reject
 //   fcmserve --devices GTX,RTX --router least-loaded --models Tiny --requests 8
 //   fcmserve --plan-only --cache-dir plans/     # cold/warm planning table only
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -27,6 +30,8 @@
 #include "common/thread_pool.hpp"
 #include "gpusim/device_spec.hpp"
 #include "models/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serving/cluster.hpp"
 #include "serving/inference_engine.hpp"
 
@@ -75,7 +80,17 @@ void usage() {
       "  --triple                     enable PWDWPW triple fusion in plans\n"
       "  --seed <n>                   weight seed, default 2024\n"
       "  --plan-only                  cold/warm planning table only (no\n"
-      "                               functional execution of requests)\n";
+      "                               functional execution of requests)\n"
+      "  --metrics-out <file>         dump the process metrics registry on\n"
+      "                               exit: Prometheus text, or JSON when\n"
+      "                               the file ends in .json\n"
+      "  --metrics-interval-ms <n>    also rewrite --metrics-out every n ms\n"
+      "                               while serving (n >= 1; requires\n"
+      "                               --metrics-out)\n"
+      "  --trace-out <file>           record per-request spans (admit/queue/\n"
+      "                               coalesce/dispatch/execute/respond) and\n"
+      "                               write a Chrome trace_event JSON file —\n"
+      "                               open it at chrome://tracing\n";
 }
 
 /// Enum-valued flag got a value outside its closed set: name the value and
@@ -87,6 +102,67 @@ void usage() {
   usage();
   std::exit(2);
 }
+
+/// True when `path` names a JSON file — picks the metrics export format.
+bool wants_json(const std::string& path) {
+  constexpr const char* kExt = ".json";
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, kExt) == 0;
+}
+
+/// Serialise the global registry into `path` (format by extension). Returns
+/// false (with a message on stderr) when the file cannot be written.
+bool dump_metrics(const std::string& path) {
+  auto& reg = fcm::obs::MetricsRegistry::global();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::cerr << "error: cannot write metrics file '" << path << "'\n";
+    return false;
+  }
+  os << (wants_json(path) ? reg.json_text() : reg.prometheus_text());
+  return os.good();
+}
+
+/// Background thread rewriting the metrics file every interval until
+/// destruction — live dashboards can tail the file while fcmserve replays.
+class PeriodicMetricsDumper {
+ public:
+  PeriodicMetricsDumper(std::string path, std::int64_t interval_ms)
+      : path_(std::move(path)),
+        interval_(std::chrono::milliseconds(interval_ms)),
+        worker_([this] { loop(); }) {}
+
+  ~PeriodicMetricsDumper() {
+    {
+      MutexLock lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+ private:
+  void loop() {
+    MutexLock lk(mu_);
+    auto next = std::chrono::steady_clock::now() + interval_;
+    for (;;) {
+      while (!stop_ && std::chrono::steady_clock::now() < next) {
+        cv_.wait_until(lk, next);
+      }
+      if (stop_) return;
+      next += interval_;
+      lk.unlock();
+      dump_metrics(path_);  // best effort; the final dump reports failure
+      lk.lock();
+    }
+  }
+
+  const std::string path_;
+  const std::chrono::steady_clock::duration interval_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread worker_;
+};
 
 std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
@@ -115,6 +191,8 @@ int main(int argc, char** argv) {
   int coalesce = 1;
   std::uint64_t coalesce_wait_us = 0;
   double deadline_ms = 0.0, sim_dilation = 0.0;
+  std::string metrics_out, trace_out;
+  std::int64_t metrics_interval_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -194,6 +272,16 @@ int main(int argc, char** argv) {
       seed = cli::parse_u64_or_usage_exit(
           next(), std::numeric_limits<std::uint64_t>::max(), usage);
     }
+    else if (arg == "--metrics-out") metrics_out = next();
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--metrics-interval-ms") {
+      const std::string v = next();
+      metrics_interval_ms = static_cast<std::int64_t>(
+          cli::parse_u64_or_usage_exit(v, 1u << 30, usage));
+      if (metrics_interval_ms < 1) {
+        bad_value("--metrics-interval-ms", v, "an integer >= 1");
+      }
+    }
     else if (arg == "--triple") triple = true;
     else if (arg == "--plan-only") plan_only = true;
     else if (arg == "--help" || arg == "-h") {
@@ -217,6 +305,13 @@ int main(int argc, char** argv) {
     // routerless single engine would be exactly the silent default the
     // enum-flag validation above refuses to be.
     std::cerr << "error: --router requires --devices (cluster mode)\n";
+    usage();
+    return 2;
+  }
+  if (metrics_interval_ms > 0 && metrics_out.empty()) {
+    // Same no-silent-noop rule: a periodic dump with nowhere to dump would
+    // quietly do nothing.
+    std::cerr << "error: --metrics-interval-ms requires --metrics-out\n";
     usage();
     return 2;
   }
@@ -281,6 +376,14 @@ int main(int argc, char** argv) {
     opt.queue_workers = threads;
     opt.sim_dilation = sim_dilation;
 
+    // --trace-out: one tracer shared by every shard; spans land on per-shard
+    // lanes and the file is written after the replay drains.
+    std::shared_ptr<obs::Tracer> tracer;
+    if (!trace_out.empty()) {
+      tracer = std::make_shared<obs::Tracer>();
+      opt.tracer = tracer;
+    }
+
     std::unique_ptr<serving::ServingCluster> cluster;
     std::unique_ptr<serving::InferenceEngine> single;
     if (cluster_mode) {
@@ -292,6 +395,14 @@ int main(int argc, char** argv) {
     } else {
       single = std::make_unique<serving::InferenceEngine>(dev, opt);
     }
+    // --metrics-interval-ms: rewrite the metrics file in the background
+    // while the run progresses (stopped before the authoritative final dump).
+    std::unique_ptr<PeriodicMetricsDumper> dumper;
+    if (metrics_interval_ms > 0) {
+      dumper = std::make_unique<PeriodicMetricsDumper>(metrics_out,
+                                                       metrics_interval_ms);
+    }
+
     // Cold/warm timing below works per shard engine; in single mode the one
     // engine is "shard 0" of a size-1 list.
     const std::size_t n_shards = cluster_mode ? cluster->size() : 1;
@@ -340,7 +451,11 @@ int main(int argc, char** argv) {
       std::cout << "plans persisted under " << cache_dir
                 << " — a restarted fcmserve warm-starts from it\n";
     }
-    if (plan_only) return 0;
+    if (plan_only) {
+      dumper.reset();  // stop the periodic writer before the final dump
+      if (!metrics_out.empty() && !dump_metrics(metrics_out)) return 1;
+      return 0;
+    }
 
     // --- request mix through the admission queue -------------------------
     std::vector<serving::InferenceEngine::Request> mix;
@@ -373,6 +488,27 @@ int main(int argc, char** argv) {
         cluster_mode ? cluster->replay(mix) : single->replay(mix);
     std::cout << report.table() << report.group_table()
               << report.shard_table() << report.summary() << "\n";
+
+    dumper.reset();  // stop the periodic writer before the final dump
+    if (tracer) {
+      std::ofstream os(trace_out, std::ios::trunc);
+      if (!os) {
+        std::cerr << "error: cannot write trace file '" << trace_out << "'\n";
+        return 1;
+      }
+      os << tracer->chrome_trace_json();
+      std::cout << "trace: " << tracer->size() << " spans -> " << trace_out;
+      if (tracer->dropped() > 0) {
+        std::cout << " (" << tracer->dropped() << " dropped at capacity)";
+      }
+      std::cout << "\n";
+    }
+    if (!metrics_out.empty()) {
+      if (!dump_metrics(metrics_out)) return 1;
+      std::cout << "metrics: "
+                << (wants_json(metrics_out) ? "JSON" : "Prometheus text")
+                << " -> " << metrics_out << "\n";
+    }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -19,6 +19,8 @@
 #include "common/random.hpp"
 #include "gpusim/device_spec.hpp"
 #include "models/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "planner/fuse_planner.hpp"
 #include "serving/cluster.hpp"
 #include "serving/plan_cache.hpp"
@@ -251,6 +253,71 @@ TEST(RaceStress, SchedulerStopMidTraffic) {
   sched.stop();
   auto late = sched.push(tiny_request(4999));
   EXPECT_EQ(late.get().status, ServeStatus::kRejected);
+}
+
+// Metric writers (counter incs, gauge sets, histogram observes, NEW child
+// creation under the family mutex) racing the exporters and a tracer being
+// recorded into while its Chrome JSON is formatted. The exporters snapshot
+// pointer lists under the leaf locks and format lock-free, so writers must
+// never block on a scrape and TSan must see no races; afterwards the totals
+// add up exactly because no increment was lost or double-counted.
+TEST(RaceStress, ObsWritersVsConcurrentExporters) {
+  obs::MetricsRegistry reg;
+  obs::ScopedRegistryOverride override_guard(reg);
+  auto& counters = reg.counter_family("hammer_total", "writes", {"w"});
+  auto& gauges = reg.gauge_family("hammer_gauge", "last", {"w"});
+  auto& histos = reg.histogram_family("hammer_seconds", "obs", {"w"});
+  obs::Tracer tracer;
+
+  constexpr int kWriters = 4;
+  constexpr int kOps = 2'000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Each writer bumps its own child (created mid-run, racing the
+      // exporters' child snapshots) plus the shared child "all".
+      const std::string mine = std::to_string(w);
+      for (int i = 0; i < kOps; ++i) {
+        counters.with({mine}).inc();
+        counters.with({"all"}).inc();
+        gauges.with({mine}).set(static_cast<double>(i));
+        histos.with({mine}).observe(static_cast<double>(i % 100) * 1e-4);
+        obs::TraceSpan span;
+        span.trace_id = static_cast<std::uint64_t>(w * kOps + i + 1);
+        span.name = "hammer";
+        span.begin_s = static_cast<double>(i) * 1e-6;
+        span.end_s = span.begin_s + 1e-6;
+        span.lane = w;
+        tracer.record(std::move(span));
+      }
+    });
+  }
+  std::vector<std::thread> exporters;
+  for (int e = 0; e < 2; ++e) {
+    exporters.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        ASSERT_FALSE(reg.prometheus_text().empty());
+        ASSERT_FALSE(reg.json_text().empty());
+        ASSERT_FALSE(tracer.chrome_trace_json().empty());
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& th : exporters) th.join();
+
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(counters.with({std::to_string(w)}).value(), kOps);
+    EXPECT_EQ(histos.with({std::to_string(w)}).count(), kOps);
+    EXPECT_EQ(gauges.with({std::to_string(w)}).value(),
+              static_cast<double>(kOps - 1));
+  }
+  EXPECT_EQ(counters.with({"all"}).value(), kWriters * kOps);
+  EXPECT_EQ(tracer.size() + static_cast<std::size_t>(tracer.dropped()),
+            static_cast<std::size_t>(kWriters) * kOps);
 }
 
 }  // namespace

@@ -312,7 +312,7 @@ TEST(ServingReport, PercentilesAndAggregates) {
   ModelServingStats m;
   m.model = "Mob_v1";
   m.requests = 4;
-  m.latency_s = {0.1, 0.2, 0.3, 0.4};
+  for (double v : {0.1, 0.2, 0.3, 0.4}) m.latency.observe(v);
   m.sim_time_s = 0.04;
   r.models.push_back(m);
   EXPECT_EQ(r.total_requests(), 4);
