@@ -1,5 +1,7 @@
 #include "serving/cluster.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -80,25 +82,53 @@ std::future<ServeResponse> ServingCluster::submit_async(ServeRequest req) {
   return shards_[shard]->submit_async(std::move(req));
 }
 
+std::future<ServeResponse> ServingCluster::submit_routed(ServeRequest req,
+                                                         std::size_t* shard) {
+  const std::size_t s = route(req);
+  if (shard != nullptr) *shard = s;
+  return shards_[s]->submit_async(std::move(req));
+}
+
+double ServingCluster::next_wakeup_s() {
+  double next = std::numeric_limits<double>::infinity();
+  for (auto& shard : shards_) next = std::min(next, shard->next_wakeup_s());
+  return next;
+}
+
+bool ServingCluster::settled() {
+  for (auto& shard : shards_) {
+    if (!shard->settled()) return false;
+  }
+  return true;
+}
+
 std::vector<std::int64_t> ServingCluster::routed() const {
   MutexLock lk(route_mu_);
   return routed_;
 }
 
-ServingReport ServingCluster::replay(
-    const std::vector<InferenceEngine::Request>& mix, double offered_rps) {
+ServingCluster::ReplayBracket ServingCluster::begin_replay() {
   // Bracket every shard's counters the way a single engine's replay
   // brackets its own: cache/queue deltas and a fresh depth watermark.
   const std::size_t n_shards = shards_.size();
-  std::vector<CacheStats> cache_before(n_shards);
-  std::vector<QueueStats> queue_before(n_shards);
-  const std::vector<std::int64_t> routed_before = routed();
+  ReplayBracket bracket;
+  bracket.cache_before.resize(n_shards);
+  bracket.queue_before.resize(n_shards);
+  bracket.routed_before = routed();
   for (std::size_t s = 0; s < n_shards; ++s) {
-    cache_before[s] = shards_[s]->plan_cache().stats();
-    queue_before[s] = shards_[s]->queue_stats();
+    bracket.cache_before[s] = shards_[s]->plan_cache().stats();
+    bracket.queue_before[s] = shards_[s]->queue_stats();
     shards_[s]->reset_depth_watermark();
   }
+  return bracket;
+}
 
+ServingReport ServingCluster::finish_replay(
+    const ReplayBracket& bracket,
+    const std::vector<InferenceEngine::Request>& mix,
+    const std::vector<ReplayOutcome>& outcomes,
+    const std::vector<std::size_t>& shard_of, double wall_s) {
+  const std::size_t n_shards = shards_.size();
   ServingReport report;
   if (n_shards == 1) {
     report.device = shards_[0]->device().name;
@@ -110,27 +140,21 @@ ServingReport ServingCluster::replay(
     report.device += "]";
   }
   report.router = router_policy_name(opt_.router);
-
-  std::vector<std::size_t> shard_of(mix.size(), 0);
-  const std::vector<ReplayOutcome> outcomes = drive_replay(
-      mix, offered_rps, *clock_,
-      [&](ServeRequest req, std::size_t i) {
-        const std::size_t shard = route(req);
-        shard_of[i] = shard;
-        return shards_[shard]->submit_async(std::move(req));
-      },
-      &report.wall_s);
+  report.wall_s = wall_s;
 
   const std::vector<std::int64_t> routed_after = routed();
   for (std::size_t s = 0; s < n_shards; ++s) {
     ShardServingStats shard;
     shard.shard = static_cast<int>(s);
     shard.device = shards_[s]->device().name;
-    shard.routed = static_cast<int>(routed_after[s] - routed_before[s]);
-    shard.queue = queue_delta(shards_[s]->queue_stats(), queue_before[s]);
+    shard.routed =
+        static_cast<int>(routed_after[s] - bracket.routed_before[s]);
+    shard.queue =
+        queue_delta(shards_[s]->queue_stats(), bracket.queue_before[s]);
     shard.queue.max_depth = shards_[s]->depth_watermark();
-    cache_accumulate(report.cache, cache_delta(shards_[s]->plan_cache().stats(),
-                                               cache_before[s]));
+    cache_accumulate(report.cache,
+                     cache_delta(shards_[s]->plan_cache().stats(),
+                                 bracket.cache_before[s]));
     queue_accumulate(report.queue, shard.queue);
     report.shards.push_back(std::move(shard));
   }
@@ -140,6 +164,26 @@ ServingReport ServingCluster::replay(
                        &report.shards[shard_of[i]]);
   }
   return report;
+}
+
+ServingReport ServingCluster::replay(
+    const std::vector<InferenceEngine::Request>& mix, double offered_rps) {
+  return replay_scheduled(mix, arrivals_at_rate(mix.size(), offered_rps));
+}
+
+ServingReport ServingCluster::replay_scheduled(
+    const std::vector<InferenceEngine::Request>& mix,
+    const std::vector<double>& arrivals) {
+  const ReplayBracket bracket = begin_replay();
+  std::vector<std::size_t> shard_of(mix.size(), 0);
+  double wall_s = 0.0;
+  const std::vector<ReplayOutcome> outcomes = drive_replay_scheduled(
+      mix, arrivals, *clock_,
+      [&](ServeRequest req, std::size_t i) {
+        return submit_routed(std::move(req), &shard_of[i]);
+      },
+      &wall_s);
+  return finish_replay(bracket, mix, outcomes, shard_of, wall_s);
 }
 
 }  // namespace fcm::serving

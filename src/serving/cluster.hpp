@@ -80,6 +80,45 @@ class ServingCluster {
   ServingReport replay(const std::vector<InferenceEngine::Request>& mix,
                        double offered_rps = 0.0);
 
+  /// As replay(), but paced by an explicit per-request absolute arrival
+  /// schedule (see InferenceEngine::replay_scheduled). Trace replays —
+  /// fcmserve --trace-in and the workload simulator's real-clock baseline —
+  /// land here.
+  ServingReport replay_scheduled(
+      const std::vector<InferenceEngine::Request>& mix,
+      const std::vector<double>& arrivals);
+
+  /// Counter snapshot taken at replay start so finish_replay can report
+  /// deltas over just that replay. begin_replay/finish_replay expose the
+  /// replay() bracketing to external drivers (workload::sim_replay) that
+  /// pace submissions themselves.
+  struct ReplayBracket {
+    std::vector<CacheStats> cache_before;
+    std::vector<QueueStats> queue_before;
+    std::vector<std::int64_t> routed_before;
+  };
+  /// Snapshot every shard's counters and reset depth watermarks.
+  ReplayBracket begin_replay();
+  /// Aggregate a ServingReport for `mix` with outcomes and per-request shard
+  /// assignments, against the counters captured in `bracket`.
+  ServingReport finish_replay(const ReplayBracket& bracket,
+                              const std::vector<InferenceEngine::Request>& mix,
+                              const std::vector<ReplayOutcome>& outcomes,
+                              const std::vector<std::size_t>& shard_of,
+                              double wall_s);
+
+  /// submit_async that also reports which shard the router picked (replay
+  /// drivers attribute each outcome to its shard). `shard` may be null.
+  std::future<ServeResponse> submit_routed(ServeRequest req,
+                                           std::size_t* shard);
+
+  /// Earliest instant any shard's parked worker is waiting on the Clock
+  /// for; +inf when none (see InferenceEngine::next_wakeup_s).
+  double next_wakeup_s();
+  /// True when every shard is settled — no host execution in progress
+  /// anywhere, so virtual time may advance (see InferenceEngine::settled).
+  bool settled();
+
   std::size_t size() const { return shards_.size(); }
   InferenceEngine& engine(std::size_t shard) { return *shards_[shard]; }
   const gpusim::DeviceSpec& device(std::size_t shard) const {

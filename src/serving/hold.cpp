@@ -1,0 +1,47 @@
+#include "serving/hold.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace fcm::serving {
+
+CompletionHolds::CompletionHolds(std::shared_ptr<Clock> clock)
+    : clock_(std::move(clock)) {
+  clock_->register_waiter(&mu_, &cv_);
+}
+
+CompletionHolds::~CompletionHolds() {
+  stop();
+  clock_->unregister_waiter(&cv_);
+}
+
+void CompletionHolds::hold_until(double t_s) {
+  MutexLock lk(mu_);
+  const auto slot = pending_.insert(t_s);
+  clock_->wait_until(lk, cv_, t_s, [this] {
+    mu_.assert_held();  // predicate runs under lk
+    return stopping_;
+  });
+  pending_.erase(slot);
+}
+
+double CompletionHolds::next_release_s() const {
+  MutexLock lk(mu_);
+  return pending_.empty() ? std::numeric_limits<double>::infinity()
+                          : *pending_.begin();
+}
+
+std::size_t CompletionHolds::active() const {
+  MutexLock lk(mu_);
+  return pending_.size();
+}
+
+void CompletionHolds::stop() {
+  {
+    MutexLock lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace fcm::serving

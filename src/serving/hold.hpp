@@ -1,0 +1,59 @@
+// Completion holds: virtual-time-safe occupancy pacing for queue workers.
+//
+// With EngineOptions::sim_dilation set, a worker that finished executing a
+// dispatch stays "busy" until the simulated device would have finished. On a
+// real clock that is a plain Clock::sleep_until — but on a shared ManualClock
+// sleep_until *advances* virtual time (pacing waits are simulated, not
+// served), so a worker sleeping from inside the engine would jump the whole
+// simulation past arrivals that should have landed mid-execution. Workers in
+// virtual-hold mode (EngineOptions::virtual_hold) park here instead: the
+// clock nudges the registered condition variable whenever virtual time moves,
+// and the pending release instants are exposed through next_release_s() so
+// the simulation driver (workload::sim_replay) can advance the clock exactly
+// event-to-event — next arrival vs. next completion vs. next window close.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace fcm::serving {
+
+class CompletionHolds {
+ public:
+  /// Registers with `clock` (non-null) for wakeup nudges.
+  explicit CompletionHolds(std::shared_ptr<Clock> clock);
+  ~CompletionHolds();
+
+  CompletionHolds(const CompletionHolds&) = delete;
+  CompletionHolds& operator=(const CompletionHolds&) = delete;
+
+  /// Park the calling worker until the clock reaches `t_s` (or stop()).
+  /// Never advances the clock — on a frozen ManualClock this waits until
+  /// someone else moves time past `t_s`.
+  void hold_until(double t_s) EXCLUDES(mu_);
+
+  /// Earliest pending release instant; +inf when no worker is parked.
+  double next_release_s() const EXCLUDES(mu_);
+
+  /// Workers parked right now.
+  std::size_t active() const EXCLUDES(mu_);
+
+  /// Release every parked worker immediately (engine teardown). Idempotent;
+  /// holds entered after stop() return at once.
+  void stop() EXCLUDES(mu_);
+
+ private:
+  std::shared_ptr<Clock> clock_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Pending release instants, one per parked worker (multiset: coalesced
+  /// batches on equal timelines may release at identical instants).
+  std::multiset<double> pending_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace fcm::serving

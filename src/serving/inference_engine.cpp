@@ -29,7 +29,8 @@ InferenceEngine::InferenceEngine(gpusim::DeviceSpec dev, EngineOptions opt)
       opt_(std::move(opt)),
       cache_(opt_.plan_cache_capacity, opt_.cache_dir),
       clock_(opt_.clock ? opt_.clock : std::make_shared<SteadyClock>()),
-      scheduler_(wire_scheduler_options(opt_), clock_) {
+      scheduler_(wire_scheduler_options(opt_), clock_),
+      holds_(clock_) {
   auto& reg = obs::MetricsRegistry::global();
   m_.latency = &reg.histogram_family(
       "fcm_request_latency_seconds",
@@ -53,6 +54,7 @@ InferenceEngine::~InferenceEngine() {
   // every pop return false; then the workers drain out. In-flight dispatches
   // complete first — a worker mid-execution still resolves its futures.
   scheduler_.stop();
+  holds_.stop();  // release virtually-held workers so they can drain out
   MutexLock lk(workers_mu_);  // workers never take workers_mu_: join-safe
   for (auto& w : workers_) w.join();
 }
@@ -122,6 +124,7 @@ std::shared_ptr<const planner::Plan> InferenceEngine::plan_for(
 }
 
 ServeResponse InferenceEngine::execute_request(const ServeRequest& req) {
+  if (req.dry_run) return execute_dry(req);
   FCM_CHECK(req.batch() >= 1, "ServeRequest: empty batch");
   FCM_CHECK(req.dtype == DType::kF32 ? req.batch_i8.empty()
                                      : req.batch_f32.empty(),
@@ -155,6 +158,47 @@ ServeResponse InferenceEngine::execute_request(const ServeRequest& req) {
     }
     const std::string dtype = dtype_name(req.dtype);
     m_.predicted_sim_s->with({req.model, dtype}).add(predicted_s);
+    m_.executed_sim_s->with({req.model, dtype}).add(resp.sim_time_s);
+  }
+  return resp;
+}
+
+ServeResponse InferenceEngine::execute_dry(const ServeRequest& req) {
+  FCM_CHECK(req.dry_batch >= 1, "ServeRequest: dry-run batch must be >= 1");
+  const double t0 = clock_->now_s();
+  const std::string key = req.model + '|' + dtype_name(req.dtype);
+  DryCost cost;
+  bool cached = false;
+  {
+    MutexLock lk(dry_mu_);
+    auto it = dry_costs_.find(key);
+    if (it != dry_costs_.end()) {
+      cost = it->second;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    // Per-item roofline cost of the plan this engine would execute the model
+    // with (through the plan cache, so dry replays still exercise and count
+    // cache traffic). Racing builders compute identical values.
+    const auto plan = plan_for(req.model, req.dtype);
+    for (const planner::PlanStep& step : plan->steps) {
+      cost.per_item_s += gpusim::estimate_time(dev_, step.stats).total_s;
+      cost.per_item_bytes += step.stats.gma_bytes();
+    }
+    MutexLock lk(dry_mu_);
+    dry_costs_.emplace(key, cost);
+  }
+  ServeResponse resp = response_stub(req, ServeStatus::kOk);
+  const double items = static_cast<double>(req.dry_batch);
+  resp.sim_time_s = cost.per_item_s * items;
+  resp.gma_bytes = cost.per_item_bytes * req.dry_batch;
+  resp.latency_s = clock_->now_s() - t0;
+  if (obs::enabled()) {
+    // Dry runs execute nothing, so predicted == executed by construction;
+    // exporting both keeps dashboard queries uniform across modes.
+    const std::string dtype = dtype_name(req.dtype);
+    m_.predicted_sim_s->with({req.model, dtype}).add(resp.sim_time_s);
     m_.executed_sim_s->with({req.model, dtype}).add(resp.sim_time_s);
   }
   return resp;
@@ -208,13 +252,18 @@ InferenceEngine::Result InferenceEngine::submit(const std::string& model_name,
   return res;
 }
 
+std::size_t InferenceEngine::n_workers() const {
+  const unsigned n = opt_.queue_workers;
+  if (n != 0) return n;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 void InferenceEngine::ensure_workers() {
   MutexLock lk(workers_mu_);
   if (!workers_.empty()) return;
-  unsigned n = opt_.queue_workers;
-  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t n = n_workers();
   workers_.reserve(n);
-  for (unsigned i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -247,7 +296,12 @@ void InferenceEngine::run_single(Scheduler::Item item, double popped_s) {
       // Occupancy pacing: hold the worker until the simulated device would
       // have finished, so this engine's drain rate — and its load gauge —
       // tracks the device it models rather than host functional-run speed.
-      clock_->sleep_until(popped_s + resp.sim_time_s * opt_.sim_dilation);
+      const double release_s = popped_s + resp.sim_time_s * opt_.sim_dilation;
+      if (opt_.virtual_hold) {
+        holds_.hold_until(release_s);
+      } else {
+        clock_->sleep_until(release_s);
+      }
       resp.latency_s = clock_->now_s() - popped_s;
     }
     resp.queue_wait_s = wait_s;
@@ -272,11 +326,18 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
   merged.model = d.items.front().req.model;
   merged.dtype = d.items.front().req.dtype;
   merged.quant = d.items.front().req.quant;
-  for (Scheduler::Item& it : d.items) {
-    if (merged.dtype == DType::kF32) {
-      merged.batch_f32.push_back(std::move(it.req.batch_f32.front()));
-    } else {
-      merged.batch_i8.push_back(std::move(it.req.batch_i8.front()));
+  merged.dry_run = d.items.front().req.dry_run;
+  if (merged.dry_run) {
+    // Dry riders coalesce under a "|dry"-suffixed key, so every item here is
+    // a single-item dry request; the merged dry batch carries the count.
+    merged.dry_batch = static_cast<int>(n);
+  } else {
+    for (Scheduler::Item& it : d.items) {
+      if (merged.dtype == DType::kF32) {
+        merged.batch_f32.push_back(std::move(it.req.batch_f32.front()));
+      } else {
+        merged.batch_i8.push_back(std::move(it.req.batch_i8.front()));
+      }
     }
   }
   // Promises resolved so far: the catch below must only set_exception on
@@ -286,7 +347,13 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
   try {
     ServeResponse batch = execute_request(merged);
     if (opt_.sim_dilation > 0.0) {
-      clock_->sleep_until(d.popped_s + batch.sim_time_s * opt_.sim_dilation);
+      const double release_s =
+          d.popped_s + batch.sim_time_s * opt_.sim_dilation;
+      if (opt_.virtual_hold) {
+        holds_.hold_until(release_s);
+      } else {
+        clock_->sleep_until(release_s);
+      }
     }
     const double end_s = clock_->now_s();
     for (std::size_t i = 0; i < n; ++i) {
@@ -297,7 +364,7 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
       resp.model = merged.model;
       resp.dtype = merged.dtype;
       resp.batch = 1;
-      if (!item.req.discard_outputs) {
+      if (!item.req.discard_outputs && !merged.dry_run) {
         if (merged.dtype == DType::kF32) {
           resp.outputs_f32.push_back(std::move(batch.outputs_f32[i]));
         } else {
@@ -333,6 +400,20 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
   }
 }
 
+double InferenceEngine::next_wakeup_s() {
+  return std::min(scheduler_.next_wakeup_s(), holds_.next_release_s());
+}
+
+bool InferenceEngine::settled() {
+  {
+    // Workers spawn on the first submit_async; until then nothing can be
+    // executing, so a pristine engine is settled by definition.
+    MutexLock lk(workers_mu_);
+    if (workers_.empty()) return true;
+  }
+  return scheduler_.settled(n_workers(), holds_.active());
+}
+
 ServeRequest materialise_request(const InferenceEngine::Request& q,
                                  const FmShape& shape) {
   ServeRequest r;
@@ -340,6 +421,11 @@ ServeRequest materialise_request(const InferenceEngine::Request& q,
   r.dtype = q.dtype;
   r.deadline_s = q.deadline_s;
   r.discard_outputs = true;  // replay aggregates metrics, never outputs
+  if (q.dry) {
+    r.dry_run = true;
+    r.dry_batch = q.batch;
+    return r;
+  }
   for (int j = 0; j < q.batch; ++j) {
     const std::uint64_t seed = q.input_seed + static_cast<std::uint64_t>(j);
     if (q.dtype == DType::kF32) {
@@ -355,20 +441,47 @@ ServeRequest materialise_request(const InferenceEngine::Request& q,
   return r;
 }
 
+std::vector<double> arrivals_at_rate(std::size_t n, double offered_rps) {
+  if (offered_rps <= 0.0) return {};
+  std::vector<double> arrivals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arrivals[i] = static_cast<double>(i) / offered_rps;
+  }
+  return arrivals;
+}
+
 std::vector<ReplayOutcome> drive_replay(
     const std::vector<InferenceEngine::Request>& mix, double offered_rps,
     Clock& clock,
     const std::function<std::future<ServeResponse>(ServeRequest, std::size_t)>&
         submit,
     double* wall_s) {
+  return drive_replay_scheduled(mix, arrivals_at_rate(mix.size(), offered_rps),
+                                clock, submit, wall_s);
+}
+
+std::vector<ReplayOutcome> drive_replay_scheduled(
+    const std::vector<InferenceEngine::Request>& mix,
+    const std::vector<double>& arrivals, Clock& clock,
+    const std::function<std::future<ServeResponse>(ServeRequest, std::size_t)>&
+        submit,
+    double* wall_s) {
+  FCM_CHECK(arrivals.empty() || arrivals.size() == mix.size(),
+            "replay: arrival schedule must be empty or sized like the mix");
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    FCM_CHECK(arrivals[i] >= arrivals[i - 1],
+              "replay: arrival schedule must be non-decreasing");
+  }
   // Input shapes are resolved once per distinct model (a mix is typically
   // thousands of requests over a handful of models); each request's tensors
   // are generated just before its submission, so replay's resident set is
   // bounded by the queue depth + in-flight requests, never by mix.size().
+  // Dry requests carry no tensors and skip shape resolution entirely.
   std::unordered_map<std::string, FmShape> shapes;
+  const FmShape no_shape{};
   for (const InferenceEngine::Request& q : mix) {
     FCM_CHECK(q.batch >= 1, "replay: request batch must be >= 1");
-    if (shapes.find(q.model) == shapes.end()) {
+    if (!q.dry && shapes.find(q.model) == shapes.end()) {
       shapes.emplace(
           q.model, models::model_by_name(q.model).layers.front().ifm_shape());
     }
@@ -401,9 +514,14 @@ std::vector<ReplayOutcome> drive_replay(
     // idle gap instead of skewing the offered inter-arrival times. The
     // submit callback runs after it — a routing decision must see the
     // shard loads of the submission instant, not of one gap earlier.
-    ServeRequest req = materialise_request(mix[i], shapes.at(mix[i].model));
-    if (offered_rps > 0.0) {
-      clock.sleep_until(t0 + static_cast<double>(i) / offered_rps);
+    ServeRequest req = materialise_request(
+        mix[i], mix[i].dry ? no_shape : shapes.at(mix[i].model));
+    if (!arrivals.empty()) {
+      // Absolute target off the single origin t0: a submission that runs
+      // late (slow generation, blocked push) never shifts the rest of the
+      // schedule — later requests fire at their own t0 + arrivals[j], and
+      // sleep_until past deadlines returns immediately.
+      clock.sleep_until(t0 + arrivals[i]);
     }
     futures[i] = submit(std::move(req), i);
     submitted = i + 1;
@@ -452,6 +570,11 @@ void accumulate_outcome(ServingReport& report,
 
 ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
                                       double offered_rps) {
+  return replay_scheduled(mix, arrivals_at_rate(mix.size(), offered_rps));
+}
+
+ServingReport InferenceEngine::replay_scheduled(
+    const std::vector<Request>& mix, const std::vector<double>& arrivals) {
   const CacheStats cache_before = cache_.stats();
   const QueueStats queue_before = queue_stats();
   // Start this replay's depth watermark at the backlog it inherits.
@@ -459,8 +582,8 @@ ServingReport InferenceEngine::replay(const std::vector<Request>& mix,
 
   ServingReport report;
   report.device = dev_.name;
-  const std::vector<ReplayOutcome> outcomes = drive_replay(
-      mix, offered_rps, *clock_,
+  const std::vector<ReplayOutcome> outcomes = drive_replay_scheduled(
+      mix, arrivals, *clock_,
       [this](ServeRequest req, std::size_t) {
         return submit_async(std::move(req));
       },

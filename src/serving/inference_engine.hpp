@@ -41,6 +41,7 @@
 #include "common/clock.hpp"
 #include "common/thread_annotations.hpp"
 #include "runtime/executor.hpp"
+#include "serving/hold.hpp"
 #include "serving/plan_cache.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/serving_report.hpp"
@@ -69,6 +70,13 @@ struct EngineOptions {
   /// cluster router's load signal) tracks the simulated device. 0 (the
   /// default) disables: workers run at host speed.
   double sim_dilation = 0.0;
+  /// Pacing mode for sim_dilation on a shared virtual clock: instead of
+  /// Clock::sleep_until (which on a ManualClock *advances* time from inside
+  /// a worker, jumping the whole simulation forward), the worker parks in
+  /// CompletionHolds until the clock reaches the release instant, and the
+  /// pending release is exposed through next_wakeup_s(). The workload
+  /// simulator sets this; on a SteadyClock it degrades to a timed wait.
+  bool virtual_hold = false;
   /// Host time source for latency, deadlines, coalescing windows and replay
   /// pacing. Null selects the real SteadyClock; tests inject a ManualClock.
   std::shared_ptr<Clock> clock;
@@ -108,6 +116,10 @@ class InferenceEngine {
     int batch = 1;
     /// Optional queueing deadline, seconds from enqueue (0 = none).
     double deadline_s = 0.0;
+    /// Timing-only replay: materialise_request builds a tensor-less dry-run
+    /// ServeRequest instead of generating inputs (the workload simulator's
+    /// mode; sim stats come from the plan's roofline estimate).
+    bool dry = false;
   };
 
   /// Execute `req` synchronously on the calling thread (no admission queue).
@@ -136,6 +148,13 @@ class InferenceEngine {
   ServingReport replay(const std::vector<Request>& mix,
                        double offered_rps = 0.0);
 
+  /// As replay(), but paced by an explicit per-request absolute arrival
+  /// schedule: request i is submitted at clock time t0 + arrivals[i]
+  /// (arrivals non-decreasing, sized like `mix`; empty = all at once).
+  /// Trace replays (fcmserve --trace-in) land here.
+  ServingReport replay_scheduled(const std::vector<Request>& mix,
+                                 const std::vector<double>& arrivals);
+
   /// The plan this engine executes `model_name` with (through the cache).
   std::shared_ptr<const planner::Plan> plan_for(const std::string& model_name,
                                                 DType dtype = DType::kF32);
@@ -161,12 +180,27 @@ class InferenceEngine {
   }
   std::int64_t depth_watermark() const { return scheduler_.depth_watermark(); }
 
+  /// Earliest instant a parked worker is waiting on the Clock for — the
+  /// next coalescing-window close or completion-hold release; +inf when
+  /// nothing is parked. The virtual-time simulator advances its ManualClock
+  /// to min(next arrival, this) across shards.
+  double next_wakeup_s();
+  /// True when every worker is parked (empty-queue wait, open window, or
+  /// completion hold) and no dispatchable work is awaiting an idle worker —
+  /// i.e. no host execution is in progress and advancing virtual time
+  /// cannot skew any in-flight timestamp. See Scheduler::settled.
+  bool settled();
+
  private:
   /// The untraced execution core shared by the sync and async paths:
   /// validation, runner + plan lookup, batch execution, sim stats. The
   /// public submit() wraps it with id assignment, spans and the latency
   /// histogram; the queue workers wrap it with their own timing instead.
   ServeResponse execute_request(const ServeRequest& req);
+  /// The dry-run branch of execute_request: no tensors, no weights, no
+  /// kernels — sim stats come from the plan's per-step roofline estimate
+  /// (memoised per (model, dtype)) scaled by the dry batch size.
+  ServeResponse execute_dry(const ServeRequest& req);
   /// Observe `latency_s` into the per-(model, dtype, batch) histogram.
   void observe_latency(const ServeResponse& resp, double latency_s);
   /// Record a span on the engine tracer (no-op without one / disabled).
@@ -186,11 +220,26 @@ class InferenceEngine {
   /// responses (individual latency; even 1/n share of the batch sim stats).
   void run_coalesced(Scheduler::Dispatch& d);
 
+  /// Worker-thread count after defaulting (what ensure_workers spawns).
+  std::size_t n_workers() const;
+
   gpusim::DeviceSpec dev_;
   EngineOptions opt_;
   PlanCache cache_;
   std::shared_ptr<Clock> clock_;
   Scheduler scheduler_;
+  /// Virtual-hold parking lot for sim_dilation pacing (see hold.hpp);
+  /// constructed after clock_, engaged only when opt_.virtual_hold.
+  CompletionHolds holds_;
+
+  /// Dry-run cost memo: roofline time and traffic per batch item, keyed on
+  /// "model|dtype". Leaf mutex (plan_for is called before taking it).
+  struct DryCost {
+    double per_item_s = 0.0;
+    std::int64_t per_item_bytes = 0;
+  };
+  Mutex dry_mu_;
+  std::unordered_map<std::string, DryCost> dry_costs_ GUARDED_BY(dry_mu_);
 
   /// Registry families, bound once at construction; children are fetched
   /// per request (leaf-mutex map lookup) only when obs::enabled().
@@ -246,6 +295,22 @@ std::vector<ReplayOutcome> drive_replay(
     const std::function<std::future<ServeResponse>(ServeRequest, std::size_t)>&
         submit,
     double* wall_s);
+
+/// The schedule-paced replay driver underneath drive_replay: request i is
+/// submitted once the clock reaches t0 + arrivals[i] (absolute targets off a
+/// single origin — a slow submit makes later requests late, never *shifts*
+/// the schedule). `arrivals` must be non-decreasing and sized like `mix`, or
+/// empty for submit-all-at-once.
+std::vector<ReplayOutcome> drive_replay_scheduled(
+    const std::vector<InferenceEngine::Request>& mix,
+    const std::vector<double>& arrivals, Clock& clock,
+    const std::function<std::future<ServeResponse>(ServeRequest, std::size_t)>&
+        submit,
+    double* wall_s);
+
+/// The arrival schedule drive_replay derives from an offered rate: uniform
+/// 1/rps spacing starting at 0 (empty when rps <= 0 — submit all at once).
+std::vector<double> arrivals_at_rate(std::size_t n, double offered_rps);
 
 /// Fold one replay outcome into the report's per-(dtype × batch) group and
 /// per-model stats — and, when `shard` is non-null, into that cluster

@@ -72,6 +72,13 @@ std::string coalesce_key(const ServeRequest& r) {
     key += "|q:" + bits(r.quant->in_scale) + "," + bits(r.quant->w_scale) +
            "," + bits(r.quant->out_scale);
   }
+  if (r.dry_run) {
+    // Tensor-less: the model fixes the shape. The marker keeps dry requests
+    // from merging with functional ones (the merge would have no tensors to
+    // demux into).
+    key += "|dry";
+    return key;
+  }
   if (r.batch() >= 1) {
     const FmShape& s = r.dtype == DType::kF32 ? r.batch_f32.front().shape()
                                               : r.batch_i8.front().shape();
@@ -393,10 +400,14 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
       // Nothing dispatchable: the queue is empty, or everything queued is
       // riding another worker's open window.
       if (!blocking) return false;
+      // The idle-waiter count feeds settled(): a consumer parked here is
+      // quiescent, but one woken to take a dispatchable head is not.
+      ++idle_waiters_;
       cv_pop_.wait(lk, [this] {
         mu_.assert_held();
         return stopping_ || select_head_locked() >= 0;
       });
+      --idle_waiters_;
       continue;
     }
     Item head = take_at_locked(static_cast<std::size_t>(head_idx));
@@ -416,12 +427,13 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
         // dispatches under-filled at its last viable moment rather than
         // being expired by its own batching window. The key reservation
         // keeps concurrent idle workers from claiming arriving peers as
-        // their own solo window heads.
-        window_keys_.insert(key);
+        // their own solo window heads; the mapped wait end feeds
+        // next_wakeup_s() for the virtual-time simulator.
         const double window_end_s =
             head.enqueued_s +
             static_cast<double>(opt_.coalesce_wait_us) * 1e-6;
         const double wait_end_s = std::min(window_end_s, head.deadline_s);
+        window_keys_.emplace(key, wait_end_s);
         for (;;) {
           expire_due_locked();
           // A full queue also closes the window: admission is blocked, so
@@ -579,6 +591,27 @@ std::int64_t Scheduler::reset_depth_watermark() {
 std::int64_t Scheduler::depth_watermark() const {
   MutexLock lk(mu_);
   return depth_watermark_;
+}
+
+double Scheduler::next_wakeup_s() const {
+  MutexLock lk(mu_);
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [key, wait_end_s] : window_keys_) {
+    next = std::min(next, wait_end_s);
+  }
+  return next;
+}
+
+bool Scheduler::settled(std::size_t workers, std::size_t parked_outside) const {
+  MutexLock lk(mu_);
+  // A dispatchable head with an idle consumer is a pop about to happen in
+  // host time — advancing virtual time now would skew its popped_s.
+  if (idle_waiters_ > 0 && select_head_locked() >= 0) return false;
+  // Every consumer must be parked somewhere the simulator can see: the
+  // empty-queue wait, an open window (one holder per key), or one of the
+  // engine's completion holds. A consumer mid-execution is counted nowhere,
+  // so the sum falls short and the clock stays put until it finishes.
+  return idle_waiters_ + window_keys_.size() + parked_outside == workers;
 }
 
 }  // namespace fcm::serving

@@ -37,7 +37,7 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -97,9 +97,18 @@ struct ServeRequest {
   /// replay() among them — set this so a long replay never accumulates
   /// output feature maps.
   bool discard_outputs = false;
+  /// Timing-only request for the workload simulator: carries no input
+  /// tensors (batch() reads `dry_batch`), skips weight materialisation and
+  /// kernel execution, and is charged the plan's roofline-predicted
+  /// simulated time instead of executed stats. Functional callers leave
+  /// this unset; the two kinds never coalesce together.
+  bool dry_run = false;
+  /// Batch size a dry-run request stands for (>= 1 when dry_run is set).
+  int dry_batch = 0;
 
   /// Number of batch items of the active dtype.
   int batch() const {
+    if (dry_run) return dry_batch;
     return static_cast<int>(dtype == DType::kF32 ? batch_f32.size()
                                                  : batch_i8.size());
   }
@@ -246,6 +255,24 @@ class Scheduler {
   std::int64_t reset_depth_watermark() EXCLUDES(mu_);
   std::int64_t depth_watermark() const EXCLUDES(mu_);
 
+  /// Earliest future instant a consumer parked on the Clock is waiting for —
+  /// the close of the earliest open coalescing window (already capped by its
+  /// head's deadline). +inf when no window is open. The workload simulator
+  /// advances its ManualClock to min(next arrival, this, completion holds)
+  /// so every window closes at its exact virtual time instead of being
+  /// skipped over.
+  double next_wakeup_s() const EXCLUDES(mu_);
+
+  /// True when this queue cannot make progress without new work or time
+  /// moving: every one of `workers` consumers is parked — in the empty-queue
+  /// wait, holding an open window, or in one of the engine's
+  /// `parked_outside` completion holds — and no dispatchable head is being
+  /// ignored by an idle consumer. The simulator only advances virtual time
+  /// when every shard is settled, so host execution time never leaks into
+  /// virtual timestamps (popped_s, completion instants) nondeterministically.
+  bool settled(std::size_t workers, std::size_t parked_outside) const
+      EXCLUDES(mu_);
+
   const SchedulerOptions& options() const { return opt_; }
   Clock& clock() { return *clock_; }
 
@@ -322,8 +349,12 @@ class Scheduler {
   /// Requests popped (claimed by a consumer) but not yet retired via
   /// record_completed/record_failed; a window-holding head counts too.
   std::int64_t in_flight_ GUARDED_BY(mu_) = 0;
-  /// Coalescing keys with an open batching window (one waiter per key).
-  std::unordered_set<std::string> window_keys_ GUARDED_BY(mu_);
+  /// Consumers parked in the empty-queue wait of pop() right now.
+  std::size_t idle_waiters_ GUARDED_BY(mu_) = 0;
+  /// Coalescing keys with an open batching window (one waiter per key),
+  /// mapped to the instant the window's clock wait ends (min of window close
+  /// and the head's deadline) — the feed for next_wakeup_s().
+  std::unordered_map<std::string, double> window_keys_ GUARDED_BY(mu_);
   QueueStats qstats_ GUARDED_BY(mu_);
   /// Queue high-water mark since the last reset_depth_watermark().
   std::int64_t depth_watermark_ GUARDED_BY(mu_) = 0;

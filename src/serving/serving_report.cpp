@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/table.hpp"
@@ -152,6 +153,44 @@ std::string ServingReport::shard_table() const {
                std::to_string(s.queue.max_depth)});
   }
   return t.str();
+}
+
+namespace {
+
+/// Bit-exact double rendering (hexfloat — every distinct value has a
+/// distinct spelling, unlike fixed-precision %g).
+std::string hexf(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ServingReport::deterministic_digest() const {
+  std::ostringstream os;
+  os << "device=" << device << " router=" << router << "\n";
+  for (const auto& m : models) {
+    os << "model " << m.model << " reqs=" << m.requests
+       << " items=" << m.items << " sim_s=" << hexf(m.sim_time_s)
+       << " gma=" << m.gma_bytes << "\n";
+  }
+  for (const auto& g : groups) {
+    os << "group " << dtype_name(g.dtype) << "x" << g.batch
+       << " reqs=" << g.requests << " items=" << g.items
+       << " rej=" << g.rejected << " exp=" << g.expired
+       << " sim_s=" << hexf(g.sim_time_s) << "\n";
+  }
+  for (const auto& s : shards) {
+    os << "shard " << s.shard << " device=" << s.device
+       << " routed=" << s.routed << " reqs=" << s.requests
+       << " items=" << s.items << " rej=" << s.rejected
+       << " exp=" << s.expired << " sim_s=" << hexf(s.sim_time_s)
+       << " gma=" << s.gma_bytes << "\n";
+  }
+  os << "queue accepted=" << queue.accepted << " completed=" << queue.completed
+     << " rejected=" << queue.rejected << " expired=" << queue.expired << "\n";
+  return os.str();
 }
 
 std::string ServingReport::summary() const {

@@ -178,6 +178,18 @@ struct ServingReport {
   /// One-line roll-up including cache and queue counters (and, for a
   /// cluster, the router policy and how many shards served requests).
   std::string summary() const;
+
+  /// Canonical rendering of every schedule-determined field — per-model and
+  /// per-group and per-shard request/item/rejected/expired counts,
+  /// simulated time and traffic (doubles in hexfloat, so equality means
+  /// bit-equality), queue accepted/completed/rejected/expired and router
+  /// counts. Deliberately EXCLUDES anything host-timing-dependent: wall_s,
+  /// latency histograms/percentiles, blocked, max_depth, coalescing
+  /// counters and cache counters. Two replays of the same trace through the
+  /// same deterministic schedule (round-robin routing, kBlock admission, no
+  /// coalescing) produce equal digests whether time was real or virtual —
+  /// the workload simulator's equivalence check.
+  std::string deterministic_digest() const;
 };
 
 /// The report's stats row for `model`, appended in first-appearance order on

@@ -13,6 +13,7 @@
 //   fcmserve --models Tiny --batch 4 --dtype i8 --queue-depth 8 --policy reject
 //   fcmserve --devices GTX,RTX --router least-loaded --models Tiny --requests 8
 //   fcmserve --plan-only --cache-dir plans/     # cold/warm planning table only
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +35,7 @@
 #include "obs/trace.hpp"
 #include "serving/cluster.hpp"
 #include "serving/inference_engine.hpp"
+#include "workload/trace.hpp"
 
 using namespace fcm;
 
@@ -90,7 +92,12 @@ void usage() {
       "  --trace-out <file>           record per-request spans (admit/queue/\n"
       "                               coalesce/dispatch/execute/respond) and\n"
       "                               write a Chrome trace_event JSON file —\n"
-      "                               open it at chrome://tracing\n";
+      "                               open it at chrome://tracing\n"
+      "  --trace-in <file>            replay a recorded workload trace\n"
+      "                               (fcmsim JSONL format) at its recorded\n"
+      "                               arrival times instead of the synthetic\n"
+      "                               mix; overrides --models/--requests/\n"
+      "                               --batch/--dtype/--deadline-ms\n";
 }
 
 /// Enum-valued flag got a value outside its closed set: name the value and
@@ -191,7 +198,7 @@ int main(int argc, char** argv) {
   int coalesce = 1;
   std::uint64_t coalesce_wait_us = 0;
   double deadline_ms = 0.0, sim_dilation = 0.0;
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, trace_in;
   std::int64_t metrics_interval_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -274,6 +281,7 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--trace-in") trace_in = next();
     else if (arg == "--metrics-interval-ms") {
       const std::string v = next();
       metrics_interval_ms = static_cast<std::int64_t>(
@@ -316,6 +324,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --trace-in: the replay mix comes from a recorded trace instead of the
+  // synthetic round-robin mix. A malformed trace is a usage error like any
+  // other bad flag value — hard exit 2 with the parser's line diagnosis.
+  workload::Trace in_trace;
+  const bool trace_mode = !trace_in.empty();
+  if (trace_mode) {
+    try {
+      in_trace = workload::load_trace_file(trace_in);
+    } catch (const Error& e) {
+      std::cerr << "error: invalid trace for --trace-in: " << e.what()
+                << "\n";
+      usage();
+      return 2;
+    }
+  }
+
   try {
     // 0 keeps the default (hardware concurrency) pool.
     std::unique_ptr<ThreadPool> own_pool;
@@ -335,7 +359,17 @@ int main(int argc, char** argv) {
     const auto dev = cluster_mode ? cluster_devices.front()
                                   : gpusim::device_by_name(device);
     std::vector<std::string> model_names = split_csv(models_csv);
-    if (model_names.empty()) {
+    if (trace_mode) {
+      // The cold/warm planning table covers the trace's models, in
+      // first-appearance order.
+      model_names.clear();
+      for (const auto& r : in_trace.requests) {
+        if (std::find(model_names.begin(), model_names.end(), r.model) ==
+            model_names.end()) {
+          model_names.push_back(r.model);
+        }
+      }
+    } else if (model_names.empty()) {
       // The INT8 functional path needs DW/PW-only models; every paper model
       // opens with a standard-conv stem, so the i8 default is Tiny.
       if (dtype == DType::kI8) {
@@ -347,13 +381,35 @@ int main(int argc, char** argv) {
     }
     for (const auto& name : model_names) {
       const auto g = models::model_by_name(name);  // validate early
-      if (dtype == DType::kI8 && !plan_only) {
+      if ((dtype == DType::kI8 && !trace_mode) && !plan_only) {
         for (const auto& l : g.layers) {
           if (l.kind == ConvKind::kStandard) {
             std::cerr << "error: --dtype i8 cannot serve " << name
                       << " (layer " << l.name << " is a standard conv; the "
                       << "INT8 functional path supports DW/PW only — try "
                       << "--models Tiny)\n";
+            return 2;
+          }
+        }
+      }
+    }
+    if (trace_mode && !plan_only) {
+      // Per-record dtypes: every model a trace record serves at INT8 must be
+      // DW/PW-only — fail before any request is queued, not mid-replay.
+      std::vector<std::string> checked;
+      for (const auto& r : in_trace.requests) {
+        if (r.dtype != DType::kI8 ||
+            std::find(checked.begin(), checked.end(), r.model) !=
+                checked.end()) {
+          continue;
+        }
+        checked.push_back(r.model);
+        for (const auto& l : models::model_by_name(r.model).layers) {
+          if (l.kind == ConvKind::kStandard) {
+            std::cerr << "error: --trace-in serves " << r.model
+                      << " at int8, but layer " << l.name
+                      << " is a standard conv (the INT8 functional path "
+                      << "supports DW/PW only)\n";
             return 2;
           }
         }
@@ -459,18 +515,30 @@ int main(int argc, char** argv) {
 
     // --- request mix through the admission queue -------------------------
     std::vector<serving::InferenceEngine::Request> mix;
-    for (int r = 0; r < requests; ++r) {
-      for (const auto& name : model_names) {
-        mix.push_back({name,
-                       seed + static_cast<std::uint64_t>(mix.size()) *
-                                  static_cast<std::uint64_t>(batch),
-                       dtype, batch, deadline_ms / 1e3});
+    std::vector<double> arrivals;
+    if (trace_mode) {
+      mix = workload::trace_mix(in_trace, /*dry=*/false);
+      arrivals = workload::trace_arrivals(in_trace);
+    } else {
+      for (int r = 0; r < requests; ++r) {
+        for (const auto& name : model_names) {
+          mix.push_back({name,
+                         seed + static_cast<std::uint64_t>(mix.size()) *
+                                    static_cast<std::uint64_t>(batch),
+                         dtype, batch, deadline_ms / 1e3});
+        }
       }
     }
-    std::cout << "\n== replaying " << mix.size() << " requests ("
-              << model_names.size() << " models x " << requests
-              << ", interleaved, batch " << batch << ", "
-              << dtype_name(dtype) << ", queue depth " << queue_depth << ", "
+    std::cout << "\n== replaying " << mix.size() << " requests (";
+    if (trace_mode) {
+      std::cout << "trace '" << in_trace.name << "' over "
+                << in_trace.duration_s() << " s, real-time arrivals";
+    } else {
+      std::cout << model_names.size() << " models x " << requests
+                << ", interleaved, batch " << batch << ", "
+                << dtype_name(dtype);
+    }
+    std::cout << ", queue depth " << queue_depth << ", "
               << serving::admission_policy_name(policy) << ", "
               << serving::queue_discipline_name(discipline);
     if (cluster_mode) {
@@ -485,7 +553,10 @@ int main(int argc, char** argv) {
     if (sim_dilation > 0.0) std::cout << ", sim-dilation " << sim_dilation;
     std::cout << ") ==\n";
     const auto report =
-        cluster_mode ? cluster->replay(mix) : single->replay(mix);
+        trace_mode
+            ? (cluster_mode ? cluster->replay_scheduled(mix, arrivals)
+                            : single->replay_scheduled(mix, arrivals))
+            : (cluster_mode ? cluster->replay(mix) : single->replay(mix));
     std::cout << report.table() << report.group_table()
               << report.shard_table() << report.summary() << "\n";
 

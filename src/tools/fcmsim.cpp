@@ -1,0 +1,408 @@
+// fcmsim — trace-driven workload simulation for the serving cluster.
+//
+// Two subcommands. `generate` renders a seeded synthetic workload (poisson,
+// on-off bursts, diurnal ramp, flash crowd, hot-model skew) into the
+// versioned JSONL trace format; the same --kind/--seed pair always writes a
+// byte-identical file. `replay` drives a trace through a ServingCluster on a
+// virtual clock, event-to-event: hours of trace time replay in wall seconds
+// (the fast-forward ratio is printed), with the standard serving report,
+// metrics registry and Chrome trace export intact.
+//
+//   fcmsim generate --kind poisson --requests 100000 --rate 500 --out p.jsonl
+//   fcmsim generate --kind flash-crowd --rate 50 --flash-x 20 --out f.jsonl
+//   fcmsim replay --trace p.jsonl --devices GTX,RTX --router least-loaded
+//   fcmsim replay --trace f.jsonl --sim-dilation 1 --metrics-out m.json
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "gpusim/device_spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serving/cluster.hpp"
+#include "tools/cli_util.hpp"
+#include "workload/generators.hpp"
+#include "workload/sim_replay.hpp"
+#include "workload/trace.hpp"
+
+using namespace fcm;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "fcmsim — trace-driven workload simulation on a virtual clock\n"
+      "\n"
+      "fcmsim generate --out <file> [options]   write a synthetic trace\n"
+      "  --kind <poisson|on-off|diurnal|flash-crowd|hot-skew>\n"
+      "                               arrival process, default poisson\n"
+      "  --requests <n>               trace length, default 1000\n"
+      "  --rate <x>                   mean request rate/s, default 100\n"
+      "  --models <csv>               zoo short names, default Tiny\n"
+      "  --dtype <f32|i8>             request precision, default f32\n"
+      "  --batch <n>                  inputs per request, default 1\n"
+      "  --deadline-ms <x>            queueing deadline per request,\n"
+      "                               default 0 (none)\n"
+      "  --tenants <csv>              tag records with tenants drawn\n"
+      "                               uniformly from this list\n"
+      "  --zipf-s <x>                 Zipf exponent over --models (0 =\n"
+      "                               uniform; hot-skew defaults 1.2)\n"
+      "  --on-ms/--off-ms <x>         on-off: mean sojourns, default 500\n"
+      "  --period-s <x>               diurnal: day length, default 60\n"
+      "  --min-x <x>                  diurnal: trough fraction, default 0.1\n"
+      "  --flash-at-s/--flash-len-s/--flash-x <x>\n"
+      "                               flash-crowd: spike window (default\n"
+      "                               5 s + 1 s) and multiplier (default 10)\n"
+      "  --seed <n>                   generator seed, default 1\n"
+      "\n"
+      "fcmsim replay --trace <file> [options]   simulate a trace\n"
+      "  --devices <csv>              cluster shards, default RTX (repeats\n"
+      "                               allowed, e.g. GTX,RTX,RTX)\n"
+      "  --router <round-robin|least-loaded|plan-affinity>\n"
+      "                               shard selection, default round-robin\n"
+      "  --discipline <fifo|edf>      dequeue order, default fifo\n"
+      "  --queue-depth <n>            per-shard admission bound, default 64\n"
+      "  --coalesce <n>               merge up to n single-image requests,\n"
+      "                               default 1 (off)\n"
+      "  --coalesce-wait-us <n>       batching window, default 0\n"
+      "  --sim-dilation <x>           occupy each worker for simulated GPU\n"
+      "                               time x this factor (virtual holds, so\n"
+      "                               shard drain rates track the simulated\n"
+      "                               devices), default 1; 0 disables\n"
+      "  --functional                 execute every request's kernels for\n"
+      "                               real instead of the dry-run cost\n"
+      "                               model (orders of magnitude slower)\n"
+      "  --threads <n>                queue workers per shard (default:\n"
+      "                               hardware)\n"
+      "  --seed <n>                   weight seed, default 2024\n"
+      "  --metrics-out <file>         dump the metrics registry on exit\n"
+      "                               (Prometheus text, or JSON for .json)\n"
+      "  --trace-out <file>           write per-request spans as a Chrome\n"
+      "                               trace_event JSON file\n";
+}
+
+[[noreturn]] void bad_value(const std::string& flag, const std::string& value,
+                            const std::string& expected) {
+  std::cerr << "error: unknown value '" << value << "' for " << flag
+            << " (expected " << expected << ")\n";
+  usage();
+  std::exit(2);
+}
+
+bool wants_json(const std::string& path) {
+  constexpr const char* kExt = ".json";
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, kExt) == 0;
+}
+
+bool dump_metrics(const std::string& path) {
+  auto& reg = obs::MetricsRegistry::global();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::cerr << "error: cannot write metrics file '" << path << "'\n";
+    return false;
+  }
+  os << (wants_json(path) ? reg.json_text() : reg.prometheus_text());
+  return os.good();
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+/// Argv cursor shared by both subcommands.
+struct Args {
+  int argc;
+  char** argv;
+  int i;
+
+  std::string next(const std::string& flag) {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << flag << " needs a value\n";
+      usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  }
+
+  double next_double(const std::string& flag, double max) {
+    const std::string v = next(flag);
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || !(x >= 0.0) || x > max) {
+      std::cerr << "error: bad numeric value '" << v << "' for " << flag
+                << " (expected 0.." << max << ")\n";
+      usage();
+      std::exit(2);
+    }
+    return x;
+  }
+};
+
+int run_generate(Args& args) {
+  workload::GeneratorSpec spec;
+  std::string out;
+  std::uint64_t seed = 1;
+  for (; args.i < args.argc; ++args.i) {
+    const std::string arg = args.argv[args.i];
+    if (arg == "--kind") {
+      const std::string v = args.next(arg);
+      try {
+        spec.kind = workload::generator_from_name(v);
+      } catch (const Error&) {
+        bad_value("--kind", v, workload::generator_names_csv());
+      }
+    } else if (arg == "--out") {
+      out = args.next(arg);
+    } else if (arg == "--requests") {
+      spec.requests = cli::parse_u64_or_usage_exit(args.next(arg),
+                                                   std::uint64_t{1} << 24,
+                                                   usage);
+    } else if (arg == "--rate") {
+      spec.rate_rps = args.next_double(arg, 1e9);
+    } else if (arg == "--models") {
+      spec.models = split_csv(args.next(arg));
+    } else if (arg == "--dtype") {
+      const std::string v = args.next(arg);
+      if (v == "f32" || v == "fp32") spec.dtype = DType::kF32;
+      else if (v == "i8" || v == "int8") spec.dtype = DType::kI8;
+      else bad_value("--dtype", v, "f32|i8");
+    } else if (arg == "--batch") {
+      spec.batch = static_cast<int>(
+          cli::parse_u64_or_usage_exit(args.next(arg), 1 << 12, usage));
+    } else if (arg == "--deadline-ms") {
+      spec.deadline_s = args.next_double(arg, 1e9) / 1e3;
+    } else if (arg == "--tenants") {
+      spec.tenants = split_csv(args.next(arg));
+    } else if (arg == "--zipf-s") {
+      spec.zipf_s = args.next_double(arg, 64.0);
+    } else if (arg == "--on-ms") {
+      spec.on_mean_s = args.next_double(arg, 1e9) / 1e3;
+    } else if (arg == "--off-ms") {
+      spec.off_mean_s = args.next_double(arg, 1e9) / 1e3;
+    } else if (arg == "--period-s") {
+      spec.period_s = args.next_double(arg, 1e9);
+    } else if (arg == "--min-x") {
+      spec.diurnal_min_x = args.next_double(arg, 1.0);
+    } else if (arg == "--flash-at-s") {
+      spec.flash_at_s = args.next_double(arg, 1e9);
+    } else if (arg == "--flash-len-s") {
+      spec.flash_len_s = args.next_double(arg, 1e9);
+    } else if (arg == "--flash-x") {
+      spec.flash_x = args.next_double(arg, 1e9);
+    } else if (arg == "--seed") {
+      seed = cli::parse_u64_or_usage_exit(
+          args.next(arg), std::numeric_limits<std::uint64_t>::max(), usage);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      usage();
+      return 2;
+    }
+  }
+  if (out.empty()) {
+    std::cerr << "error: generate needs --out <file>\n";
+    usage();
+    return 2;
+  }
+
+  const workload::Trace trace = workload::generate_trace(spec, seed);
+  workload::save_trace_file(trace, out);
+  std::cout << "trace: " << trace.requests.size() << " requests ("
+            << workload::generator_name(spec.kind) << ", seed " << seed
+            << ") spanning " << trace.duration_s() << " s -> " << out << "\n";
+  return 0;
+}
+
+int run_replay(Args& args) {
+  std::string trace_path, devices_csv = "RTX", metrics_out, trace_out;
+  serving::RouterPolicy router = serving::RouterPolicy::kRoundRobin;
+  serving::QueueDiscipline discipline = serving::QueueDiscipline::kFifo;
+  std::size_t queue_depth = 64;
+  int coalesce = 1;
+  std::uint64_t coalesce_wait_us = 0;
+  double sim_dilation = 1.0;
+  bool functional = false;
+  unsigned threads = 0;
+  std::uint64_t seed = 2024;
+  for (; args.i < args.argc; ++args.i) {
+    const std::string arg = args.argv[args.i];
+    if (arg == "--trace") {
+      trace_path = args.next(arg);
+    } else if (arg == "--devices") {
+      devices_csv = args.next(arg);
+    } else if (arg == "--router") {
+      const std::string v = args.next(arg);
+      const auto parsed = serving::router_policy_from_name(v);
+      if (!parsed.has_value()) {
+        bad_value("--router", v, "round-robin|least-loaded|plan-affinity");
+      }
+      router = *parsed;
+    } else if (arg == "--discipline") {
+      const std::string v = args.next(arg);
+      if (v == "fifo") discipline = serving::QueueDiscipline::kFifo;
+      else if (v == "edf") discipline = serving::QueueDiscipline::kEdf;
+      else bad_value("--discipline", v, "fifo|edf");
+    } else if (arg == "--queue-depth") {
+      queue_depth =
+          cli::parse_u64_or_usage_exit(args.next(arg), 1 << 20, usage);
+    } else if (arg == "--coalesce") {
+      coalesce = static_cast<int>(
+          cli::parse_u64_or_usage_exit(args.next(arg), 1 << 12, usage));
+    } else if (arg == "--coalesce-wait-us") {
+      coalesce_wait_us =
+          cli::parse_u64_or_usage_exit(args.next(arg), 1u << 30, usage);
+    } else if (arg == "--sim-dilation") {
+      sim_dilation = args.next_double(arg, 1e12);
+    } else if (arg == "--functional") {
+      functional = true;
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(
+          cli::parse_u64_or_usage_exit(args.next(arg), 1024, usage));
+    } else if (arg == "--seed") {
+      seed = cli::parse_u64_or_usage_exit(
+          args.next(arg), std::numeric_limits<std::uint64_t>::max(), usage);
+    } else if (arg == "--metrics-out") {
+      metrics_out = args.next(arg);
+    } else if (arg == "--trace-out") {
+      trace_out = args.next(arg);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      usage();
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "error: replay needs --trace <file>\n";
+    usage();
+    return 2;
+  }
+  if (queue_depth < 1 || coalesce < 1) {
+    std::cerr << "error: --queue-depth/--coalesce must be >= 1\n";
+    usage();
+    return 2;
+  }
+
+  workload::Trace trace;
+  try {
+    trace = workload::load_trace_file(trace_path);
+  } catch (const Error& e) {
+    std::cerr << "error: invalid trace for --trace: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+
+  try {
+    std::vector<gpusim::DeviceSpec> devices;
+    for (const auto& name : split_csv(devices_csv)) {
+      devices.push_back(gpusim::device_by_name(name));
+    }
+
+    auto clock = std::make_shared<ManualClock>();
+    serving::ClusterOptions copt;
+    copt.router = router;
+    copt.engine.clock = clock;
+    copt.engine.seed = seed;
+    copt.engine.queue_workers = threads;
+    copt.engine.sim_dilation = sim_dilation;
+    copt.engine.virtual_hold = true;
+    copt.engine.scheduler.queue_depth = queue_depth;
+    // Virtual holds rule out kBlock (a full queue would park the driver the
+    // workers wait on); overload sheds load instead, like a real server.
+    copt.engine.scheduler.policy = serving::AdmissionPolicy::kReject;
+    copt.engine.scheduler.discipline = discipline;
+    copt.engine.scheduler.max_coalesce_batch = coalesce;
+    copt.engine.scheduler.coalesce_wait_us =
+        static_cast<std::int64_t>(coalesce_wait_us);
+
+    std::shared_ptr<obs::Tracer> tracer;
+    if (!trace_out.empty()) {
+      tracer = std::make_shared<obs::Tracer>();
+      copt.engine.tracer = tracer;
+    }
+
+    serving::ServingCluster cluster(devices, copt);
+
+    std::cout << "== replaying " << trace.requests.size() << " requests ('"
+              << trace.name << "', " << trace.duration_s()
+              << " s of trace time) on " << devices.size() << " shard"
+              << (devices.size() == 1 ? "" : "s") << ", router "
+              << serving::router_policy_name(router) << ", "
+              << serving::queue_discipline_name(discipline) << ", "
+              << (functional ? "functional" : "dry-run") << " ==\n";
+
+    workload::SimOptions sopt;
+    sopt.functional = functional;
+    workload::SimSummary summary;
+    const serving::ServingReport report =
+        workload::sim_replay(cluster, clock, trace, sopt, &summary);
+
+    std::cout << report.table() << report.group_table() << report.shard_table()
+              << report.summary() << "\n"
+              << "fast-forward: " << summary.str() << "\n";
+
+    if (tracer) {
+      std::ofstream os(trace_out, std::ios::trunc);
+      if (!os) {
+        std::cerr << "error: cannot write trace file '" << trace_out << "'\n";
+        return 1;
+      }
+      os << tracer->chrome_trace_json();
+      std::cout << "trace: " << tracer->size() << " spans -> " << trace_out
+                << "\n";
+    }
+    if (!metrics_out.empty()) {
+      if (!dump_metrics(metrics_out)) return 1;
+      std::cout << "metrics: "
+                << (wants_json(metrics_out) ? "JSON" : "Prometheus text")
+                << " -> " << metrics_out << "\n";
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args args{argc, argv, 2};
+  try {
+    if (cmd == "generate") return run_generate(args);
+    if (cmd == "replay") return run_replay(args);
+    if (cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "error: unknown command '" << cmd
+            << "' (expected generate or replay)\n";
+  usage();
+  return 2;
+}

@@ -1,0 +1,222 @@
+#include "workload/generators.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace fcm::workload {
+
+std::string generator_name(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::kPoisson: return "poisson";
+    case GeneratorKind::kOnOff: return "on-off";
+    case GeneratorKind::kDiurnal: return "diurnal";
+    case GeneratorKind::kFlashCrowd: return "flash-crowd";
+    case GeneratorKind::kHotSkew: return "hot-skew";
+  }
+  throw Error("generator_name: unknown kind");
+}
+
+GeneratorKind generator_from_name(const std::string& name) {
+  if (name == "poisson") return GeneratorKind::kPoisson;
+  if (name == "on-off") return GeneratorKind::kOnOff;
+  if (name == "diurnal") return GeneratorKind::kDiurnal;
+  if (name == "flash-crowd") return GeneratorKind::kFlashCrowd;
+  if (name == "hot-skew") return GeneratorKind::kHotSkew;
+  throw Error("unknown generator '" + name + "' (expected " +
+              generator_names_csv() + ")");
+}
+
+std::string generator_names_csv() {
+  return "poisson|on-off|diurnal|flash-crowd|hot-skew";
+}
+
+namespace {
+
+/// Uniform in [0, 1) from the top 53 bits — the standard exact dyadic
+/// construction, identical on every platform.
+double u01(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Exponential with rate `lambda` by inversion. -log1p(-u) is exact near
+/// u = 0 and never -inf (u < 1 by construction).
+double exp_draw(std::mt19937_64& rng, double lambda) {
+  return -std::log1p(-u01(rng)) / lambda;
+}
+
+/// splitmix64 — the per-record input-seed stream, decoupled from the
+/// arrival-process draws so adding a draw to one generator never perturbs
+/// the seeds every generator stamps.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Inverse-CDF sampler over Zipf weights 1/rank^s (uniform when s == 0).
+class ModelPicker {
+ public:
+  ModelPicker(const std::vector<std::string>& models, double s) {
+    cdf_.reserve(models.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      total += s > 0.0 ? 1.0 / std::pow(static_cast<double>(i + 1), s) : 1.0;
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t pick(std::mt19937_64& rng) const {
+    const double u = u01(rng);
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u < cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Arrivals of an inhomogeneous Poisson process with rate `rate_of(t)`
+/// bounded by `rate_max`, by thinning: draw candidates at rate_max, accept
+/// each with probability rate_of(t)/rate_max.
+template <typename RateFn>
+std::vector<double> thinned_arrivals(std::size_t n, double rate_max,
+                                     RateFn rate_of, std::mt19937_64& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  double t = 0.0;
+  while (out.size() < n) {
+    t += exp_draw(rng, rate_max);
+    if (u01(rng) * rate_max < rate_of(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<double> arrivals_for(const GeneratorSpec& spec,
+                                 std::mt19937_64& rng) {
+  const std::size_t n = spec.requests;
+  switch (spec.kind) {
+    case GeneratorKind::kPoisson:
+    case GeneratorKind::kHotSkew: {
+      std::vector<double> out;
+      out.reserve(n);
+      double t = 0.0;
+      while (out.size() < n) {
+        t += exp_draw(rng, spec.rate_rps);
+        out.push_back(t);
+      }
+      return out;
+    }
+    case GeneratorKind::kOnOff: {
+      FCM_CHECK(spec.on_mean_s > 0.0 && spec.off_mean_s > 0.0,
+                "on-off generator: sojourn means must be > 0");
+      // Arrivals only while ON, at a rate scaled by the ON duty cycle so
+      // the long-run mean stays rate_rps.
+      const double rate_on =
+          spec.rate_rps * (spec.on_mean_s + spec.off_mean_s) / spec.on_mean_s;
+      std::vector<double> out;
+      out.reserve(n);
+      double t = 0.0;
+      double state_end = exp_draw(rng, 1.0 / spec.on_mean_s);
+      bool on = true;
+      while (out.size() < n) {
+        if (!on) {
+          t = state_end;
+          state_end += exp_draw(rng, 1.0 / spec.on_mean_s);
+          on = true;
+          continue;
+        }
+        const double dt = exp_draw(rng, rate_on);
+        if (t + dt >= state_end) {
+          t = state_end;
+          state_end += exp_draw(rng, 1.0 / spec.off_mean_s);
+          on = false;
+          continue;
+        }
+        t += dt;
+        out.push_back(t);
+      }
+      return out;
+    }
+    case GeneratorKind::kDiurnal: {
+      FCM_CHECK(spec.period_s > 0.0, "diurnal generator: period must be > 0");
+      FCM_CHECK(spec.diurnal_min_x > 0.0 && spec.diurnal_min_x <= 1.0,
+                "diurnal generator: trough fraction must be in (0, 1]");
+      // Raised cosine through [min_x, 2 - min_x] x rate; time-average is
+      // exactly rate_rps over a full period.
+      const double min_x = spec.diurnal_min_x;
+      const double rate_max = spec.rate_rps * (2.0 - min_x);
+      const double omega = 2.0 * 3.14159265358979323846 / spec.period_s;
+      return thinned_arrivals(
+          n, rate_max,
+          [&](double t) {
+            return spec.rate_rps *
+                   (min_x + (1.0 - min_x) * (1.0 - std::cos(omega * t)));
+          },
+          rng);
+    }
+    case GeneratorKind::kFlashCrowd: {
+      FCM_CHECK(spec.flash_x >= 1.0 && spec.flash_len_s > 0.0,
+                "flash-crowd generator: needs flash_x >= 1 and a positive "
+                "spike length");
+      const double rate_max = spec.rate_rps * spec.flash_x;
+      return thinned_arrivals(
+          n, rate_max,
+          [&](double t) {
+            const bool in_flash = t >= spec.flash_at_s &&
+                                  t < spec.flash_at_s + spec.flash_len_s;
+            return spec.rate_rps * (in_flash ? spec.flash_x : 1.0);
+          },
+          rng);
+    }
+  }
+  throw Error("generate_trace: unknown generator kind");
+}
+
+}  // namespace
+
+Trace generate_trace(const GeneratorSpec& spec, std::uint64_t seed) {
+  FCM_CHECK(spec.requests >= 1, "generate_trace: requests must be >= 1");
+  FCM_CHECK(spec.rate_rps > 0.0, "generate_trace: rate must be > 0");
+  FCM_CHECK(!spec.models.empty(), "generate_trace: model list must be "
+                                  "non-empty");
+  FCM_CHECK(spec.batch >= 1, "generate_trace: batch must be >= 1");
+  FCM_CHECK(spec.deadline_s >= 0.0, "generate_trace: deadline must be >= 0");
+  FCM_CHECK(spec.zipf_s >= 0.0, "generate_trace: zipf exponent must be >= 0");
+
+  std::mt19937_64 rng(seed);
+  std::uint64_t seed_stream = seed ^ 0xfc0de5ull;  // per-record input seeds
+
+  double zipf_s = spec.zipf_s;
+  if (spec.kind == GeneratorKind::kHotSkew && zipf_s == 0.0) zipf_s = 1.2;
+  const ModelPicker picker(spec.models, zipf_s);
+
+  Trace trace;
+  trace.name = generator_name(spec.kind);
+  trace.seed = seed;
+  const std::vector<double> arrivals = arrivals_for(spec, rng);
+  trace.requests.reserve(arrivals.size());
+  for (const double t : arrivals) {
+    TraceRecord r;
+    r.t_s = t;
+    r.model = spec.models[picker.pick(rng)];
+    r.dtype = spec.dtype;
+    r.batch = spec.batch;
+    r.deadline_s = spec.deadline_s;
+    if (!spec.tenants.empty()) {
+      r.tenant = spec.tenants[static_cast<std::size_t>(
+          u01(rng) * static_cast<double>(spec.tenants.size()))];
+    }
+    r.seed = splitmix64(seed_stream);
+    trace.requests.push_back(std::move(r));
+  }
+  validate_trace(trace);
+  return trace;
+}
+
+}  // namespace fcm::workload

@@ -1,0 +1,89 @@
+// Seeded synthetic workload generators for the trace format.
+//
+// Five arrival-process families, each reproducible bit-for-bit from
+// (spec, seed) — the same pair always yields a byte-identical serialized
+// trace, on any platform (arrivals are drawn with explicit inversion /
+// thinning over a mt19937_64, never through std:: distributions, whose
+// output is implementation-defined):
+//
+//   poisson      homogeneous Poisson arrivals at rate_rps.
+//   on-off       two-state MMPP: exponential ON/OFF sojourns; arrivals only
+//                while ON, at a rate scaled so the long-run mean stays
+//                rate_rps — bursty traffic with quiet gaps.
+//   diurnal      rate modulated by a raised-cosine day curve with period
+//                period_s, trough diurnal_min_x x rate, mean rate_rps.
+//   flash-crowd  steady rate_rps with a flash_x x spike during
+//                [flash_at_s, flash_at_s + flash_len_s) — the overload spike
+//                admission-control experiments replay.
+//   hot-skew     Poisson arrivals whose model choice follows a Zipf law over
+//                spec.models (weight 1/rank^s) — a hot model dominating a
+//                long tail, the plan-cache residency stressor.
+//
+// Every generator draws model choice, tenant tag and per-record input seeds
+// from the same seeded stream, so two traces from the same spec differ only
+// where their seeds do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/trace.hpp"
+
+namespace fcm::workload {
+
+enum class GeneratorKind {
+  kPoisson,
+  kOnOff,
+  kDiurnal,
+  kFlashCrowd,
+  kHotSkew,
+};
+
+/// Canonical spelling ("poisson", "on-off", "diurnal", "flash-crowd",
+/// "hot-skew") — also the generated trace's name.
+std::string generator_name(GeneratorKind kind);
+/// Inverse of generator_name; throws fcm::Error for unknown spellings.
+GeneratorKind generator_from_name(const std::string& name);
+/// "poisson|on-off|diurnal|flash-crowd|hot-skew" for CLI help/error text.
+std::string generator_names_csv();
+
+struct GeneratorSpec {
+  GeneratorKind kind = GeneratorKind::kPoisson;
+  /// Trace length in requests.
+  std::size_t requests = 1000;
+  /// Long-run mean arrival rate, requests/second (> 0).
+  double rate_rps = 100.0;
+  /// Candidate models (non-empty). Uniform choice unless zipf_s > 0.
+  std::vector<std::string> models = {"Tiny"};
+  /// > 0: Zipf exponent over `models` in listed order (rank 1 hottest).
+  /// kHotSkew defaults a 0 to 1.2; other kinds keep 0 = uniform.
+  double zipf_s = 0.0;
+  DType dtype = DType::kF32;
+  int batch = 1;
+  /// Queueing deadline stamped on every record, seconds (0 = none).
+  double deadline_s = 0.0;
+  /// Non-empty: tenant tags drawn uniformly per record.
+  std::vector<std::string> tenants;
+
+  // kOnOff: mean exponential sojourns in each state, seconds.
+  double on_mean_s = 0.5;
+  double off_mean_s = 0.5;
+
+  // kDiurnal: day-curve period and trough fraction (0 < min_x <= 1).
+  double period_s = 60.0;
+  double diurnal_min_x = 0.1;
+
+  // kFlashCrowd: spike window and multiplier (>= 1).
+  double flash_at_s = 5.0;
+  double flash_len_s = 1.0;
+  double flash_x = 10.0;
+};
+
+/// Generate `spec.requests` arrivals. Deterministic in (spec, seed); the
+/// result always passes validate_trace. Throws fcm::Error on nonsensical
+/// specs (empty model list, rate <= 0, ...).
+Trace generate_trace(const GeneratorSpec& spec, std::uint64_t seed);
+
+}  // namespace fcm::workload

@@ -25,6 +25,8 @@
 #include "serving/cluster.hpp"
 #include "serving/plan_cache.hpp"
 #include "serving/scheduler.hpp"
+#include "workload/generators.hpp"
+#include "workload/sim_replay.hpp"
 
 namespace fcm::serving {
 namespace {
@@ -318,6 +320,71 @@ TEST(RaceStress, ObsWritersVsConcurrentExporters) {
   EXPECT_EQ(counters.with({"all"}).value(), kWriters * kOps);
   EXPECT_EQ(tracer.size() + static_cast<std::size_t>(tracer.dropped()),
             static_cast<std::size_t>(kWriters) * kOps);
+}
+
+// The workload simulator's seam: one thread fast-forwarding virtual time
+// through sim_replay (ManualClock set() racing every parked worker's
+// wait_until) while exporters scrape the live registry and tracer and extra
+// pollers hammer the settled()/next_wakeup_s() gauges the driver itself
+// loops on. The clock bump-and-notify, the hold multiset, the scheduler's
+// window map and the metric writers all see concurrent traffic; afterwards
+// the report's queue counters must add up to the trace exactly.
+TEST(RaceStress, SimReplayVsExportersAndGaugePollers) {
+  obs::MetricsRegistry reg;
+  obs::ScopedRegistryOverride override_guard(reg);
+  auto tracer = std::make_shared<obs::Tracer>();
+
+  workload::GeneratorSpec spec;
+  spec.kind = workload::GeneratorKind::kOnOff;
+  spec.requests = 300;
+  spec.rate_rps = 200.0;
+  const workload::Trace trace = workload::generate_trace(spec, 31);
+
+  auto clock = std::make_shared<ManualClock>();
+  ClusterOptions copt;
+  copt.engine.clock = clock;
+  copt.engine.queue_workers = 2;
+  copt.engine.scheduler.queue_depth = 8;  // small: real rejections happen
+  copt.engine.scheduler.policy = AdmissionPolicy::kReject;
+  copt.engine.sim_dilation = 20.0;
+  copt.engine.virtual_hold = true;
+  copt.engine.tracer = tracer;
+  ServingCluster cluster({gpusim::jetson_orin(), gpusim::jetson_orin()}, copt);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> scrapers;
+  for (int e = 0; e < 2; ++e) {
+    scrapers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        ASSERT_FALSE(reg.prometheus_text().empty());
+        ASSERT_FALSE(reg.json_text().empty());
+        ASSERT_FALSE(tracer->chrome_trace_json().empty());
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread poller([&] {
+    // The same gauges the sim driver polls, read from a thread that is NOT
+    // the one advancing the clock.
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)cluster.settled();
+      (void)cluster.next_wakeup_s();
+      std::this_thread::yield();
+    }
+  });
+
+  workload::SimSummary summary;
+  const ServingReport report =
+      workload::sim_replay(cluster, clock, trace, {}, &summary);
+  done.store(true, std::memory_order_relaxed);
+  for (auto& th : scrapers) th.join();
+  poller.join();
+
+  const auto n = static_cast<std::int64_t>(trace.requests.size());
+  EXPECT_EQ(report.queue.completed + report.queue.rejected, n);
+  EXPECT_GT(report.queue.completed, 0);
+  EXPECT_EQ(summary.requests, trace.requests.size());
+  EXPECT_GE(summary.virtual_s, trace.duration_s());
 }
 
 }  // namespace

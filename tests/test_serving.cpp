@@ -11,6 +11,8 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -675,6 +677,42 @@ TEST(InferenceEngine, ReplayCarriesDtypeBatchGroupsAndQueueCounters) {
   EXPECT_EQ(report.queue.completed, 4);
   EXPECT_NE(report.group_table().find("int8"), std::string::npos);
   EXPECT_NE(report.summary().find("queue"), std::string::npos);
+}
+
+// Open-loop pacing regression: scheduled replay targets ABSOLUTE instants
+// (t0 + arrivals[i]), never "previous submission + gap". A hiccup between
+// two submissions must not shift every later arrival — requests whose
+// scheduled instant has already passed fire immediately and the schedule
+// re-converges instead of accumulating drift.
+TEST(DriveReplay, ScheduledArrivalsAreAbsoluteNotRelative) {
+  auto clock = std::make_shared<ManualClock>();
+  std::vector<InferenceEngine::Request> mix(4);
+  for (auto& q : mix) {
+    q.model = "Tiny";
+    q.dry = true;
+  }
+  const std::vector<double> arrivals = {0.0, 0.01, 0.02, 0.03};
+  std::vector<double> submit_at;
+  double wall = 0.0;
+  const auto outcomes = drive_replay_scheduled(
+      mix, arrivals, *clock,
+      [&](ServeRequest req, std::size_t i) {
+        submit_at.push_back(clock->now_s());
+        if (i == 1) clock->advance(0.5);  // a 0.5 s stall mid-replay
+        std::promise<ServeResponse> p;
+        p.set_value(response_stub(req, ServeStatus::kOk));
+        return p.get_future();
+      },
+      &wall);
+  ASSERT_EQ(outcomes.size(), 4u);
+  ASSERT_EQ(submit_at.size(), 4u);
+  EXPECT_DOUBLE_EQ(submit_at[0], 0.0);
+  EXPECT_DOUBLE_EQ(submit_at[1], 0.01);
+  // The stall pushed time past the remaining targets: they fire at the
+  // current instant (0.51), not 10 ms apart from the stall's end.
+  EXPECT_DOUBLE_EQ(submit_at[2], 0.51);
+  EXPECT_DOUBLE_EQ(submit_at[3], 0.51);
+  EXPECT_DOUBLE_EQ(wall, 0.51);
 }
 
 }  // namespace
