@@ -56,6 +56,13 @@
 // virtual-time driver must fast-forward >= 100x over real time while the
 // standard ServingReport (queue counters, per-shard breakdown) stays intact.
 //
+// Part 9 is the autoscaler acceptance: a 20k-request diurnal trace replayed
+// in virtual time against an elastic RTX cluster (one serving shard, up to
+// three). The cost-aware autoscaler must add shards as the day curve climbs
+// and drain + retire them in the trough — at least one scale-up and one
+// scale-down over the replay — while the virtual-time driver keeps the
+// whole sweep far faster than real time.
+//
 // --json <file> additionally writes the headline numbers of every part as a
 // flat JSON object (CI parses it with python3 -m json.tool).
 #include <fstream>
@@ -427,15 +434,17 @@ int main(int argc, char** argv) {
 
     Table t({"cluster", "router", "offered req/s", "achieved req/s",
              "shard req split", "blocked", "p50 ms", "p95 ms"});
-    double rr_rps = 0.0, ll_rps = 0.0;
+    double rr_rps = 0.0, ll_rps = 0.0, lr_rps = 0.0;
     const auto policies = {serving::RouterPolicy::kRoundRobin,
+                           serving::RouterPolicy::kLeastRequests,
                            serving::RouterPolicy::kLeastLoaded,
                            serving::RouterPolicy::kPlanAffinity};
     for (const bool hetero : {true, false}) {
       const double offered =
           2.0 * (hetero ? cap_gtx + cap_rtx : 2.0 * cap_rtx);
       for (const auto policy : policies) {
-        if (!hetero && policy == serving::RouterPolicy::kPlanAffinity) {
+        if (!hetero && (policy == serving::RouterPolicy::kPlanAffinity ||
+                        policy == serving::RouterPolicy::kLeastRequests)) {
           continue;  // identical to least-loaded once every shard is warm
         }
         auto devices = hetero ? std::vector<gpusim::DeviceSpec>{gtx, rtx}
@@ -450,6 +459,9 @@ int main(int argc, char** argv) {
         }
         if (hetero && policy == serving::RouterPolicy::kLeastLoaded) {
           ll_rps = rep.throughput_rps();
+        }
+        if (hetero && policy == serving::RouterPolicy::kLeastRequests) {
+          lr_rps = rep.throughput_rps();
         }
         t.add_row({hetero ? "GTX+RTX" : "RTX+RTX",
                    serving::router_policy_name(policy), fmt_f(offered, 1),
@@ -472,6 +484,14 @@ int main(int argc, char** argv) {
               << "x)   [acceptance: >= 1x on the heterogeneous cluster]\n";
     record("least_loaded_vs_round_robin_x",
            ll_rps / std::max(1e-9, rr_rps));
+    // Seconds-of-work routing vs the count-based baseline. Both policies
+    // are work-conserving, so under this sustained saturating replay their
+    // throughput is near-identical — the seconds gauge pays off on bursty
+    // deadline traffic (covered by the autoscale test suite), not here.
+    std::cout << "least-loaded (seconds) vs least-requests (count): "
+              << fmt_f(ll_rps / std::max(1e-9, lr_rps), 3) << "x\n";
+    record("least_loaded_vs_least_requests_x",
+           ll_rps / std::max(1e-9, lr_rps));
   }
 
   bench::print_header(
@@ -600,6 +620,64 @@ int main(int argc, char** argv) {
     record("sim_replay_req_per_s",
            static_cast<double>(trace.requests.size()) /
                std::max(1e-9, sum.wall_s));
+  }
+
+  bench::print_header(
+      "Autoscaler: diurnal replay on an elastic RTX cluster (1..3 shards, "
+      "virtual clock)");
+  {
+    // A diurnal trace whose peak genuinely needs all three shards and whose
+    // trough fits on one. Thresholds are sized in units of the per-request
+    // simulated cost c — the load gauges carry undilated sim-seconds, while
+    // the worker hold per request is c * sim_dilation of virtual time.
+    serving::InferenceEngine probe(gpusim::rtx_a4000(), {});
+    const double c = probe.predict_cost_s("Tiny", DType::kF32, 1);
+
+    workload::GeneratorSpec spec;
+    spec.kind = workload::GeneratorKind::kDiurnal;
+    spec.requests = 20'000;
+    spec.rate_rps = 150.0;
+    spec.period_s = 60.0;
+    spec.diurnal_min_x = 0.05;
+    const workload::Trace trace = workload::generate_trace(spec, 7);
+
+    auto clock = std::make_shared<ManualClock>();
+    serving::ClusterOptions copt;
+    copt.engine.clock = clock;
+    copt.engine.queue_workers = 1;
+    copt.engine.scheduler.queue_depth = 4096;
+    copt.engine.scheduler.policy = serving::AdmissionPolicy::kReject;
+    // One shard saturates at ~130 req/s; the diurnal peak (~1.95x the
+    // 150 req/s mean) needs all three, the trough needs only the floor.
+    copt.engine.sim_dilation = (1.0 / 130.0) / c;
+    copt.engine.virtual_hold = true;
+    copt.router = serving::RouterPolicy::kLeastLoaded;
+    copt.autoscale.max_shards = 3;
+    copt.autoscale.scale_up_load_s = 3.0 * c;
+    copt.autoscale.scale_down_load_s = 0.5 * c;
+    copt.autoscale.cooldown_s = 2.0;
+    serving::ServingCluster cluster({gpusim::rtx_a4000()}, copt);
+
+    workload::SimSummary sum;
+    const auto report = workload::sim_replay(cluster, clock, trace, {}, &sum);
+    Table t({"metric", "value"});
+    t.add_row({"requests", std::to_string(trace.requests.size())});
+    t.add_row({"virtual span (s)", fmt_f(sum.virtual_s, 1)});
+    t.add_row({"host wall (s)", fmt_f(sum.wall_s, 2)});
+    t.add_row({"fast-forward", fmt_f(sum.fast_forward_x(), 1) + "x"});
+    t.add_row({"scale-ups", std::to_string(report.scale_ups)});
+    t.add_row({"scale-downs", std::to_string(report.scale_downs)});
+    t.add_row({"serving shards at end", std::to_string(report.serving_shards)});
+    t.add_row({"completed", std::to_string(report.queue.completed)});
+    t.add_row({"rejected", std::to_string(report.queue.rejected)});
+    const bool tracked = report.scale_ups >= 1 && report.scale_downs >= 1;
+    std::cout << t.str()
+              << "autoscaler tracked the diurnal curve (>= 1 up and >= 1 "
+              << "down): " << (tracked ? "yes" : "NO")
+              << "   [acceptance: elastic capacity follows offered load]\n";
+    record("autoscale_scale_ups", static_cast<double>(report.scale_ups));
+    record("autoscale_scale_downs", static_cast<double>(report.scale_downs));
+    record("autoscale_fast_forward_x", sum.fast_forward_x());
   }
 
   if (!json_out.empty()) {

@@ -15,16 +15,37 @@ ServingCluster::ServingCluster(std::vector<gpusim::DeviceSpec> devices,
                                : std::make_shared<SteadyClock>()),
       router_(make_router(opt_.router)) {
   FCM_CHECK(!devices.empty(), "ServingCluster: device list must be non-empty");
+  FCM_CHECK(opt_.autoscale.max_shards == 0 ||
+                opt_.autoscale.max_shards >= devices.size(),
+            "ServingCluster: autoscale.max_shards must be 0 (off) or >= the "
+            "device-list size");
+  FCM_CHECK(opt_.autoscale.max_shards == 0 ||
+                opt_.autoscale.scale_down_load_s < opt_.autoscale.scale_up_load_s,
+            "ServingCluster: autoscale.scale_down_load_s must be below "
+            "scale_up_load_s (the hysteresis band)");
+  const bool elastic = opt_.autoscale.max_shards > 0;
+  // Without autoscaling every listed device stays in service; with it the
+  // loop may drain the fleet down to one shard and grow it to max_shards.
+  min_serving_ = elastic ? 1 : devices.size();
+  serving_ = devices.size();
+  active_ = devices.size();
+  const std::size_t total =
+      elastic ? std::max(opt_.autoscale.max_shards, devices.size())
+              : devices.size();
+  const gpusim::DeviceSpec reserve_dev =
+      opt_.autoscale.device.value_or(devices.back());
   EngineOptions eopt = opt_.engine;
   eopt.clock = clock_;  // one timeline across every shard
-  shards_.reserve(devices.size());
-  for (std::size_t i = 0; i < devices.size(); ++i) {
+  shards_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     // Each shard labels its metrics and trace lanes with its index.
     eopt.shard = static_cast<int>(i);
-    shards_.push_back(
-        std::make_unique<InferenceEngine>(std::move(devices[i]), eopt));
+    shards_.push_back(std::make_unique<InferenceEngine>(
+        i < devices.size() ? std::move(devices[i]) : reserve_dev, eopt));
   }
   routed_.assign(shards_.size(), 0);
+  pending_routes_.assign(shards_.size(), 0);
+  pending_seconds_.assign(shards_.size(), 0.0);
 
   auto& reg = obs::MetricsRegistry::global();
   auto& routed_fam = reg.counter_family(
@@ -34,26 +55,97 @@ ServingCluster::ServingCluster(std::vector<gpusim::DeviceSpec> devices,
       "fcm_shard_load",
       "Shard load gauge (queued + in-flight) sampled at routing decisions",
       {"shard"});
+  auto& load_s_fam = reg.gauge_family(
+      "fcm_shard_load_seconds",
+      "Shard predicted-seconds-of-work gauge sampled at routing decisions",
+      {"shard"});
   const std::string policy = router_policy_name(opt_.router);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const std::string shard = std::to_string(i);
     m_routed_.push_back(&routed_fam.with({shard, policy}));
     m_load_.push_back(&load_fam.with({shard}));
+    m_load_seconds_.push_back(&load_s_fam.with({shard}));
+  }
+  m_scale_ups_ = &reg.counter_family(
+                        "fcm_cluster_scale_ups_total",
+                        "Autoscaler shard activations", {"policy"})
+                      .with({policy});
+  m_scale_downs_ = &reg.counter_family(
+                          "fcm_cluster_scale_downs_total",
+                          "Autoscaler shard drains", {"policy"})
+                        .with({policy});
+  m_serving_ = &reg.gauge_family("fcm_cluster_serving_shards",
+                                 "Shards currently accepting new work", {})
+                    .get();
+  if (obs::enabled()) m_serving_->set(static_cast<double>(serving_));
+}
+
+void ServingCluster::autoscale_locked(const std::vector<ShardState>& states,
+                                      double now_s) {
+  if (opt_.autoscale.max_shards == 0) return;
+  // Decommission drained shards first: a drainer whose gauge hit zero has
+  // resolved every request it will ever see, so it leaves the active set
+  // (top-down — the draining suffix stays contiguous).
+  while (active_ > serving_ && states[active_ - 1].load == 0) {
+    --active_;
+  }
+  const bool cooled = now_s - last_scale_s_ >= opt_.autoscale.cooldown_s;
+  if (!cooled) return;
+  double total_s = 0.0;
+  for (std::size_t i = 0; i < serving_; ++i) {
+    total_s += states[i].load_seconds;
+  }
+  const auto per_shard = [&](std::size_t n) {
+    return total_s / static_cast<double>(n);
+  };
+  if (serving_ < opt_.autoscale.max_shards &&
+      per_shard(serving_) > opt_.autoscale.scale_up_load_s) {
+    // Reclaim the nearest draining shard (its backlog counts as capacity
+    // already paid for) before activating a pristine one.
+    ++serving_;
+    active_ = std::max(active_, serving_);
+    ++scale_ups_;
+    last_scale_s_ = now_s;
+    if (obs::enabled()) {
+      m_scale_ups_->inc();
+      m_serving_->set(static_cast<double>(serving_));
+    }
+  } else if (serving_ > min_serving_ &&
+             per_shard(serving_ - 1) < opt_.autoscale.scale_down_load_s) {
+    // The top serving shard stops taking new work and drains out.
+    --serving_;
+    ++scale_downs_;
+    last_scale_s_ = now_s;
+    if (obs::enabled()) {
+      m_scale_downs_->inc();
+      m_serving_->set(static_cast<double>(serving_));
+    }
   }
 }
 
-std::size_t ServingCluster::route(const ServeRequest& req) {
-  // Shard gauges are gathered outside the routing lock (each shard's load
-  // is internally consistent under its own queue mutex); the lock
-  // serialises the pick itself plus the routed counters that feed the
-  // least-loaded tie-break.
-  std::vector<ShardState> states(shards_.size());
+ServingCluster::RouteTicket ServingCluster::begin_route(
+    const ServeRequest& req) {
+  // Shard gauges are gathered outside the routing lock (each shard's gauges
+  // are internally consistent under its own queue mutex; no shard mutex may
+  // be taken under route_mu_). They go stale the moment they are read —
+  // the pending folds below correct for every route that has been decided
+  // but not yet enqueued, so concurrent routes cannot dogpile one shard.
+  const double now_s = clock_->now_s();
+  const std::size_t n = shards_.size();
+  std::vector<ShardState> states(n);
   const bool affinity = opt_.router == RouterPolicy::kPlanAffinity;
   const bool obs_on = obs::enabled();
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
+  const int batch = std::max(1, req.batch());
+  for (std::size_t i = 0; i < n; ++i) {
     states[i].index = i;
     states[i].load = shards_[i]->load();
-    if (obs_on) m_load_[i]->set(static_cast<double>(states[i].load));
+    states[i].load_seconds = shards_[i]->load_seconds();
+    // Memo-only pricing: a forcing predict here would cold-plan the model
+    // on every shard per pick (and hand plan-affinity an all-warm lie).
+    states[i].est_cost_s =
+        shards_[i]
+            ->try_predict_cost_s(req.model, req.dtype, batch)
+            .value_or(0.0);
     if (affinity) {
       PlanKey key;
       key.model = req.model;
@@ -64,29 +156,77 @@ std::size_t ServingCluster::route(const ServeRequest& req) {
     }
   }
   MutexLock lk(route_mu_);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
+    states[i].load += static_cast<std::size_t>(pending_routes_[i]);
+    states[i].load_seconds += pending_seconds_[i];
     states[i].routed = routed_[i];
+    if (obs_on) {
+      m_load_[i]->set(static_cast<double>(states[i].load));
+      m_load_seconds_[i]->set(states[i].load_seconds);
+    }
   }
+  autoscale_locked(states, now_s);
+  // Only the serving prefix is routable; drainers and idle reserves are
+  // invisible to the router.
+  states.resize(serving_);
   const std::size_t shard = router_->pick(states);
+  RouteTicket ticket;
+  ticket.shard = shard;
+  ticket.est_cost_s = states[shard].est_cost_s;
   ++routed_[shard];
+  ++pending_routes_[shard];
+  pending_seconds_[shard] += ticket.est_cost_s;
   if (obs_on) m_routed_[shard]->inc();
-  return shard;
+  return ticket;
+}
+
+void ServingCluster::end_route(const RouteTicket& ticket) {
+  MutexLock lk(route_mu_);
+  if (pending_routes_[ticket.shard] > 0) --pending_routes_[ticket.shard];
+  pending_seconds_[ticket.shard] -= ticket.est_cost_s;
+  if (pending_seconds_[ticket.shard] < 0.0 ||
+      pending_routes_[ticket.shard] == 0) {
+    pending_seconds_[ticket.shard] = 0.0;  // absorb float-cancellation dust
+  }
 }
 
 ServeResponse ServingCluster::submit(const ServeRequest& req) {
-  return shards_[route(req)]->submit(req);
+  const RouteTicket ticket = begin_route(req);
+  // The pending fold stands in for the whole synchronous execution: sync
+  // submits bypass the shard's queue, so without it they would be invisible
+  // to every concurrent routing decision.
+  ServeResponse resp;
+  try {
+    resp = shards_[ticket.shard]->submit(req);
+  } catch (...) {
+    end_route(ticket);
+    throw;
+  }
+  end_route(ticket);
+  return resp;
 }
 
 std::future<ServeResponse> ServingCluster::submit_async(ServeRequest req) {
-  const std::size_t shard = route(req);
-  return shards_[shard]->submit_async(std::move(req));
+  std::size_t shard = 0;
+  return submit_routed(std::move(req), &shard);
 }
 
 std::future<ServeResponse> ServingCluster::submit_routed(ServeRequest req,
                                                          std::size_t* shard) {
-  const std::size_t s = route(req);
-  if (shard != nullptr) *shard = s;
-  return shards_[s]->submit_async(std::move(req));
+  const RouteTicket ticket = begin_route(req);
+  if (shard != nullptr) *shard = ticket.shard;
+  std::future<ServeResponse> fut;
+  try {
+    // submit_async stamps req.cost_s (forcing predict) and enqueues: once
+    // it returns, the shard's own gauges carry the request and the pending
+    // reservation can lift.
+    fut = shards_[ticket.shard]->submit_async(std::move(req));
+  } catch (...) {
+    end_route(ticket);
+    throw;
+  }
+  end_route(ticket);
+  return fut;
 }
 
 double ServingCluster::next_wakeup_s() {
@@ -107,6 +247,21 @@ std::vector<std::int64_t> ServingCluster::routed() const {
   return routed_;
 }
 
+std::size_t ServingCluster::serving_shards() const {
+  MutexLock lk(route_mu_);
+  return serving_;
+}
+
+std::int64_t ServingCluster::scale_ups() const {
+  MutexLock lk(route_mu_);
+  return scale_ups_;
+}
+
+std::int64_t ServingCluster::scale_downs() const {
+  MutexLock lk(route_mu_);
+  return scale_downs_;
+}
+
 ServingCluster::ReplayBracket ServingCluster::begin_replay() {
   // Bracket every shard's counters the way a single engine's replay
   // brackets its own: cache/queue deltas and a fresh depth watermark.
@@ -115,6 +270,8 @@ ServingCluster::ReplayBracket ServingCluster::begin_replay() {
   bracket.cache_before.resize(n_shards);
   bracket.queue_before.resize(n_shards);
   bracket.routed_before = routed();
+  bracket.scale_ups_before = scale_ups();
+  bracket.scale_downs_before = scale_downs();
   for (std::size_t s = 0; s < n_shards; ++s) {
     bracket.cache_before[s] = shards_[s]->plan_cache().stats();
     bracket.queue_before[s] = shards_[s]->queue_stats();
@@ -141,6 +298,9 @@ ServingReport ServingCluster::finish_replay(
   }
   report.router = router_policy_name(opt_.router);
   report.wall_s = wall_s;
+  report.scale_ups = scale_ups() - bracket.scale_ups_before;
+  report.scale_downs = scale_downs() - bracket.scale_downs_before;
+  report.serving_shards = static_cast<int>(serving_shards());
 
   const std::vector<std::int64_t> routed_after = routed();
   for (std::size_t s = 0; s < n_shards; ++s) {

@@ -28,11 +28,30 @@
 // heterogeneous serving-cluster simulator: a GTX shard genuinely drains
 // slower than an RTX shard, so join-shortest-queue routing beats blind
 // round-robin under overload (bench_serving_throughput part 6).
+//
+// Elastic scaling (AutoscaleOptions): when enabled, the cluster holds a
+// reserve of pre-built shards beyond the device list and runs a control
+// loop at every routing decision, all under the routing lock. Shards form
+// an index-ordered prefix structure — [0, serving) accept new work,
+// [serving, active) are draining (still finishing their backlog, no new
+// routes), the rest are decommissioned/idle. The loop scales UP (extends
+// `serving`, reclaiming the nearest draining shard first) when the serving
+// shards' summed predicted seconds of outstanding work exceeds
+// scale_up_load_s per shard, scales DOWN (shrinks `serving`, turning the
+// top shard into a drainer) when the load would still sit below
+// scale_down_load_s per remaining shard, and decommissions a drained shard
+// the moment its load gauge reaches zero. A cooldown between scale events
+// plus the up/down threshold gap provide hysteresis. Idle shards are
+// pristine engines (no worker threads, empty caches), so settled() /
+// next_wakeup_s() stay correct as shards come and go and the reserve costs
+// nothing while decommissioned.
 #pragma once
 
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +63,28 @@
 
 namespace fcm::serving {
 
+/// The elastic-scaling control loop's knobs. Disabled by default
+/// (max_shards == 0): the cluster stays at its fixed device-list size.
+struct AutoscaleOptions {
+  /// Ceiling on simultaneously serving shards. 0 disables autoscaling;
+  /// otherwise must be >= the device-list size — the extra shards are built
+  /// up front (pristine engines: no workers, no plans) and brought in and
+  /// out of service by the control loop.
+  std::size_t max_shards = 0;
+  /// Scale up when the serving shards' summed predicted seconds of
+  /// outstanding work exceeds this per serving shard.
+  double scale_up_load_s = 0.05;
+  /// Scale down when the summed work would still be below this per shard
+  /// with one shard fewer. Must sit below scale_up_load_s — the gap is the
+  /// hysteresis band that keeps steady load from thrashing.
+  double scale_down_load_s = 0.01;
+  /// Minimum clock seconds between scale events (the other hysteresis).
+  double cooldown_s = 0.25;
+  /// Device spec of the reserve shards beyond the device list; defaults to
+  /// the last listed device.
+  std::optional<gpusim::DeviceSpec> device;
+};
+
 struct ClusterOptions {
   /// Options applied to every shard's engine. The clock field is special:
   /// null makes the cluster create one SteadyClock shared by all shards; a
@@ -51,6 +92,8 @@ struct ClusterOptions {
   EngineOptions engine;
   /// Shard selection policy.
   RouterPolicy router = RouterPolicy::kRoundRobin;
+  /// Elastic shard scaling (off unless max_shards > 0).
+  AutoscaleOptions autoscale;
 };
 
 class ServingCluster {
@@ -96,6 +139,8 @@ class ServingCluster {
     std::vector<CacheStats> cache_before;
     std::vector<QueueStats> queue_before;
     std::vector<std::int64_t> routed_before;
+    std::int64_t scale_ups_before = 0;
+    std::int64_t scale_downs_before = 0;
   };
   /// Snapshot every shard's counters and reset depth watermarks.
   ReplayBracket begin_replay();
@@ -111,6 +156,23 @@ class ServingCluster {
   /// drivers attribute each outcome to its shard). `shard` may be null.
   std::future<ServeResponse> submit_routed(ServeRequest req,
                                            std::size_t* shard);
+
+  /// The routing decision, split out from submission. begin_route() runs
+  /// the autoscaler and the router and RESERVES the pick: the shard's
+  /// pending delta is folded into every later pick's view of its gauges, so
+  /// concurrent routes that race ahead of the actual enqueue cannot dogpile
+  /// the same emptiest shard. Every begin_route() must be balanced by
+  /// end_route(ticket) once the request is on (or failed to reach) the
+  /// shard's queue — the submit paths do this internally; the pair is
+  /// public for external drivers and deterministic tests.
+  struct RouteTicket {
+    std::size_t shard = 0;
+    /// The pick-time cost estimate folded into the pending gauge (0 when
+    /// the shard had not priced the model).
+    double est_cost_s = 0.0;
+  };
+  RouteTicket begin_route(const ServeRequest& req) EXCLUDES(route_mu_);
+  void end_route(const RouteTicket& ticket) EXCLUDES(route_mu_);
 
   /// Earliest instant any shard's parked worker is waiting on the Clock
   /// for; +inf when none (see InferenceEngine::next_wakeup_s).
@@ -132,27 +194,58 @@ class ServingCluster {
   /// Requests routed to each shard so far (lifetime, by shard index).
   std::vector<std::int64_t> routed() const EXCLUDES(route_mu_);
 
+  /// Shards currently accepting new work (the [0, serving) prefix). Equals
+  /// size() when autoscaling is off.
+  std::size_t serving_shards() const EXCLUDES(route_mu_);
+  /// Lifetime autoscaler event counters (finish_replay reports deltas).
+  std::int64_t scale_ups() const EXCLUDES(route_mu_);
+  std::int64_t scale_downs() const EXCLUDES(route_mu_);
+
  private:
-  /// Build the shards' ShardStates and ask the router; counts the pick.
-  /// Gathers every shard gauge BEFORE taking route_mu_ — no shard mutex is
-  /// ever acquired under it (the lock-ordering rule in
-  /// thread_annotations.hpp).
-  std::size_t route(const ServeRequest& req) EXCLUDES(route_mu_);
+  /// The autoscaler control loop, run inside every begin_route with the
+  /// pending-folded gauges in hand: decommission drained shards, then at
+  /// most one scale event per cooldown. `states` spans all shards in index
+  /// order. Lock held.
+  void autoscale_locked(const std::vector<ShardState>& states, double now_s)
+      REQUIRES(route_mu_);
 
   ClusterOptions opt_;
   std::shared_ptr<Clock> clock_;
   std::vector<std::unique_ptr<InferenceEngine>> shards_;
+  /// Floor of the serving count: the explicit device-list size stays fully
+  /// in service without autoscaling; the control loop may drain down to 1.
+  std::size_t min_serving_ = 1;
 
-  /// Router state (the round-robin cursor) and routed counters, serialised
-  /// across submitters.
+  /// Router state (the round-robin cursor), routed counters, the pending
+  /// route reservations and the autoscaler state, serialised across
+  /// submitters. Gauges are gathered BEFORE taking route_mu_ — no shard
+  /// mutex is ever acquired under it (the lock-ordering rule in
+  /// thread_annotations.hpp) — and corrected under it by the pending folds.
   mutable Mutex route_mu_;
   std::unique_ptr<Router> router_ GUARDED_BY(route_mu_) PT_GUARDED_BY(route_mu_);
   std::vector<std::int64_t> routed_ GUARDED_BY(route_mu_);
+  /// Routes begun but not yet enqueued (begin_route .. end_route), per
+  /// shard: the count and seconds deltas folded into stale gauge snapshots.
+  std::vector<std::int64_t> pending_routes_ GUARDED_BY(route_mu_);
+  std::vector<double> pending_seconds_ GUARDED_BY(route_mu_);
+  /// Shards [0, serving_) are routable; [serving_, active_) are draining.
+  std::size_t serving_ GUARDED_BY(route_mu_) = 1;
+  std::size_t active_ GUARDED_BY(route_mu_) = 1;
+  std::int64_t scale_ups_ GUARDED_BY(route_mu_) = 0;
+  std::int64_t scale_downs_ GUARDED_BY(route_mu_) = 0;
+  /// Clock time of the last scale event (cooldown anchor).
+  double last_scale_s_ GUARDED_BY(route_mu_) =
+      -std::numeric_limits<double>::infinity();
 
   /// Per-shard registry handles (index = shard), bound once at construction:
-  /// routing decisions and the load gauge the router just balanced on.
+  /// routing decisions and the load gauges the router just balanced on.
   std::vector<obs::Counter*> m_routed_;
   std::vector<obs::Gauge*> m_load_;
+  std::vector<obs::Gauge*> m_load_seconds_;
+  /// Autoscaler event counters and the serving-shard gauge.
+  obs::Counter* m_scale_ups_ = nullptr;
+  obs::Counter* m_scale_downs_ = nullptr;
+  obs::Gauge* m_serving_ = nullptr;
 };
 
 }  // namespace fcm::serving

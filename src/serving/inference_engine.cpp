@@ -163,32 +163,47 @@ ServeResponse InferenceEngine::execute_request(const ServeRequest& req) {
   return resp;
 }
 
-ServeResponse InferenceEngine::execute_dry(const ServeRequest& req) {
-  FCM_CHECK(req.dry_batch >= 1, "ServeRequest: dry-run batch must be >= 1");
-  const double t0 = clock_->now_s();
-  const std::string key = req.model + '|' + dtype_name(req.dtype);
-  DryCost cost;
-  bool cached = false;
+InferenceEngine::DryCost InferenceEngine::dry_cost_for(const std::string& model,
+                                                       DType dtype) {
+  const std::string key = model + '|' + dtype_name(dtype);
   {
     MutexLock lk(dry_mu_);
     auto it = dry_costs_.find(key);
-    if (it != dry_costs_.end()) {
-      cost = it->second;
-      cached = true;
-    }
+    if (it != dry_costs_.end()) return it->second;
   }
-  if (!cached) {
-    // Per-item roofline cost of the plan this engine would execute the model
-    // with (through the plan cache, so dry replays still exercise and count
-    // cache traffic). Racing builders compute identical values.
-    const auto plan = plan_for(req.model, req.dtype);
-    for (const planner::PlanStep& step : plan->steps) {
-      cost.per_item_s += gpusim::estimate_time(dev_, step.stats).total_s;
-      cost.per_item_bytes += step.stats.gma_bytes();
-    }
-    MutexLock lk(dry_mu_);
-    dry_costs_.emplace(key, cost);
+  // Per-item roofline cost of the plan this engine would execute the model
+  // with (through the plan cache, so dry replays still exercise and count
+  // cache traffic). Racing builders compute identical values.
+  DryCost cost;
+  const auto plan = plan_for(model, dtype);
+  for (const planner::PlanStep& step : plan->steps) {
+    cost.per_item_s += gpusim::estimate_time(dev_, step.stats).total_s;
+    cost.per_item_bytes += step.stats.gma_bytes();
   }
+  MutexLock lk(dry_mu_);
+  dry_costs_.emplace(key, cost);
+  return cost;
+}
+
+double InferenceEngine::predict_cost_s(const std::string& model, DType dtype,
+                                       int batch) {
+  return dry_cost_for(model, dtype).per_item_s *
+         static_cast<double>(std::max(1, batch));
+}
+
+std::optional<double> InferenceEngine::try_predict_cost_s(
+    const std::string& model, DType dtype, int batch) {
+  const std::string key = model + '|' + dtype_name(dtype);
+  MutexLock lk(dry_mu_);
+  auto it = dry_costs_.find(key);
+  if (it == dry_costs_.end()) return std::nullopt;
+  return it->second.per_item_s * static_cast<double>(std::max(1, batch));
+}
+
+ServeResponse InferenceEngine::execute_dry(const ServeRequest& req) {
+  FCM_CHECK(req.dry_batch >= 1, "ServeRequest: dry-run batch must be >= 1");
+  const double t0 = clock_->now_s();
+  const DryCost cost = dry_cost_for(req.model, req.dtype);
   ServeResponse resp = response_stub(req, ServeStatus::kOk);
   const double items = static_cast<double>(req.dry_batch);
   resp.sim_time_s = cost.per_item_s * items;
@@ -270,6 +285,17 @@ void InferenceEngine::ensure_workers() {
 
 std::future<ServeResponse> InferenceEngine::submit_async(ServeRequest req) {
   ensure_workers();
+  if (!(req.cost_s > 0.0)) {
+    // Stamp the prediction that feeds load_seconds() (and through it the
+    // cost-aware router and the autoscaler). Admission must not throw:
+    // failures (unknown model, bad graph) keep surfacing on future.get()
+    // from the execution path, so an unpriceable request just carries 0.
+    try {
+      req.cost_s = predict_cost_s(req.model, req.dtype, req.batch());
+    } catch (...) {
+      req.cost_s = 0.0;
+    }
+  }
   return scheduler_.push(std::move(req));
 }
 
@@ -310,10 +336,10 @@ void InferenceEngine::run_single(Scheduler::Item item, double popped_s) {
     observe_latency(resp, resp.latency_s);
     trace_request("execute", resp.request_id, resp.model, popped_s, end_s);
     trace_request("respond", resp.request_id, resp.model, end_s, end_s);
-    scheduler_.record_completed(1);
+    scheduler_.record_completed(1, item.req.cost_s);
     item.promise.set_value(std::move(resp));
   } catch (...) {
-    scheduler_.record_failed(1);
+    scheduler_.record_failed(1, item.req.cost_s);
     item.promise.set_exception(std::current_exception());
   }
 }
@@ -388,12 +414,14 @@ void InferenceEngine::run_coalesced(Scheduler::Dispatch& d) {
       // Record each rider before resolving it, like run_single: a caller
       // woken by its future must find the completion already in the stats
       // and the in-flight gauge already retired.
-      scheduler_.record_completed(1);
+      scheduler_.record_completed(1, item.req.cost_s);
       item.promise.set_value(std::move(resp));
       ++resolved;
     }
   } catch (...) {
-    scheduler_.record_failed(n - resolved);
+    double tail_s = 0.0;
+    for (std::size_t i = resolved; i < n; ++i) tail_s += d.items[i].req.cost_s;
+    scheduler_.record_failed(n - resolved, tail_s);
     for (std::size_t i = resolved; i < n; ++i) {
       d.items[i].promise.set_exception(std::current_exception());
     }

@@ -173,6 +173,25 @@ class InferenceEngine {
   /// Current load of this engine's admission queue: queued + in-flight,
   /// read under one lock — the signal the cluster router balances on.
   std::size_t load() const { return scheduler_.load(); }
+  /// Cost-aware load gauge: predicted simulated seconds of work queued plus
+  /// in flight on this engine (see Scheduler::load_seconds).
+  double load_seconds() const { return scheduler_.load_seconds(); }
+
+  /// Predicted simulated seconds for one `batch`-item request of `model` —
+  /// the plan's summed per-step roofline estimate × batch, memoised per
+  /// (model, dtype). Plans through the cache on first use, so the first call
+  /// per key pays a cold plan; submit_async stamps this into
+  /// ServeRequest::cost_s at admission. Throws for unknown models.
+  double predict_cost_s(const std::string& model, DType dtype, int batch)
+      EXCLUDES(dry_mu_);
+  /// Memo-only variant: the prediction if this engine has already priced
+  /// (model, dtype), nullopt otherwise. Never plans — a cluster router asks
+  /// every shard per pick, and a forcing lookup here would cold-plan the
+  /// model on all shards (poisoning plan-affinity's warmth signal) and put
+  /// planning latency on the routing path.
+  std::optional<double> try_predict_cost_s(const std::string& model,
+                                           DType dtype, int batch)
+      EXCLUDES(dry_mu_);
   /// Queue high-water mark bracketing (cluster replays bracket every shard
   /// the same way replay() brackets its own scheduler).
   std::int64_t reset_depth_watermark() {
@@ -232,12 +251,16 @@ class InferenceEngine {
   /// constructed after clock_, engaged only when opt_.virtual_hold.
   CompletionHolds holds_;
 
-  /// Dry-run cost memo: roofline time and traffic per batch item, keyed on
-  /// "model|dtype". Leaf mutex (plan_for is called before taking it).
+  /// Roofline cost memo: time and traffic per batch item, keyed on
+  /// "model|dtype". Feeds dry-run sim stats and the cost_s prediction.
+  /// Leaf mutex (plan_for is called before taking it).
   struct DryCost {
     double per_item_s = 0.0;
     std::int64_t per_item_bytes = 0;
   };
+  /// The memoised per-item cost of (model, dtype), planning on a miss.
+  DryCost dry_cost_for(const std::string& model, DType dtype)
+      EXCLUDES(dry_mu_);
   Mutex dry_mu_;
   std::unordered_map<std::string, DryCost> dry_costs_ GUARDED_BY(dry_mu_);
 

@@ -9,15 +9,23 @@
 //
 //  * kRoundRobin — a rotating cursor; exact fan-out regardless of load. The
 //    fair baseline the bench compares against.
-//  * kLeastLoaded — join-shortest-queue: the shard with the smallest load
-//    gauge wins; ties break by fewest requests routed so far (so an idle
-//    cluster still fans out instead of piling onto shard 0), then by index.
-//    On heterogeneous devices this shifts traffic toward the faster shard
-//    exactly as fast as the slow shard's backlog grows.
+//  * kLeastLoaded — join-shortest-work: the shard with the least predicted
+//    seconds of outstanding work (Scheduler::load_seconds() plus the
+//    incoming request's own predicted cost where the shard has priced the
+//    model) wins; ties — including the no-cost-information case, where
+//    every shard's seconds are 0 — fall back to the request-count gauge,
+//    then fewest requests routed so far (so an idle cluster still fans out
+//    instead of piling onto shard 0), then index. On heterogeneous devices
+//    the seconds gauge shifts traffic toward the faster shard before the
+//    slow shard's backlog even grows: a batch-8 request weighs 8x a
+//    batch-1, and a GTX-priced second is worth less than an RTX one.
+//  * kLeastRequests — the legacy count-based join-shortest-queue (load =
+//    queued + in-flight requests, ignoring the seconds gauge). Kept as the
+//    comparison baseline for the cost-aware policy.
 //  * kPlanAffinity — cache-warmth-aware: among the shards whose PlanCache
-//    already holds the request's plan key, pick the least loaded; when no
-//    shard is warm, fall back to least-loaded over all shards (the miss
-//    will warm whichever shard wins).
+//    already holds the request's plan key, pick the least loaded (by
+//    seconds, as above); when no shard is warm, fall back to least-loaded
+//    over all shards (the miss will warm whichever shard wins).
 //
 // Routers are deliberately pure over ShardState (the cluster feeds loads,
 // routed counts and plan residency in) so policies unit-test without a
@@ -34,12 +42,14 @@
 namespace fcm::serving {
 
 enum class RouterPolicy : std::uint8_t {
-  kRoundRobin,   ///< rotating cursor, exact fan-out
-  kLeastLoaded,  ///< join-shortest-queue on the shards' load gauges
-  kPlanAffinity, ///< prefer plan-warm shards, fall back to least-loaded
+  kRoundRobin,    ///< rotating cursor, exact fan-out
+  kLeastLoaded,   ///< join-shortest-work on the shards' seconds gauges
+  kPlanAffinity,  ///< prefer plan-warm shards, fall back to least-loaded
+  kLeastRequests, ///< legacy count-based join-shortest-queue (baseline)
 };
 
-/// CLI/report spelling: "round-robin", "least-loaded", "plan-affinity".
+/// CLI/report spelling: "round-robin", "least-loaded", "plan-affinity",
+/// "least-requests".
 const char* router_policy_name(RouterPolicy p);
 
 /// Inverse of router_policy_name; nullopt for unknown spellings (the CLI
@@ -53,6 +63,15 @@ struct ShardState {
   std::size_t index = 0;
   /// Scheduler::load() of the shard's engine: queued + in-flight requests.
   std::size_t load = 0;
+  /// Scheduler::load_seconds() of the shard's engine: predicted simulated
+  /// seconds of work queued + in flight. 0 when nothing is priced — the
+  /// seconds comparison then ties everywhere and count decides.
+  double load_seconds = 0.0;
+  /// Predicted cost of the request being routed *on this shard* (0 when the
+  /// shard has not priced the model — see try_predict_cost_s). Added to
+  /// load_seconds for the pick so a slow device's higher per-request price
+  /// steers marginal traffic to faster shards even at equal backlog.
+  double est_cost_s = 0.0;
   /// Requests the cluster has routed to this shard so far — the
   /// least-loaded tie-break (an all-idle cluster fans out instead of
   /// funnelling every pick into shard 0).

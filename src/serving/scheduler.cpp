@@ -141,6 +141,16 @@ Scheduler::Scheduler(SchedulerOptions opt, std::shared_ptr<Clock> clock)
       &reg.gauge_family("fcm_queue_in_flight",
                         "Requests popped but not yet retired", shard_keys)
            .with({shard});
+  m_.depth_seconds =
+      &reg.gauge_family("fcm_queue_depth_seconds",
+                        "Predicted simulated seconds of work queued",
+                        shard_keys)
+           .with({shard});
+  m_.in_flight_seconds =
+      &reg.gauge_family("fcm_queue_in_flight_seconds",
+                        "Predicted simulated seconds of work in flight",
+                        shard_keys)
+           .with({shard});
   m_.queue_wait =
       &reg.histogram_family("fcm_queue_wait_seconds",
                             "Queue wait per dispatched request, seconds",
@@ -152,6 +162,8 @@ void Scheduler::update_gauges_locked() {
   if (!obs::enabled()) return;
   m_.depth->set(static_cast<double>(q_.size()));
   m_.in_flight->set(static_cast<double>(in_flight_));
+  m_.depth_seconds->set(queued_seconds_);
+  m_.in_flight_seconds->set(in_flight_seconds_);
 }
 
 void Scheduler::trace_item(const char* name, const Item& it, double begin_s,
@@ -219,6 +231,10 @@ std::future<ServeResponse> Scheduler::push(ServeRequest req) {
   }
   ++qstats_.accepted;
   if (obs::enabled()) m_.accepted->inc();
+  // A missing or nonsensical cost prediction contributes no load: the
+  // seconds gauge degrades toward "nothing known" instead of going negative.
+  if (!(req.cost_s > 0.0)) req.cost_s = 0.0;
+  queued_seconds_ += req.cost_s;
   Item it;
   it.enqueued_s = clock_->now_s();
   if (req.deadline_s > 0.0) {
@@ -270,6 +286,7 @@ void Scheduler::expire_due_locked() {
   for (std::size_t r = 0; r < q_.size(); ++r) {
     if (now > q_[r].deadline_s) {
       --deadlined_;
+      queued_seconds_ -= q_[r].req.cost_s;
       resolve_expired_locked(std::move(q_[r]), now);
       removed = true;
       continue;
@@ -279,6 +296,7 @@ void Scheduler::expire_due_locked() {
   }
   if (removed) {
     erase_compacted_locked(w);
+    if (queued_seconds_ < 0.0 || q_.empty()) queued_seconds_ = 0.0;
     cv_not_full_.notify_all();
   }
 }
@@ -335,6 +353,8 @@ Scheduler::Item Scheduler::take_at_locked(std::size_t idx) {
   };
   Item it = take(idx);
   if (std::isfinite(it.deadline_s)) --deadlined_;
+  queued_seconds_ -= it.req.cost_s;
+  if (queued_seconds_ < 0.0 || q_.empty()) queued_seconds_ = 0.0;
   return it;
 }
 
@@ -366,6 +386,7 @@ void Scheduler::extract_matches_locked(const std::string& ckey,
   std::vector<char> taken(q_.size(), 0);
   for (const std::size_t i : idx) {
     if (std::isfinite(q_[i].deadline_s)) --deadlined_;
+    queued_seconds_ -= q_[i].req.cost_s;
     out->push_back(std::move(q_[i]));
     taken[i] = 1;
   }
@@ -376,6 +397,7 @@ void Scheduler::extract_matches_locked(const std::string& ckey,
     ++w;
   }
   erase_compacted_locked(w);
+  if (queued_seconds_ < 0.0 || q_.empty()) queued_seconds_ = 0.0;
 }
 
 void Scheduler::reheap_locked() {
@@ -412,6 +434,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
     }
     Item head = take_at_locked(static_cast<std::size_t>(head_idx));
     ++in_flight_;  // claimed: the load gauge must not drop while it is held
+    in_flight_seconds_ += head.req.cost_s;
     cv_not_full_.notify_one();
 
     out->items.clear();
@@ -461,6 +484,10 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
         // window; its riders go back through the loop as the new backlog.
         if (clock_->now_s() > head.deadline_s) {
           --in_flight_;  // never dispatched: expired inside its own window
+          in_flight_seconds_ -= head.req.cost_s;
+          if (in_flight_seconds_ < 0.0 || in_flight_ == 0) {
+            in_flight_seconds_ = 0.0;
+          }
           update_gauges_locked();
           resolve_expired_locked(std::move(head), clock_->now_s());
           cv_pop_.notify_all();  // the released key re-opens its peers
@@ -470,6 +497,9 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
       out->items.push_back(std::move(head));
       extract_matches_locked(key, want, &out->items);
       in_flight_ += static_cast<std::int64_t>(out->items.size()) - 1;
+      for (std::size_t i = 1; i < out->items.size(); ++i) {
+        in_flight_seconds_ += out->items[i].req.cost_s;  // riders join head
+      }
       if (blocking) {
         cv_pop_.notify_all();  // beyond-budget peers are dispatchable again
       }
@@ -510,7 +540,7 @@ bool Scheduler::pop_impl(Dispatch* out, bool blocking) {
   }
 }
 
-void Scheduler::record_completed(std::size_t requests) {
+void Scheduler::record_completed(std::size_t requests, double seconds) {
   MutexLock lk(mu_);
   qstats_.completed += static_cast<std::int64_t>(requests);
   if (obs::enabled()) {
@@ -518,13 +548,17 @@ void Scheduler::record_completed(std::size_t requests) {
   }
   in_flight_ = std::max<std::int64_t>(
       0, in_flight_ - static_cast<std::int64_t>(requests));
+  if (seconds > 0.0) in_flight_seconds_ -= seconds;
+  if (in_flight_seconds_ < 0.0 || in_flight_ == 0) in_flight_seconds_ = 0.0;
   update_gauges_locked();
 }
 
-void Scheduler::record_failed(std::size_t requests) {
+void Scheduler::record_failed(std::size_t requests, double seconds) {
   MutexLock lk(mu_);
   in_flight_ = std::max<std::int64_t>(
       0, in_flight_ - static_cast<std::int64_t>(requests));
+  if (seconds > 0.0) in_flight_seconds_ -= seconds;
+  if (in_flight_seconds_ < 0.0 || in_flight_ == 0) in_flight_seconds_ = 0.0;
   update_gauges_locked();
 }
 
@@ -545,6 +579,7 @@ void Scheduler::stop() {
     });
     backlog.swap(q_);
     deadlined_ = 0;
+    queued_seconds_ = 0.0;
     qstats_.rejected += static_cast<std::int64_t>(backlog.size());
     if (obs::enabled()) {
       m_.rejected->inc(static_cast<std::int64_t>(backlog.size()));
@@ -563,6 +598,8 @@ QueueStats Scheduler::stats() const {
   QueueStats s = qstats_;
   s.queued = static_cast<std::int64_t>(q_.size());
   s.in_flight = in_flight_;
+  s.queued_seconds = queued_seconds_;
+  s.in_flight_seconds = in_flight_seconds_;
   return s;
 }
 
@@ -581,6 +618,11 @@ std::size_t Scheduler::load() const {
   return q_.size() + static_cast<std::size_t>(in_flight_);
 }
 
+double Scheduler::load_seconds() const {
+  MutexLock lk(mu_);
+  return queued_seconds_ + in_flight_seconds_;
+}
+
 std::int64_t Scheduler::reset_depth_watermark() {
   MutexLock lk(mu_);
   const std::int64_t old = depth_watermark_;
@@ -593,11 +635,25 @@ std::int64_t Scheduler::depth_watermark() const {
   return depth_watermark_;
 }
 
-double Scheduler::next_wakeup_s() const {
+double Scheduler::next_wakeup_s() {
   MutexLock lk(mu_);
+  // Resolve anything already due first: a queued deadline has no dedicated
+  // waiter (expiry is lazy), so a caller stepping a ManualClock to the
+  // instant reported below must see the expiry consumed here on its next
+  // scan rather than being handed the same instant forever.
+  expire_due_locked();
   double next = std::numeric_limits<double>::infinity();
   for (const auto& [key, wait_end_s] : window_keys_) {
     next = std::min(next, wait_end_s);
+  }
+  if (deadlined_ > 0) {
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const Item& it : q_) earliest = std::min(earliest, it.deadline_s);
+    // Expiry is strict (`now > deadline`): the first instant the drop can
+    // actually happen is one ulp past the deadline itself.
+    next = std::min(
+        next, std::nextafter(earliest,
+                             std::numeric_limits<double>::infinity()));
   }
   return next;
 }

@@ -105,6 +105,12 @@ struct ServeRequest {
   bool dry_run = false;
   /// Batch size a dry-run request stands for (>= 1 when dry_run is set).
   int dry_batch = 0;
+  /// Predicted simulated execution seconds for this request — the planner's
+  /// roofline estimate times the batch size. The serving stack stamps it at
+  /// admission (submit_async) when the plan's per-item cost is known; callers
+  /// leave it 0. Feeds the Scheduler::load_seconds() gauge that cost-aware
+  /// routers and the cluster autoscaler balance on; never affects execution.
+  double cost_s = 0.0;
 
   /// Number of batch items of the active dtype.
   int batch() const {
@@ -226,13 +232,15 @@ class Scheduler {
 
   /// Count `requests` completed executions (the consumer calls this after a
   /// dispatch runs successfully; a coalesced dispatch counts every rider).
-  /// Also retires them from the in-flight gauge.
-  void record_completed(std::size_t requests) EXCLUDES(mu_);
+  /// Also retires them from the in-flight gauge, and `seconds` (the sum of
+  /// the retired requests' cost_s) from the in-flight half of load_seconds().
+  void record_completed(std::size_t requests, double seconds = 0.0)
+      EXCLUDES(mu_);
 
   /// Retire `requests` from the in-flight gauge without counting them as
   /// completed — the consumer's path for dispatches that ended in an
   /// exception (the promise carries the error instead of a response).
-  void record_failed(std::size_t requests) EXCLUDES(mu_);
+  void record_failed(std::size_t requests, double seconds = 0.0) EXCLUDES(mu_);
 
   /// Wake blocked producers (they self-reject), resolve the whole backlog
   /// as kRejected, and make every current and future pop() return false.
@@ -249,19 +257,31 @@ class Scheduler {
   /// atomically under the queue mutex so two shards' loads compared by the
   /// router are each internally consistent.
   std::size_t load() const EXCLUDES(mu_);
+  /// The cost-aware twin of load(): predicted simulated seconds of work
+  /// queued plus in flight (the sum of admitted-but-unretired requests'
+  /// cost_s), maintained under the same mutex so the two gauges are mutually
+  /// consistent. Requests submitted without a cost prediction contribute 0,
+  /// degrading this gauge gracefully toward "nothing known".
+  double load_seconds() const EXCLUDES(mu_);
   /// Restart the depth watermark at the current backlog and return the old
   /// mark; stats().max_depth keeps the lifetime mark. replay() brackets
   /// itself with these two calls.
   std::int64_t reset_depth_watermark() EXCLUDES(mu_);
   std::int64_t depth_watermark() const EXCLUDES(mu_);
 
-  /// Earliest future instant a consumer parked on the Clock is waiting for —
-  /// the close of the earliest open coalescing window (already capped by its
-  /// head's deadline). +inf when no window is open. The workload simulator
-  /// advances its ManualClock to min(next arrival, this, completion holds)
-  /// so every window closes at its exact virtual time instead of being
-  /// skipped over.
-  double next_wakeup_s() const EXCLUDES(mu_);
+  /// Earliest future instant the queue needs the Clock to reach — the close
+  /// of the earliest open coalescing window (already capped by its head's
+  /// deadline) or the expiry of the earliest queued deadline. +inf when
+  /// neither exists. The workload simulator advances its ManualClock to
+  /// min(next arrival, this, completion holds) so windows close and
+  /// deadlines expire at their exact virtual instants instead of being
+  /// overshot (an overshot expiry would mis-stamp the kExpired latency).
+  /// Expiry is lazy and strict (`now > deadline`), so the reported instant
+  /// is nextafter(deadline): the first representable time the drop can
+  /// happen. Resolves any already-due items itself — a queued deadline has
+  /// no dedicated waiter, so without that a virtual-time driver stepping
+  /// exactly to the reported instant would spin on it forever.
+  double next_wakeup_s() EXCLUDES(mu_);
 
   /// True when this queue cannot make progress without new work or time
   /// moving: every one of `workers` consumers is parked — in the empty-queue
@@ -325,6 +345,8 @@ class Scheduler {
     obs::Counter* coalesced_items;
     obs::Gauge* depth;
     obs::Gauge* in_flight;
+    obs::Gauge* depth_seconds;
+    obs::Gauge* in_flight_seconds;
     obs::Histogram* queue_wait;
   };
   Metrics m_;
@@ -349,6 +371,14 @@ class Scheduler {
   /// Requests popped (claimed by a consumer) but not yet retired via
   /// record_completed/record_failed; a window-holding head counts too.
   std::int64_t in_flight_ GUARDED_BY(mu_) = 0;
+  /// Sum of queued items' predicted cost_s — the queued half of
+  /// load_seconds(). Every queue mutation (push, take, extract, expire,
+  /// stop) keeps it in step with q_.
+  double queued_seconds_ GUARDED_BY(mu_) = 0.0;
+  /// Sum of claimed-but-unretired requests' cost_s — the in-flight half of
+  /// load_seconds(), moved here from queued_seconds_ at pop and retired by
+  /// record_completed/record_failed.
+  double in_flight_seconds_ GUARDED_BY(mu_) = 0.0;
   /// Consumers parked in the empty-queue wait of pop() right now.
   std::size_t idle_waiters_ GUARDED_BY(mu_) = 0;
   /// Coalescing keys with an open batching window (one waiter per key),

@@ -31,6 +31,8 @@ QueueStats queue_delta(const QueueStats& after, const QueueStats& before) {
   d.coalesced_items = after.coalesced_items - before.coalesced_items;
   d.queued = after.queued;
   d.in_flight = after.in_flight;
+  d.queued_seconds = after.queued_seconds;
+  d.in_flight_seconds = after.in_flight_seconds;
   return d;
 }
 
@@ -45,6 +47,8 @@ void queue_accumulate(QueueStats& into, const QueueStats& add) {
   into.coalesced_items += add.coalesced_items;
   into.queued += add.queued;
   into.in_flight += add.in_flight;
+  into.queued_seconds += add.queued_seconds;
+  into.in_flight_seconds += add.in_flight_seconds;
 }
 
 void cache_accumulate(CacheStats& into, const CacheStats& add) {
@@ -190,6 +194,8 @@ std::string ServingReport::deterministic_digest() const {
   }
   os << "queue accepted=" << queue.accepted << " completed=" << queue.completed
      << " rejected=" << queue.rejected << " expired=" << queue.expired << "\n";
+  os << "autoscale ups=" << scale_ups << " downs=" << scale_downs
+     << " serving=" << serving_shards << "\n";
   return os.str();
 }
 
@@ -213,6 +219,10 @@ std::string ServingReport::summary() const {
     for (const auto& s : shards) served += s.requests > 0 ? 1 : 0;
     os << "; router " << router << ", " << served << "/" << shards.size()
        << " shards served";
+    if (scale_ups + scale_downs > 0) {
+      os << "; autoscale " << scale_ups << " up/" << scale_downs << " down, "
+         << serving_shards << " serving at end";
+    }
   }
   return os.str();
 }

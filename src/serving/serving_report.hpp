@@ -46,6 +46,10 @@ struct QueueStats {
   /// side instead of subtracting.
   std::int64_t queued = 0;
   std::int64_t in_flight = 0;
+  /// Gauge twins of queued/in_flight in predicted simulated seconds of work
+  /// (Scheduler::load_seconds() splits into these two under the same lock).
+  double queued_seconds = 0.0;
+  double in_flight_seconds = 0.0;
 };
 
 /// Counter deltas `after - before`; the queued/in-flight gauges are copied
@@ -157,6 +161,14 @@ struct ServingReport {
   std::vector<GroupServingStats> groups;
   /// Cluster replays only: per-shard breakdown, in device-list order.
   std::vector<ShardServingStats> shards;
+  /// Autoscaler event deltas over the replay (0/0 when autoscaling is off
+  /// or for a single-engine replay). Scale decisions are part of the
+  /// deterministic schedule, so the digest includes them.
+  std::int64_t scale_ups = 0;
+  std::int64_t scale_downs = 0;
+  /// Shards accepting new work when the replay ended (0 for single-engine
+  /// reports; equals the device-list size when autoscaling is off).
+  int serving_shards = 0;
 
   int total_requests() const;
   /// Batch items completed across all models.

@@ -49,11 +49,25 @@ void usage() {
       "                               listed device (repeats allowed, e.g.\n"
       "                               GTX,RTX,RTX), requests routed per\n"
       "                               --router; overrides --device\n"
-      "  --router <round-robin|least-loaded|plan-affinity>\n"
+      "  --router <round-robin|least-loaded|least-requests|plan-affinity>\n"
       "                               cluster shard selection, default\n"
       "                               round-robin (least-loaded = join the\n"
-      "                               shortest queue; plan-affinity = prefer\n"
-      "                               plan-warm shards, then least-loaded)\n"
+      "                               shortest predicted work in seconds;\n"
+      "                               least-requests = count-based baseline;\n"
+      "                               plan-affinity = prefer plan-warm\n"
+      "                               shards, then least-loaded)\n"
+      "  --autoscale-max <n>          elastic scaling (cluster mode): let\n"
+      "                               the cluster grow to n shards (reserve\n"
+      "                               shards clone the last --devices\n"
+      "                               entry), default 0 (off)\n"
+      "  --scale-up-s <x>             add a shard when predicted backlog\n"
+      "                               exceeds x seconds per serving shard,\n"
+      "                               default 0.05\n"
+      "  --scale-down-s <x>           drain a shard when backlog would stay\n"
+      "                               under x seconds per shard (must be\n"
+      "                               < --scale-up-s), default 0.01\n"
+      "  --scale-cooldown-s <x>       min clock seconds between scale\n"
+      "                               events, default 0.25\n"
       "  --models <csv>               zoo short names, default all seven\n"
       "                               (Mob_v1,Mob_v2,XCe,Prox,CeiT,CMT,EffNet_B0)\n"
       "  --requests <n>               requests per model, default 3\n"
@@ -75,7 +89,8 @@ void usage() {
       "  --sim-dilation <x>           hold each request on its worker for\n"
       "                               simulated-GPU-time x this factor, so\n"
       "                               shard drain rates track the simulated\n"
-      "                               devices; default 0 (off)\n"
+      "                               devices; must be > 0 when given\n"
+      "                               (omit the flag to disable holds)\n"
       "  --threads <n>                worker threads (default: hardware)\n"
       "  --cache-dir <dir>            persistent plan-cache directory\n"
       "  --cache-capacity <n>         plan-cache LRU bound, default 32\n"
@@ -194,7 +209,10 @@ int main(int argc, char** argv) {
   serving::AdmissionPolicy policy = serving::AdmissionPolicy::kBlock;
   serving::QueueDiscipline discipline = serving::QueueDiscipline::kFifo;
   serving::RouterPolicy router = serving::RouterPolicy::kRoundRobin;
-  bool router_set = false;
+  bool router_set = false, devices_set = false;
+  std::size_t autoscale_max = 0;
+  double scale_up_s = 0.05, scale_down_s = 0.01, scale_cooldown_s = 0.25;
+  bool autoscale_set = false;
   int coalesce = 1;
   std::uint64_t coalesce_wait_us = 0;
   double deadline_ms = 0.0, sim_dilation = 0.0;
@@ -225,8 +243,10 @@ int main(int argc, char** argv) {
       return x;
     };
     if (arg == "--device") device = next();
-    else if (arg == "--devices") devices_csv = next();
-    else if (arg == "--models") models_csv = next();
+    else if (arg == "--devices") {
+      devices_csv = next();
+      devices_set = true;
+    } else if (arg == "--models") models_csv = next();
     else if (arg == "--requests") {
       requests = static_cast<int>(
           cli::parse_u64_or_usage_exit(next(), 1 << 20, usage));
@@ -254,10 +274,23 @@ int main(int argc, char** argv) {
       const std::string v = next();
       const auto parsed = serving::router_policy_from_name(v);
       if (!parsed.has_value()) {
-        bad_value("--router", v, "round-robin|least-loaded|plan-affinity");
+        bad_value("--router", v,
+                  "round-robin|least-loaded|least-requests|plan-affinity");
       }
       router = *parsed;
       router_set = true;
+    } else if (arg == "--autoscale-max") {
+      autoscale_max = cli::parse_u64_or_usage_exit(next(), 1 << 10, usage);
+      autoscale_set = true;
+    } else if (arg == "--scale-up-s") {
+      scale_up_s = next_double(1e9);
+      autoscale_set = true;
+    } else if (arg == "--scale-down-s") {
+      scale_down_s = next_double(1e9);
+      autoscale_set = true;
+    } else if (arg == "--scale-cooldown-s") {
+      scale_cooldown_s = next_double(1e9);
+      autoscale_set = true;
     } else if (arg == "--coalesce") {
       coalesce = static_cast<int>(
           cli::parse_u64_or_usage_exit(next(), 1 << 12, usage));
@@ -269,6 +302,11 @@ int main(int argc, char** argv) {
       deadline_ms = next_double(1e9);
     } else if (arg == "--sim-dilation") {
       sim_dilation = next_double(1e12);
+      // The flag's whole point is worker holds; an explicit 0 would
+      // silently serve with holds off — refuse instead (omit the flag).
+      if (!(sim_dilation > 0.0)) {
+        bad_value("--sim-dilation", argv[i], "a factor > 0");
+      }
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(
           cli::parse_u64_or_usage_exit(next(), 1024, usage));
@@ -308,11 +346,35 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  if (router_set && devices_csv.empty()) {
+  const std::vector<std::string> cluster_device_names = split_csv(devices_csv);
+  if (devices_set && cluster_device_names.empty()) {
+    // "--devices ," used to fall back to a routerless single engine and
+    // crash confusingly later; an explicitly empty cluster is a usage error.
+    bad_value("--devices", devices_csv, "a non-empty device list");
+  }
+  if (router_set && cluster_device_names.empty()) {
     // Routing only exists in cluster mode; accepting the flag and running a
     // routerless single engine would be exactly the silent default the
     // enum-flag validation above refuses to be.
     std::cerr << "error: --router requires --devices (cluster mode)\n";
+    usage();
+    return 2;
+  }
+  if (autoscale_set && cluster_device_names.empty()) {
+    // Same rule as --router: the autoscaler lives in the cluster.
+    std::cerr << "error: --autoscale-max/--scale-*-s require --devices "
+                 "(cluster mode)\n";
+    usage();
+    return 2;
+  }
+  if (autoscale_max > 0 && autoscale_max < cluster_device_names.size()) {
+    std::cerr << "error: --autoscale-max must be >= the --devices count ("
+              << cluster_device_names.size() << ")\n";
+    usage();
+    return 2;
+  }
+  if (autoscale_max > 0 && !(scale_down_s < scale_up_s)) {
+    std::cerr << "error: --scale-down-s must be < --scale-up-s\n";
     usage();
     return 2;
   }
@@ -351,7 +413,7 @@ int main(int argc, char** argv) {
 
     // Cluster mode: one engine shard per --devices entry behind the router.
     std::vector<gpusim::DeviceSpec> cluster_devices;
-    for (const auto& name : split_csv(devices_csv)) {
+    for (const auto& name : cluster_device_names) {
       cluster_devices.push_back(gpusim::device_by_name(name));
     }
     const bool cluster_mode = !cluster_devices.empty();
@@ -446,6 +508,10 @@ int main(int argc, char** argv) {
       serving::ClusterOptions copt;
       copt.engine = opt;
       copt.router = router;
+      copt.autoscale.max_shards = autoscale_max;
+      copt.autoscale.scale_up_load_s = scale_up_s;
+      copt.autoscale.scale_down_load_s = scale_down_s;
+      copt.autoscale.cooldown_s = scale_cooldown_s;
       cluster = std::make_unique<serving::ServingCluster>(cluster_devices,
                                                           copt);
     } else {
@@ -542,8 +608,11 @@ int main(int argc, char** argv) {
               << serving::admission_policy_name(policy) << ", "
               << serving::queue_discipline_name(discipline);
     if (cluster_mode) {
-      std::cout << ", " << n_shards << " shards, router "
-                << serving::router_policy_name(router);
+      std::cout << ", " << cluster_devices.size() << " shards";
+      if (autoscale_max > 0) {
+        std::cout << " (elastic, up to " << autoscale_max << ")";
+      }
+      std::cout << ", router " << serving::router_policy_name(router);
     }
     if (coalesce > 1) {
       std::cout << ", coalesce " << coalesce << " within "

@@ -65,7 +65,7 @@ void usage() {
       "fcmsim replay --trace <file> [options]   simulate a trace\n"
       "  --devices <csv>              cluster shards, default RTX (repeats\n"
       "                               allowed, e.g. GTX,RTX,RTX)\n"
-      "  --router <round-robin|least-loaded|plan-affinity>\n"
+      "  --router <round-robin|least-loaded|least-requests|plan-affinity>\n"
       "                               shard selection, default round-robin\n"
       "  --discipline <fifo|edf>      dequeue order, default fifo\n"
       "  --queue-depth <n>            per-shard admission bound, default 64\n"
@@ -75,7 +75,18 @@ void usage() {
       "  --sim-dilation <x>           occupy each worker for simulated GPU\n"
       "                               time x this factor (virtual holds, so\n"
       "                               shard drain rates track the simulated\n"
-      "                               devices), default 1; 0 disables\n"
+      "                               devices), default 1; must be > 0\n"
+      "  --autoscale-max <n>          elastic scaling: let the cluster grow\n"
+      "                               to n shards (reserve shards clone the\n"
+      "                               last --devices entry), default 0 (off)\n"
+      "  --scale-up-s <x>             add a shard when predicted backlog\n"
+      "                               exceeds x seconds per serving shard,\n"
+      "                               default 0.05\n"
+      "  --scale-down-s <x>           drain a shard when backlog would stay\n"
+      "                               under x seconds per shard (must be\n"
+      "                               < --scale-up-s), default 0.01\n"
+      "  --scale-cooldown-s <x>       min clock seconds between scale\n"
+      "                               events, default 0.25\n"
       "  --functional                 execute every request's kernels for\n"
       "                               real instead of the dry-run cost\n"
       "                               model (orders of magnitude slower)\n"
@@ -236,6 +247,8 @@ int run_replay(Args& args) {
   int coalesce = 1;
   std::uint64_t coalesce_wait_us = 0;
   double sim_dilation = 1.0;
+  std::size_t autoscale_max = 0;
+  double scale_up_s = 0.05, scale_down_s = 0.01, scale_cooldown_s = 0.25;
   bool functional = false;
   unsigned threads = 0;
   std::uint64_t seed = 2024;
@@ -249,7 +262,8 @@ int run_replay(Args& args) {
       const std::string v = args.next(arg);
       const auto parsed = serving::router_policy_from_name(v);
       if (!parsed.has_value()) {
-        bad_value("--router", v, "round-robin|least-loaded|plan-affinity");
+        bad_value("--router", v,
+                  "round-robin|least-loaded|least-requests|plan-affinity");
       }
       router = *parsed;
     } else if (arg == "--discipline") {
@@ -268,6 +282,18 @@ int run_replay(Args& args) {
           cli::parse_u64_or_usage_exit(args.next(arg), 1u << 30, usage);
     } else if (arg == "--sim-dilation") {
       sim_dilation = args.next_double(arg, 1e12);
+      // next_double() allows 0, but a zero dilation would let virtual
+      // holds collapse and every shard drain instantly — reject it here.
+      if (!(sim_dilation > 0.0)) bad_value(arg, args.argv[args.i], "> 0");
+    } else if (arg == "--autoscale-max") {
+      autoscale_max =
+          cli::parse_u64_or_usage_exit(args.next(arg), 1 << 10, usage);
+    } else if (arg == "--scale-up-s") {
+      scale_up_s = args.next_double(arg, 1e9);
+    } else if (arg == "--scale-down-s") {
+      scale_down_s = args.next_double(arg, 1e9);
+    } else if (arg == "--scale-cooldown-s") {
+      scale_cooldown_s = args.next_double(arg, 1e9);
     } else if (arg == "--functional") {
       functional = true;
     } else if (arg == "--threads") {
@@ -299,6 +325,21 @@ int run_replay(Args& args) {
     usage();
     return 2;
   }
+  const std::vector<std::string> device_names = split_csv(devices_csv);
+  if (device_names.empty()) {
+    bad_value("--devices", devices_csv, "a non-empty device list");
+  }
+  if (autoscale_max > 0 && autoscale_max < device_names.size()) {
+    std::cerr << "error: --autoscale-max must be >= the --devices count ("
+              << device_names.size() << ")\n";
+    usage();
+    return 2;
+  }
+  if (autoscale_max > 0 && !(scale_down_s < scale_up_s)) {
+    std::cerr << "error: --scale-down-s must be < --scale-up-s\n";
+    usage();
+    return 2;
+  }
 
   workload::Trace trace;
   try {
@@ -311,7 +352,7 @@ int run_replay(Args& args) {
 
   try {
     std::vector<gpusim::DeviceSpec> devices;
-    for (const auto& name : split_csv(devices_csv)) {
+    for (const auto& name : device_names) {
       devices.push_back(gpusim::device_by_name(name));
     }
 
@@ -331,6 +372,10 @@ int run_replay(Args& args) {
     copt.engine.scheduler.max_coalesce_batch = coalesce;
     copt.engine.scheduler.coalesce_wait_us =
         static_cast<std::int64_t>(coalesce_wait_us);
+    copt.autoscale.max_shards = autoscale_max;
+    copt.autoscale.scale_up_load_s = scale_up_s;
+    copt.autoscale.scale_down_load_s = scale_down_s;
+    copt.autoscale.cooldown_s = scale_cooldown_s;
 
     std::shared_ptr<obs::Tracer> tracer;
     if (!trace_out.empty()) {
@@ -343,7 +388,12 @@ int run_replay(Args& args) {
     std::cout << "== replaying " << trace.requests.size() << " requests ('"
               << trace.name << "', " << trace.duration_s()
               << " s of trace time) on " << devices.size() << " shard"
-              << (devices.size() == 1 ? "" : "s") << ", router "
+              << (devices.size() == 1 ? "" : "s")
+              << (autoscale_max > 0
+                      ? " (elastic, up to " + std::to_string(autoscale_max) +
+                            ")"
+                      : "")
+              << ", router "
               << serving::router_policy_name(router) << ", "
               << serving::queue_discipline_name(discipline) << ", "
               << (functional ? "functional" : "dry-run") << " ==\n";

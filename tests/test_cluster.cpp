@@ -36,7 +36,7 @@ ShardState shard(std::size_t index, std::size_t load,
 TEST(RouterPolicy, NamesRoundTripAndRejectUnknown) {
   for (const auto p :
        {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
-        RouterPolicy::kPlanAffinity}) {
+        RouterPolicy::kPlanAffinity, RouterPolicy::kLeastRequests}) {
     const auto back = router_policy_from_name(router_policy_name(p));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, p);
@@ -67,6 +67,50 @@ TEST(Router, LeastLoadedPicksMinLoadAndBreaksTiesByRoutedCount) {
   EXPECT_EQ(r->pick({shard(0, 3, 2), shard(1, 3, 2)}), 0u);
   // Load always dominates the routed count.
   EXPECT_EQ(r->pick({shard(0, 1, 0), shard(1, 0, 9)}), 1u);
+}
+
+ShardState costed(std::size_t index, double load_seconds, double est_cost_s,
+                  std::size_t load = 0) {
+  ShardState s;
+  s.index = index;
+  s.load = load;
+  s.load_seconds = load_seconds;
+  s.est_cost_s = est_cost_s;
+  return s;
+}
+
+// The cost-aware pick: predicted seconds of work — including what the
+// routed request itself would add on each candidate — dominate the request
+// count; counts only break exact seconds ties.
+TEST(Router, LeastLoadedBalancesSecondsOfWorkNotRequestCounts) {
+  auto r = make_router(RouterPolicy::kLeastLoaded);
+  // Fewer requests but more seconds loses: one slow-device request
+  // outweighs three fast ones.
+  EXPECT_EQ(r->pick({costed(0, 0.9, 0.0, 1), costed(1, 0.3, 0.0, 3)}), 1u);
+  // The request's own per-shard price tips an equal-backlog tie toward the
+  // faster device.
+  EXPECT_EQ(r->pick({costed(0, 0.5, 0.2), costed(1, 0.5, 0.1)}), 1u);
+  // A cheaper landing spot beats an equal-count emptier-looking shard when
+  // the sums say otherwise: 0.4+0.1 < 0.0+0.6.
+  EXPECT_EQ(r->pick({costed(0, 0.0, 0.6), costed(1, 0.4, 0.1)}), 1u);
+}
+
+// With nothing priced, every seconds term is zero and least-loaded must
+// degrade exactly to the count-based pick (load, then routed, then index).
+TEST(Router, LeastLoadedDegradesToCountsWhenNothingIsPriced) {
+  auto r = make_router(RouterPolicy::kLeastLoaded);
+  EXPECT_EQ(r->pick({shard(0, 5), shard(1, 2), shard(2, 9)}), 1u);
+  EXPECT_EQ(r->pick({shard(0, 0, 1), shard(1, 0, 1), shard(2, 0, 0)}), 2u);
+}
+
+// The legacy baseline ignores the seconds gauges entirely — it exists so
+// the bench and the acceptance test can compare cost-aware routing against
+// pure join-shortest-queue.
+TEST(Router, LeastRequestsIgnoresSecondsGauges) {
+  auto r = make_router(RouterPolicy::kLeastRequests);
+  EXPECT_EQ(r->policy(), RouterPolicy::kLeastRequests);
+  EXPECT_EQ(r->pick({costed(0, 9.0, 9.0, 1), costed(1, 0.0, 0.0, 2)}), 0u);
+  EXPECT_EQ(r->pick({shard(0, 3, 2), shard(1, 3, 1)}), 1u);
 }
 
 TEST(Router, PlanAffinityPrefersWarmShardsThenFallsBackLeastLoaded) {

@@ -9,7 +9,9 @@
 // to sequential submits — for FP32 and INT8, on 1-thread and 8-thread pools.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <future>
+#include <limits>
 #include <random>
 #include <thread>
 #include <vector>
@@ -397,6 +399,104 @@ TEST(Scheduler, RejectPolicyAndStopResolveEveryPromise) {
   const QueueStats st = sched.stats();
   EXPECT_EQ(st.accepted, 2);
   EXPECT_EQ(st.rejected, 4);
+}
+
+// The wakeup-scan bugfix: a queued request's deadline is an event the
+// virtual-time driver must be able to land on. next_wakeup_s() used to scan
+// only coalescing windows, so a replay fast-forwarded past the expiry
+// instant and stamped the expired response with an overshot queue wait;
+// now the earliest queued deadline bounds the wakeup (nudged one ulp past
+// the deadline, since expiry is strictly `now > deadline`), and reaching it
+// expires the request with an exact wait.
+TEST(Scheduler, NextWakeupIncludesQueuedDeadlines) {
+  auto clock = std::make_shared<ManualClock>();
+  SchedulerOptions opt;
+  opt.discipline = QueueDiscipline::kEdf;
+  Scheduler sched(opt, clock);
+
+  EXPECT_TRUE(std::isinf(sched.next_wakeup_s()));  // empty: nothing pending
+  auto doomed = sched.push(marked_f32("Tiny", 0.0f, 1.0));
+  sched.push(marked_f32("Tiny", 1.0f));  // deadline-free: never constrains
+
+  const double wake = sched.next_wakeup_s();
+  EXPECT_DOUBLE_EQ(
+      wake, std::nextafter(1.0, std::numeric_limits<double>::infinity()));
+
+  // Advancing exactly to the reported wakeup is enough to expire the
+  // request — the next scan does it itself, no pop required.
+  clock->set(wake);
+  const double after = sched.next_wakeup_s();
+  EXPECT_TRUE(std::isinf(after));  // only the deadline-free request remains
+  ASSERT_EQ(doomed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const ServeResponse resp = doomed.get();
+  EXPECT_EQ(resp.status, ServeStatus::kExpired);
+  // The stamped wait is the deadline instant (one ulp of dust), not an
+  // overshoot to some later window boundary.
+  EXPECT_NEAR(resp.queue_wait_s, 1.0, 1e-12);
+  EXPECT_EQ(sched.stats().expired, 1);
+}
+
+// The same deadline-aware wakeup under FIFO: the discipline orders pops, but
+// expiry (and thus the wakeup bound) is discipline-independent.
+TEST(Scheduler, FifoNextWakeupTracksEarliestQueuedDeadline) {
+  auto clock = std::make_shared<ManualClock>();
+  Scheduler sched(SchedulerOptions{}, clock);
+  sched.push(marked_f32("Tiny", 0.0f, 5.0));
+  auto early = sched.push(marked_f32("Tiny", 1.0f, 2.0));
+  EXPECT_DOUBLE_EQ(
+      sched.next_wakeup_s(),
+      std::nextafter(2.0, std::numeric_limits<double>::infinity()));
+
+  clock->set(sched.next_wakeup_s());
+  EXPECT_DOUBLE_EQ(
+      sched.next_wakeup_s(),
+      std::nextafter(5.0, std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(early.get().status, ServeStatus::kExpired);
+  EXPECT_EQ(sched.stats().expired, 1);
+}
+
+// The cost-aware load gauge: load_seconds() sums each request's stamped
+// predicted cost across queued and in-flight states under the one queue
+// lock, drops each share when its request retires, and clamps float dust to
+// an exact zero when the queue is empty.
+TEST(Scheduler, LoadSecondsTracksCostsAcrossQueueAndFlight) {
+  SchedulerOptions opt;
+  Scheduler sched(opt, nullptr);
+  EXPECT_DOUBLE_EQ(sched.load_seconds(), 0.0);
+
+  ServeRequest a = marked_f32("Tiny", 0.0f);
+  a.cost_s = 0.25;
+  ServeRequest b = marked_f32("Tiny", 1.0f);
+  b.cost_s = 0.5;
+  auto fa = sched.push(std::move(a));
+  auto fb = sched.push(std::move(b));
+  EXPECT_DOUBLE_EQ(sched.load_seconds(), 0.75);
+  QueueStats st = sched.stats();
+  EXPECT_DOUBLE_EQ(st.queued_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(st.in_flight_seconds, 0.0);
+
+  // Popping moves the head's share from queued to in-flight atomically —
+  // the sum the router balances on never dips.
+  Scheduler::Dispatch d;
+  ASSERT_TRUE(sched.try_pop(&d));
+  EXPECT_DOUBLE_EQ(sched.load_seconds(), 0.75);
+  st = sched.stats();
+  EXPECT_DOUBLE_EQ(st.queued_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(st.in_flight_seconds, 0.25);
+
+  d.items[0].promise.set_value(
+      response_stub(d.items[0].req, ServeStatus::kOk));
+  sched.record_completed(1, 0.25);
+  EXPECT_DOUBLE_EQ(sched.load_seconds(), 0.5);
+
+  ASSERT_TRUE(sched.try_pop(&d));
+  d.items[0].promise.set_value(
+      response_stub(d.items[0].req, ServeStatus::kOk));
+  sched.record_completed(1, 0.5);
+  EXPECT_DOUBLE_EQ(sched.load_seconds(), 0.0);
+  EXPECT_TRUE(fa.get().ok());
+  EXPECT_TRUE(fb.get().ok());
 }
 
 // Satellite stress: a randomized mixed-deadline mix through EDF must lose no
