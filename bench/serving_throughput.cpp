@@ -680,6 +680,60 @@ int main(int argc, char** argv) {
     record("autoscale_fast_forward_x", sum.fast_forward_x());
   }
 
+  bench::print_header(
+      "Beam tile search: cold-plan cost, exhaustive vs beam width 8 "
+      "(full zoo, FP32, RTX)");
+  {
+    // Part 10: the autotuning loop's planning-latency payoff. The beam
+    // exactly evaluates only the top surrogate-ranked tile candidates, so a
+    // cold plan gets cheaper while the chosen plans' GMA must stay within 1%
+    // of the exhaustive search (the test suite asserts the same bar).
+    const auto dev = gpusim::rtx_a4000();
+    const std::vector<std::string> zoo = {
+        "Mob_v1", "Mob_v2", "XCe", "Prox", "CeiT", "CMT", "EffNet_B0"};
+    auto sweep = [&](int beam_width, double* gma, std::int64_t* evals) {
+      planner::PlanOptions opt;
+      opt.beam_width = beam_width;
+      planner::reset_candidates_evaluated();
+      const SteadyTime t0 = steady_now();
+      for (const auto& name : zoo) {
+        *gma += static_cast<double>(
+            planner::plan_model(dev, models::model_by_name(name), DType::kF32,
+                                opt)
+                .total_gma_bytes());
+      }
+      const double wall = seconds_since(t0);
+      *evals = planner::candidates_evaluated();
+      return wall;
+    };
+    double gma_ex = 0.0, gma_beam = 0.0;
+    std::int64_t evals_ex = 0, evals_beam = 0;
+    const double wall_ex = sweep(0, &gma_ex, &evals_ex);
+    const double wall_beam = sweep(8, &gma_beam, &evals_beam);
+    const double speedup = wall_ex / std::max(1e-9, wall_beam);
+    const double eval_ratio = static_cast<double>(evals_ex) /
+                              static_cast<double>(std::max<std::int64_t>(
+                                  1, evals_beam));
+    const double gma_ratio = gma_beam / gma_ex;
+    Table t({"search", "cold-plan wall (s)", "candidates evaluated",
+             "total GMA (MB)"});
+    t.add_row({"exhaustive", fmt_f(wall_ex, 3), std::to_string(evals_ex),
+               fmt_f(gma_ex / 1e6, 1)});
+    t.add_row({"beam 8", fmt_f(wall_beam, 3), std::to_string(evals_beam),
+               fmt_f(gma_beam / 1e6, 1)});
+    std::cout << t.str() << "beam evaluates " << fmt_f(eval_ratio, 1)
+              << "x fewer candidates at " << fmt_f(gma_ratio, 4)
+              << "x the exhaustive GMA: "
+              << (eval_ratio >= 5.0 && gma_ratio <= 1.01 ? "yes" : "NO")
+              << "   [acceptance: >= 5x fewer exact evals, GMA within 1%]\n";
+    record("plan_exhaustive_wall_s", wall_ex);
+    record("plan_beam_wall_s", wall_beam);
+    record("plan_beam_speedup_x", speedup);
+    record("plan_exhaustive_evals", static_cast<double>(evals_ex));
+    record("plan_beam_evals", static_cast<double>(evals_beam));
+    record("plan_beam_gma_ratio", gma_ratio);
+  }
+
   if (!json_out.empty()) {
     std::ofstream os(json_out, std::ios::trunc);
     if (!os) {

@@ -1,0 +1,158 @@
+#include "autotune/feature_log.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "autotune/jsonl.hpp"
+#include "common/error.hpp"
+
+namespace fcm::autotune {
+
+namespace {
+
+using jsonl::FieldReader;
+using jsonl::LineScanner;
+using jsonl::fmt_double_rt;
+using jsonl::json_string;
+
+constexpr const char* kContext = "feature log";
+
+DType dtype_from_log(const std::string& name, const LineScanner& scanner) {
+  if (name == "fp32") return DType::kF32;
+  if (name == "int8") return DType::kI8;
+  scanner.fail("dtype must be \"fp32\" or \"int8\", got \"" + name + "\"");
+}
+
+std::string feature_key(std::size_t i) { return "f" + std::to_string(i); }
+
+}  // namespace
+
+std::string serialize_feature_log(const FeatureLog& log) {
+  std::ostringstream os;
+  os << "{\"fcm_features\": " << kFeatureLogVersion
+     << ", \"width\": " << kNumFeatures
+     << ", \"records\": " << log.records.size() << "}\n";
+  for (const FeatureRecord& r : log.records) {
+    FCM_CHECK(r.source == "plan" || r.source == "execute",
+              "feature log: source must be \"plan\" or \"execute\", got \"" +
+                  r.source + "\"");
+    os << "{\"source\": " << json_string(r.source)
+       << ", \"model\": " << json_string(r.model)
+       << ", \"device\": " << json_string(r.device) << ", \"dtype\": \""
+       << dtype_name(r.dtype) << "\", \"batch\": " << r.batch
+       << ", \"predicted\": " << fmt_double_rt(r.predicted_s)
+       << ", \"executed\": " << fmt_double_rt(r.executed_s);
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      os << ", \"" << feature_key(i)
+         << "\": " << fmt_double_rt(r.features[i]);
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+FeatureLog parse_feature_log(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  FeatureLog log;
+  bool have_header = false;
+  std::uint64_t declared = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    LineScanner scanner(line, line_no, kContext);
+    FieldReader fields(scanner.object(), scanner);
+    if (!have_header) {
+      const std::uint64_t version = fields.u64("fcm_features");
+      if (version != static_cast<std::uint64_t>(kFeatureLogVersion)) {
+        scanner.fail("unsupported feature-log version " +
+                     std::to_string(version) + " (this build reads version " +
+                     std::to_string(kFeatureLogVersion) + ")");
+      }
+      const std::uint64_t width = fields.u64("width");
+      if (width != static_cast<std::uint64_t>(kNumFeatures)) {
+        scanner.fail("feature width " + std::to_string(width) +
+                     " does not match this build's schema (" +
+                     std::to_string(kNumFeatures) + ")");
+      }
+      declared = fields.u64("records");
+      fields.check_no_unknown();
+      have_header = true;
+      continue;
+    }
+    FeatureRecord r;
+    r.source = fields.string("source");
+    if (r.source != "plan" && r.source != "execute") {
+      scanner.fail("source must be \"plan\" or \"execute\", got \"" +
+                   r.source + "\"");
+    }
+    r.model = fields.string("model");
+    r.device = fields.string("device");
+    r.dtype = dtype_from_log(fields.string("dtype"), scanner);
+    const double b = fields.number("batch");
+    if (b < 1.0 || b != static_cast<double>(static_cast<int>(b))) {
+      scanner.fail("batch must be an integer >= 1");
+    }
+    r.batch = static_cast<int>(b);
+    r.predicted_s = fields.number("predicted");
+    if (r.predicted_s < 0.0) scanner.fail("predicted must be >= 0");
+    r.executed_s = fields.number("executed");
+    if (r.executed_s < 0.0) scanner.fail("executed must be >= 0");
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      r.features[i] = fields.number(feature_key(i).c_str());
+    }
+    fields.check_no_unknown();
+    log.records.push_back(std::move(r));
+  }
+  if (!have_header) {
+    throw Error(
+        "feature log: missing header line ({\"fcm_features\": 1, \"width\": "
+        "..., \"records\": ...})");
+  }
+  if (log.records.size() != declared) {
+    throw Error("feature log: header declares " + std::to_string(declared) +
+                " records but the file carries " +
+                std::to_string(log.records.size()) +
+                " — truncated or concatenated log");
+  }
+  return log;
+}
+
+FeatureLog load_feature_log_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FCM_CHECK(is.good(), "feature log: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    return parse_feature_log(buf.str());
+  } catch (const Error& e) {
+    throw Error(std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+void save_feature_log_file(const FeatureLog& log, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  FCM_CHECK(os.good(), "feature log: cannot write '" + path + "'");
+  os << serialize_feature_log(log);
+  FCM_CHECK(os.good(), "feature log: write to '" + path + "' failed");
+}
+
+void FeatureCollector::record(FeatureRecord r) {
+  MutexLock lk(mu_);
+  records_.push_back(std::move(r));
+}
+
+FeatureLog FeatureCollector::snapshot() const {
+  MutexLock lk(mu_);
+  return FeatureLog{records_};
+}
+
+std::size_t FeatureCollector::size() const {
+  MutexLock lk(mu_);
+  return records_.size();
+}
+
+}  // namespace fcm::autotune

@@ -1,0 +1,92 @@
+#include "autotune/features.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpusim/roofline.hpp"
+
+namespace fcm::autotune {
+
+namespace {
+
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr const char* kFeatureNames[kNumFeatures] = {
+    "launches",           "analytical_seconds", "compute_seconds",
+    "memory_seconds",     "shared_seconds",     "load_gb",
+    "store_gb",           "weight_gb",          "ifm_gb",
+    "flops_tera",         "int_ops_tera",       "redundant_tera",
+    "occupancy",          "l1_fraction",        "padding_fraction",
+    "boundary_fraction",
+};
+
+}  // namespace
+
+const char* feature_name(std::size_t i) {
+  FCM_CHECK(i < kNumFeatures, "feature_name: index out of range");
+  return kFeatureNames[i];
+}
+
+FeatureVector featurize(const gpusim::DeviceSpec& dev,
+                        const gpusim::KernelStats& stats,
+                        const planner::CandidateContext& ctx) {
+  const gpusim::Timing t = gpusim::estimate_time(dev, stats);
+  FeatureVector f{};
+  f[kFLaunches] = static_cast<double>(stats.launches);
+  f[kFAnalyticalSeconds] = t.total_s;
+  f[kFComputeSeconds] = t.compute_s;
+  f[kFMemorySeconds] = t.memory_s;
+  f[kFSharedSeconds] = t.shared_s;
+  f[kFLoadGB] = static_cast<double>(stats.global_load_bytes) / kGiga;
+  f[kFStoreGB] = static_cast<double>(stats.global_store_bytes) / kGiga;
+  f[kFWeightGB] = static_cast<double>(stats.weight_load_bytes) / kGiga;
+  f[kFIfmGB] = static_cast<double>(stats.ifm_load_bytes) / kGiga;
+  f[kFFlopsTera] = static_cast<double>(stats.flops) / kTera;
+  f[kFIntOpsTera] = static_cast<double>(stats.int_ops) / kTera;
+  f[kFRedundantTera] = static_cast<double>(stats.redundant_flops) / kTera;
+  f[kFOccupancy] =
+      dev.num_sms > 0
+          ? std::min(1.0, static_cast<double>(stats.num_blocks) / dev.num_sms)
+          : 0.0;
+  f[kFL1Fraction] = ctx.l1_fraction;
+  f[kFPaddingFraction] = ctx.padding_fraction;
+  f[kFBoundaryFraction] = ctx.boundary_fraction;
+  return f;
+}
+
+FeatureVector featurize_plan(const gpusim::DeviceSpec& dev,
+                             const ModelGraph& model,
+                             const planner::Plan& plan) {
+  FeatureVector sum{};
+  for (const planner::PlanStep& step : plan.steps) {
+    const auto layer_at = [&](int i) -> const LayerSpec& {
+      FCM_CHECK(i >= 0 && i < model.num_layers(),
+                "featurize_plan: step references layer " + std::to_string(i) +
+                    " outside model " + model.name);
+      return model.layers[static_cast<std::size_t>(i)];
+    };
+    planner::CandidateContext ctx;
+    if (!step.fused) {
+      const LayerSpec& spec = layer_at(step.layer);
+      // Mirror the planner's standard-conv FP32 fallback (lbl_choice_for).
+      const DType layer_dt =
+          spec.kind == ConvKind::kStandard ? DType::kF32 : plan.dtype;
+      ctx = planner::lbl_context(dev, spec, step.lbl_tiling, layer_dt);
+    } else if (step.layer3 >= 0) {
+      ctx = planner::pwdwpw_context(dev, layer_at(step.layer),
+                                    layer_at(step.layer2),
+                                    layer_at(step.layer3), step.fcm_tiling,
+                                    plan.dtype);
+    } else {
+      ctx = planner::fcm_context(dev, step.fcm_kind, layer_at(step.layer),
+                                 layer_at(step.layer2), step.fcm_tiling,
+                                 plan.dtype);
+    }
+    const FeatureVector f = featurize(dev, step.stats, ctx);
+    for (std::size_t i = 0; i < kNumFeatures; ++i) sum[i] += f[i];
+  }
+  return sum;
+}
+
+}  // namespace fcm::autotune

@@ -1,0 +1,72 @@
+// Plan-candidate featurizer (tentpole of the autotuning loop).
+//
+// Maps one kernel candidate — (DeviceSpec, KernelStats, CandidateContext) —
+// to a fixed-width vector of documented features, the representation shared
+// by the feature log (src/autotune/feature_log), the offline fitter
+// (src/autotune/fit) and the calibrated cost model that feeds back into the
+// planner. The Halide-autoscheduler architecture: hand-designed features, a
+// cheap learned combination on top.
+//
+// Every feature is additive across plan steps, so a whole plan's feature
+// vector is the sum of its steps' vectors and a linear model over plan
+// features decomposes exactly into per-step predictions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "layers/model_graph.hpp"
+#include "planner/cost_model_iface.hpp"
+#include "planner/plan.hpp"
+
+namespace fcm::autotune {
+
+/// Width of the feature vector. Bump kFeatureLogVersion (feature_log.hpp)
+/// when this — or any feature's definition — changes: logged vectors are
+/// only comparable within one schema version.
+inline constexpr std::size_t kNumFeatures = 16;
+
+using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Feature indices. Scales are chosen so typical magnitudes land within a
+/// few orders of ten (GB, tera-ops, seconds, fractions) — ridge regression
+/// with a scale-aware penalty does not require exact normalisation, but
+/// wildly mixed units cost numeric headroom.
+enum Feature : std::size_t {
+  kFLaunches = 0,        ///< kernel launches (constant-overhead carrier)
+  kFAnalyticalSeconds,   ///< roofline total_s — the analytical prediction
+  kFComputeSeconds,      ///< roofline arithmetic-pipeline time
+  kFMemorySeconds,       ///< roofline DRAM-traffic time
+  kFSharedSeconds,       ///< roofline shared-memory time
+  kFLoadGB,              ///< global loads, GB
+  kFStoreGB,             ///< global stores, GB
+  kFWeightGB,            ///< weight subset of loads, GB (L2 reuse proxy)
+  kFIfmGB,               ///< feature-map subset of loads, GB
+  kFFlopsTera,           ///< FP32 ops, tera
+  kFIntOpsTera,          ///< INT8 ops, tera
+  kFRedundantTera,       ///< recomputed halo ops, tera (PWDW_R overlap)
+  kFOccupancy,           ///< min(1, blocks / SMs) — launch-tail exposure
+  kFL1Fraction,          ///< working set over L1 capacity
+  kFPaddingFraction,     ///< filter taps landing in zero padding
+  kFBoundaryFraction,    ///< partial (boundary) blocks in the grid
+};
+
+/// Stable snake_case name of feature `i` (docs, README, fcmtune output).
+const char* feature_name(std::size_t i);
+
+/// Featurize one kernel candidate.
+FeatureVector featurize(const gpusim::DeviceSpec& dev,
+                        const gpusim::KernelStats& stats,
+                        const planner::CandidateContext& ctx);
+
+/// Featurize a whole plan: the sum over its steps, with each step's
+/// CandidateContext re-derived from the model graph exactly as the tile
+/// search derived it (planner/cost_model_iface contexts), so logged plan
+/// features agree with planning-time candidate features.
+FeatureVector featurize_plan(const gpusim::DeviceSpec& dev,
+                             const ModelGraph& model,
+                             const planner::Plan& plan);
+
+}  // namespace fcm::autotune

@@ -1,0 +1,67 @@
+// Offline fitting of the calibrated cost model (fcmtune's engine).
+//
+// Closed-form ridge regression of executed sim seconds onto the feature
+// vectors in a feature log: solve (XᵀX + λ·diag(XᵀX) + εI) w = Xᵀy by
+// Gaussian elimination over a kNumFeatures-square system. Deliberately
+// deterministic and dependency-free — fitting the same log twice yields a
+// bit-identical serialized model, which CI asserts.
+//
+// The fitted weights plug into the planner through CalibratedCostModel
+// (planner::CostModel): score = w · featurize(candidate), i.e. predicted
+// seconds instead of the analytical GMA-byte objective.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "autotune/feature_log.hpp"
+#include "autotune/features.hpp"
+#include "planner/cost_model_iface.hpp"
+
+namespace fcm::autotune {
+
+/// Bump when the serialized model format or the feature schema changes.
+inline constexpr int kCostModelVersion = 1;
+
+struct FitOptions {
+  /// Ridge penalty, scaled per-feature by diag(XᵀX) so the shrinkage is
+  /// invariant to the features' (deliberately mixed) units.
+  double lambda = 1e-3;
+};
+
+struct FitResult {
+  FeatureVector weights{};
+  /// Number of "execute" records the fit used (plan records carry no
+  /// execution target and are skipped).
+  std::size_t records_used = 0;
+  /// Training-set mean |predicted − executed| of the log's own analytical
+  /// predictions, and of the fitted model — the before/after the fit buys.
+  double mae_analytical = 0.0;
+  double mae_calibrated = 0.0;
+};
+
+/// Fit weights over the log's "execute" records. Throws when the log has no
+/// usable records.
+FitResult fit_cost_model(const FeatureLog& log, const FitOptions& opt = {});
+
+/// Mean |w·x − executed| of `weights` over the log's "execute" records
+/// (held-out evaluation); throws when the log has none.
+double mean_abs_error(const FeatureVector& weights, const FeatureLog& log);
+/// Mean |predicted − executed| of the log's own analytical predictions.
+double mean_abs_error_analytical(const FeatureLog& log);
+
+/// One strict-JSON line, keyed by feature names, versioned; parse rejects
+/// unknown keys, version/width mismatches and trailing garbage.
+std::string serialize_cost_model(const FeatureVector& weights);
+FeatureVector parse_cost_model(const std::string& text);
+FeatureVector load_cost_model_file(const std::string& path);
+void save_cost_model_file(const FeatureVector& weights,
+                          const std::string& path);
+
+/// Wrap fitted weights as the planner-facing cost model (score = predicted
+/// seconds). Install with planner::set_calibrated_cost_model().
+std::shared_ptr<const planner::CostModel> make_calibrated_cost_model(
+    const FeatureVector& weights);
+
+}  // namespace fcm::autotune

@@ -1,0 +1,86 @@
+// Strict flat-JSON line scanning shared by the autotune file formats
+// (feature_log, fit). Same discipline as src/workload/trace.cpp — that copy
+// is deliberately independent so the two subsystems' formats can evolve and
+// version-bump separately; within autotune the machinery is shared.
+//
+// Accepted grammar per line: one flat JSON object with string keys and
+// number-or-string values. No nesting, no duplicate keys, no trailing
+// garbage. Every violation throws fcm::Error("<context> line N: ...").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fcm::autotune::jsonl {
+
+/// Shortest decimal rendering of `v` that parses back bit-identically —
+/// "0.004" stays "0.004", while values that genuinely need 17 digits get
+/// them. Keeps logs human-readable without sacrificing exact round-trip.
+std::string fmt_double_rt(double v);
+
+/// JSON string literal with the minimal escapes the strict parser accepts.
+/// Throws on control characters.
+std::string json_string(const std::string& s);
+
+/// One parsed value: a number (with its raw token, so 64-bit integers can be
+/// re-parsed without a double round-trip) or a string.
+struct FieldValue {
+  bool is_string = false;
+  double num = 0.0;
+  std::string raw;  // number token as written
+  std::string str;  // unescaped string contents
+};
+
+using Fields = std::vector<std::pair<std::string, FieldValue>>;
+
+/// Strict scanner for one flat JSON object line.
+class LineScanner {
+ public:
+  /// `context` prefixes every error, e.g. "feature log".
+  LineScanner(const std::string& line, std::size_t line_no,
+              std::string context)
+      : s_(line), line_no_(line_no), context_(std::move(context)) {}
+
+  Fields object();
+
+  [[noreturn]] void fail(const std::string& msg) const;
+
+ private:
+  void skip_ws();
+  bool eat(char c);
+  void expect(char c, const std::string& what);
+  std::string string_lit();
+  FieldValue value();
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  std::size_t line_no_;
+  std::string context_;
+};
+
+/// Typed field accessors over one line's parsed object.
+class FieldReader {
+ public:
+  FieldReader(Fields fields, const LineScanner& scanner)
+      : fields_(std::move(fields)), scanner_(scanner) {}
+
+  bool has(const char* key) const { return find(key) != nullptr; }
+  double number(const char* key);
+  std::uint64_t u64(const char* key);
+  std::string string(const char* key);
+
+  /// Every key must have been consumed by one of the accessors above.
+  void check_no_unknown() const;
+
+ private:
+  const FieldValue* find(const char* key) const;
+  const FieldValue& require(const char* key);
+
+  Fields fields_;
+  const LineScanner& scanner_;
+  std::vector<std::string> used_;
+};
+
+}  // namespace fcm::autotune::jsonl

@@ -16,9 +16,15 @@ std::int64_t esz_of(DType dt) {
 }
 
 /// Σ over spatial tiles of the clamped, halo'd input extent — the exact
-/// per-block IFM rows/cols the kernels load.
+/// per-block IFM rows/cols the kernels load. `approx` replaces the loop with
+/// the unclamped O(1) closed form (every tile charged its full halo).
 std::int64_t sum_in_extents(int out_total, int tile, int k, int s, int pad,
-                            int in_total) {
+                            int in_total, bool approx = false) {
+  if (approx) {
+    const std::int64_t n = ceil_div(out_total, tile);
+    const int last = out_total - static_cast<int>(n - 1) * tile;
+    return (n - 1) * in_extent(tile, k, s) + in_extent(last, k, s);
+  }
   std::int64_t sum = 0;
   for (int o0 = 0; o0 < out_total; o0 += tile) {
     const int cur = std::min(tile, out_total - o0);
@@ -29,8 +35,11 @@ std::int64_t sum_in_extents(int out_total, int tile, int k, int s, int pad,
   return sum;
 }
 
-/// Σ over output positions of the number of in-bounds filter taps.
-std::int64_t sum_taps(int out_total, int k, int s, int pad, int in_total) {
+/// Σ over output positions of the number of in-bounds filter taps. `approx`
+/// ignores padding clamping: every position charged all k taps.
+std::int64_t sum_taps(int out_total, int k, int s, int pad, int in_total,
+                      bool approx = false) {
+  if (approx) return static_cast<std::int64_t>(out_total) * k;
   std::int64_t sum = 0;
   for (int o = 0; o < out_total; ++o) {
     const int lo = o * s - pad;
@@ -48,9 +57,18 @@ struct MidExtents {
 };
 
 /// Per-dimension intermediate extents of the PWDW kernels, with the
-/// primary-owner redundancy attribution the kernel uses.
+/// primary-owner redundancy attribution the kernel uses. `approx` uses the
+/// unclamped closed form: halo overlap of k−s elements per interior seam.
 MidExtents mid_extents(int out_total, int tile, int k, int s, int pad,
-                       int mid_total) {
+                       int mid_total, bool approx = false) {
+  if (approx) {
+    MidExtents m;
+    const std::int64_t n = ceil_div(out_total, tile);
+    const int last = out_total - static_cast<int>(n - 1) * tile;
+    m.total = (n - 1) * in_extent(tile, k, s) + in_extent(last, k, s);
+    m.exclusive = m.total - (n - 1) * std::max(0, k - s);
+    return m;
+  }
   MidExtents m;
   int idx = 0;
   for (int o0 = 0; o0 < out_total; o0 += tile, ++idx) {
@@ -113,8 +131,10 @@ gpusim::KernelStats pw_stats(const LayerSpec& spec, const ConvTiling& t,
   return st;
 }
 
-gpusim::KernelStats dw_stats(const LayerSpec& spec, const ConvTiling& t,
-                             DType dt) {
+namespace {
+
+gpusim::KernelStats dw_stats_impl(const LayerSpec& spec, const ConvTiling& t,
+                                  DType dt, bool approx) {
   FCM_CHECK(spec.kind == ConvKind::kDepthwise, "dw_stats: not depthwise");
   FCM_CHECK(t.valid(), "dw_stats: invalid tiling");
   const std::int64_t esz = esz_of(dt);
@@ -126,14 +146,16 @@ gpusim::KernelStats dw_stats(const LayerSpec& spec, const ConvTiling& t,
 
   const std::int64_t ih_sum = sum_in_extents(static_cast<int>(H), t.tile_h,
                                              spec.kh, spec.stride, spec.pad,
-                                             spec.in_h);
+                                             spec.in_h, approx);
   const std::int64_t iw_sum = sum_in_extents(static_cast<int>(W), t.tile_w,
                                              spec.kw, spec.stride, spec.pad,
-                                             spec.in_w);
-  const std::int64_t taps_h =
-      sum_taps(static_cast<int>(H), spec.kh, spec.stride, spec.pad, spec.in_h);
-  const std::int64_t taps_w =
-      sum_taps(static_cast<int>(W), spec.kw, spec.stride, spec.pad, spec.in_w);
+                                             spec.in_w, approx);
+  const std::int64_t taps_h = sum_taps(static_cast<int>(H), spec.kh,
+                                       spec.stride, spec.pad, spec.in_h,
+                                       approx);
+  const std::int64_t taps_w = sum_taps(static_cast<int>(W), spec.kw,
+                                       spec.stride, spec.pad, spec.in_w,
+                                       approx);
 
   gpusim::KernelStats st;
   const std::int64_t w_loads = nh * nw * C * spec.kh * spec.kw;
@@ -155,8 +177,8 @@ gpusim::KernelStats dw_stats(const LayerSpec& spec, const ConvTiling& t,
   return st;
 }
 
-gpusim::KernelStats std_stats(const LayerSpec& spec, const ConvTiling& t,
-                              DType dt) {
+gpusim::KernelStats std_stats_impl(const LayerSpec& spec, const ConvTiling& t,
+                                   DType dt, bool approx) {
   FCM_CHECK(spec.kind == ConvKind::kStandard, "std_stats: not standard");
   FCM_CHECK(t.valid(), "std_stats: invalid tiling");
   const std::int64_t esz = esz_of(dt);
@@ -168,14 +190,16 @@ gpusim::KernelStats std_stats(const LayerSpec& spec, const ConvTiling& t,
 
   const std::int64_t ih_sum = sum_in_extents(static_cast<int>(H), t.tile_h,
                                              spec.kh, spec.stride, spec.pad,
-                                             spec.in_h);
+                                             spec.in_h, approx);
   const std::int64_t iw_sum = sum_in_extents(static_cast<int>(W), t.tile_w,
                                              spec.kw, spec.stride, spec.pad,
-                                             spec.in_w);
-  const std::int64_t taps_h =
-      sum_taps(static_cast<int>(H), spec.kh, spec.stride, spec.pad, spec.in_h);
-  const std::int64_t taps_w =
-      sum_taps(static_cast<int>(W), spec.kw, spec.stride, spec.pad, spec.in_w);
+                                             spec.in_w, approx);
+  const std::int64_t taps_h = sum_taps(static_cast<int>(H), spec.kh,
+                                       spec.stride, spec.pad, spec.in_h,
+                                       approx);
+  const std::int64_t taps_w = sum_taps(static_cast<int>(W), spec.kw,
+                                       spec.stride, spec.pad, spec.in_w,
+                                       approx);
 
   gpusim::KernelStats st;
   const std::int64_t w_loads = nh * nw * F * C * spec.kh * spec.kw;
@@ -197,6 +221,18 @@ gpusim::KernelStats std_stats(const LayerSpec& spec, const ConvTiling& t,
   return st;
 }
 
+}  // namespace
+
+gpusim::KernelStats dw_stats(const LayerSpec& spec, const ConvTiling& t,
+                             DType dt) {
+  return dw_stats_impl(spec, t, dt, /*approx=*/false);
+}
+
+gpusim::KernelStats std_stats(const LayerSpec& spec, const ConvTiling& t,
+                              DType dt) {
+  return std_stats_impl(spec, t, dt, /*approx=*/false);
+}
+
 gpusim::KernelStats lbl_stats(const LayerSpec& spec, const ConvTiling& t,
                               DType dt) {
   switch (spec.kind) {
@@ -207,24 +243,38 @@ gpusim::KernelStats lbl_stats(const LayerSpec& spec, const ConvTiling& t,
   throw Error("lbl_stats: bad kind");
 }
 
+gpusim::KernelStats lbl_stats_approx(const LayerSpec& spec, const ConvTiling& t,
+                                     DType dt) {
+  switch (spec.kind) {
+    // Pointwise stats are already closed-form — approx == exact.
+    case ConvKind::kPointwise: return pw_stats(spec, t, dt);
+    case ConvKind::kDepthwise: return dw_stats_impl(spec, t, dt, true);
+    case ConvKind::kStandard: return std_stats_impl(spec, t, dt, true);
+  }
+  throw Error("lbl_stats_approx: bad kind");
+}
+
 namespace {
 
 gpusim::KernelStats dwpw_stats(const LayerSpec& dw, const LayerSpec& pw,
-                               const FcmTiling& t, DType dt) {
+                               const FcmTiling& t, DType dt,
+                               bool approx = false) {
   const std::int64_t esz = esz_of(dt);
   const std::int64_t C = dw.out_c, F2 = pw.out_c;
   const std::int64_t H = pw.out_h(), W = pw.out_w();
   const std::int64_t nh = ceil_div(H, t.tile_h);
   const std::int64_t nw = ceil_div(W, t.tile_w);
 
-  const std::int64_t ih_sum = sum_in_extents(static_cast<int>(H), t.tile_h,
-                                             dw.kh, dw.stride, dw.pad, dw.in_h);
-  const std::int64_t iw_sum = sum_in_extents(static_cast<int>(W), t.tile_w,
-                                             dw.kw, dw.stride, dw.pad, dw.in_w);
+  const std::int64_t ih_sum =
+      sum_in_extents(static_cast<int>(H), t.tile_h, dw.kh, dw.stride, dw.pad,
+                     dw.in_h, approx);
+  const std::int64_t iw_sum =
+      sum_in_extents(static_cast<int>(W), t.tile_w, dw.kw, dw.stride, dw.pad,
+                     dw.in_w, approx);
   const std::int64_t taps_h =
-      sum_taps(static_cast<int>(H), dw.kh, dw.stride, dw.pad, dw.in_h);
+      sum_taps(static_cast<int>(H), dw.kh, dw.stride, dw.pad, dw.in_h, approx);
   const std::int64_t taps_w =
-      sum_taps(static_cast<int>(W), dw.kw, dw.stride, dw.pad, dw.in_w);
+      sum_taps(static_cast<int>(W), dw.kw, dw.stride, dw.pad, dw.in_w, approx);
 
   gpusim::KernelStats st;
   const std::int64_t w_loads =
@@ -252,7 +302,8 @@ gpusim::KernelStats dwpw_stats(const LayerSpec& dw, const LayerSpec& pw,
 }
 
 gpusim::KernelStats pwdw_stats(const LayerSpec& pw, const LayerSpec& dw,
-                               const FcmTiling& t, DType dt) {
+                               const FcmTiling& t, DType dt,
+                               bool approx = false) {
   FCM_CHECK(t.tile_c > 0, "pwdw_stats: tile_c required");
   const std::int64_t esz = esz_of(dt);
   const std::int64_t C1 = pw.in_c, C2 = pw.out_c;
@@ -262,13 +313,13 @@ gpusim::KernelStats pwdw_stats(const LayerSpec& pw, const LayerSpec& dw,
   const std::int64_t nw = ceil_div(W, t.tile_w);
 
   const MidExtents mh = mid_extents(static_cast<int>(H), t.tile_h, dw.kh,
-                                    dw.stride, dw.pad, dw.in_h);
+                                    dw.stride, dw.pad, dw.in_h, approx);
   const MidExtents mw = mid_extents(static_cast<int>(W), t.tile_w, dw.kw,
-                                    dw.stride, dw.pad, dw.in_w);
+                                    dw.stride, dw.pad, dw.in_w, approx);
   const std::int64_t taps_h =
-      sum_taps(static_cast<int>(H), dw.kh, dw.stride, dw.pad, dw.in_h);
+      sum_taps(static_cast<int>(H), dw.kh, dw.stride, dw.pad, dw.in_h, approx);
   const std::int64_t taps_w =
-      sum_taps(static_cast<int>(W), dw.kw, dw.stride, dw.pad, dw.in_w);
+      sum_taps(static_cast<int>(W), dw.kw, dw.stride, dw.pad, dw.in_w, approx);
 
   gpusim::KernelStats st;
   const std::int64_t w_loads = nh * nw * (C2 * C1 + C2 * dw.kh * dw.kw);
@@ -330,17 +381,20 @@ gpusim::KernelStats pwpw_stats(const LayerSpec& pw1, const LayerSpec& pw2,
 
 }  // namespace
 
-gpusim::KernelStats fcm_stats(FcmKind kind, const LayerSpec& first,
-                              const LayerSpec& second, const FcmTiling& t,
-                              DType dt) {
+namespace {
+
+gpusim::KernelStats fcm_stats_impl(FcmKind kind, const LayerSpec& first,
+                                   const LayerSpec& second, const FcmTiling& t,
+                                   DType dt, bool approx) {
   FCM_CHECK(t.valid(), "fcm_stats: invalid tiling");
   switch (kind) {
     case FcmKind::kDwPw:
-      return dwpw_stats(first, second, t, dt);
+      return dwpw_stats(first, second, t, dt, approx);
     case FcmKind::kPwDw:
     case FcmKind::kPwDwR:
-      return pwdw_stats(first, second, t, dt);
+      return pwdw_stats(first, second, t, dt, approx);
     case FcmKind::kPwPw:
+      // PWPW stats are already closed-form — approx == exact.
       return pwpw_stats(first, second, t, dt);
     case FcmKind::kPwDwPw:
       throw Error("fcm_stats: kPwDwPw is a three-layer module, use pwdwpw_stats");
@@ -348,9 +402,26 @@ gpusim::KernelStats fcm_stats(FcmKind kind, const LayerSpec& first,
   throw Error("fcm_stats: bad kind");
 }
 
-gpusim::KernelStats pwdwpw_stats(const LayerSpec& pw1, const LayerSpec& dw,
-                                 const LayerSpec& pw2, const FcmTiling& t,
-                                 DType dt) {
+}  // namespace
+
+gpusim::KernelStats fcm_stats(FcmKind kind, const LayerSpec& first,
+                              const LayerSpec& second, const FcmTiling& t,
+                              DType dt) {
+  return fcm_stats_impl(kind, first, second, t, dt, /*approx=*/false);
+}
+
+gpusim::KernelStats fcm_stats_approx(FcmKind kind, const LayerSpec& first,
+                                     const LayerSpec& second,
+                                     const FcmTiling& t, DType dt) {
+  return fcm_stats_impl(kind, first, second, t, dt, /*approx=*/true);
+}
+
+namespace {
+
+gpusim::KernelStats pwdwpw_stats_impl(const LayerSpec& pw1,
+                                      const LayerSpec& dw,
+                                      const LayerSpec& pw2, const FcmTiling& t,
+                                      DType dt, bool approx) {
   FCM_CHECK(t.valid() && t.chunk_f > 0, "pwdwpw_stats: invalid tiling");
   const std::int64_t esz = esz_of(dt);
   const std::int64_t C1 = pw1.in_c, C2 = pw1.out_c, F3 = pw2.out_c;
@@ -359,13 +430,13 @@ gpusim::KernelStats pwdwpw_stats(const LayerSpec& pw1, const LayerSpec& dw,
   const std::int64_t nw = ceil_div(W, t.tile_w);
 
   const MidExtents mh = mid_extents(static_cast<int>(H), t.tile_h, dw.kh,
-                                    dw.stride, dw.pad, dw.in_h);
+                                    dw.stride, dw.pad, dw.in_h, approx);
   const MidExtents mw = mid_extents(static_cast<int>(W), t.tile_w, dw.kw,
-                                    dw.stride, dw.pad, dw.in_w);
+                                    dw.stride, dw.pad, dw.in_w, approx);
   const std::int64_t taps_h =
-      sum_taps(static_cast<int>(H), dw.kh, dw.stride, dw.pad, dw.in_h);
+      sum_taps(static_cast<int>(H), dw.kh, dw.stride, dw.pad, dw.in_h, approx);
   const std::int64_t taps_w =
-      sum_taps(static_cast<int>(W), dw.kw, dw.stride, dw.pad, dw.in_w);
+      sum_taps(static_cast<int>(W), dw.kw, dw.stride, dw.pad, dw.in_w, approx);
 
   gpusim::KernelStats st;
   const std::int64_t w_loads =
@@ -394,6 +465,21 @@ gpusim::KernelStats pwdwpw_stats(const LayerSpec& pw1, const LayerSpec& dw,
   st.shared_bytes_per_block = pwdwpw_shared_bytes(pw1, dw, pw2, t, dt);
   st.launches = 1;
   return st;
+}
+
+}  // namespace
+
+gpusim::KernelStats pwdwpw_stats(const LayerSpec& pw1, const LayerSpec& dw,
+                                 const LayerSpec& pw2, const FcmTiling& t,
+                                 DType dt) {
+  return pwdwpw_stats_impl(pw1, dw, pw2, t, dt, /*approx=*/false);
+}
+
+gpusim::KernelStats pwdwpw_stats_approx(const LayerSpec& pw1,
+                                        const LayerSpec& dw,
+                                        const LayerSpec& pw2,
+                                        const FcmTiling& t, DType dt) {
+  return pwdwpw_stats_impl(pw1, dw, pw2, t, dt, /*approx=*/true);
 }
 
 namespace paper_eq {

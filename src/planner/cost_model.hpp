@@ -51,6 +51,23 @@ gpusim::KernelStats pwdwpw_stats(const LayerSpec& pw1, const LayerSpec& dw,
                                  const LayerSpec& pw2, const FcmTiling& t,
                                  DType dt);
 
+// --- O(1) closed-form approximations ----------------------------------------
+// Same formulas with the boundary-clamping loops (sum_in_extents, sum_taps,
+// mid_extents) replaced by unclamped closed forms: ranking priors for the
+// beam search's surrogate pass (see tile_search). Launch geometry, shared
+// footprint and store traffic are exact — only load/compute counts that
+// depend on edge clamping are approximated (from above).
+
+gpusim::KernelStats lbl_stats_approx(const LayerSpec& spec, const ConvTiling& t,
+                                     DType dt);
+gpusim::KernelStats fcm_stats_approx(FcmKind kind, const LayerSpec& first,
+                                     const LayerSpec& second,
+                                     const FcmTiling& t, DType dt);
+gpusim::KernelStats pwdwpw_stats_approx(const LayerSpec& pw1,
+                                        const LayerSpec& dw,
+                                        const LayerSpec& pw2,
+                                        const FcmTiling& t, DType dt);
+
 // --- the paper's closed forms, element (not byte) counts --------------------
 namespace paper_eq {
 

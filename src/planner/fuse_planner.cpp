@@ -63,9 +63,9 @@ namespace {
 
 /// Per-layer LBL choice with the standard-conv FP32 fallback applied.
 LblChoice lbl_choice_for(const gpusim::DeviceSpec& dev, const LayerSpec& spec,
-                         DType dt) {
+                         DType dt, const TileSearchOptions& ts = {}) {
   const DType layer_dt = spec.kind == ConvKind::kStandard ? DType::kF32 : dt;
-  auto lbl = best_lbl_tiling(dev, spec, layer_dt);
+  auto lbl = best_lbl_tiling(dev, spec, layer_dt, ts);
   FCM_CHECK(lbl.has_value(),
             "no feasible LBL tiling for " + spec.name + " on " + dev.name);
   return *lbl;
@@ -123,6 +123,21 @@ Plan plan_model(const gpusim::DeviceSpec& dev, const ModelGraph& model,
 
   const int n = model.num_layers();
 
+  // Resolve the cost model once. Calibrated planning with no installed model
+  // is a hard error: falling back silently would cache an analytical plan
+  // under a calibrated cache key.
+  std::shared_ptr<const CostModel> keep;  // owns the calibrated model
+  const CostModel* cm = &analytical_cost_model();
+  if (options.cost_model == CostModelKind::kCalibrated) {
+    keep = calibrated_cost_model();
+    FCM_CHECK(keep != nullptr,
+              "plan_model: PlanOptions.cost_model = calibrated but no "
+              "calibrated cost model is installed (fit one with fcmtune and "
+              "load it via --cost-model-file)");
+    cm = keep.get();
+  }
+  const TileSearchOptions ts{cm, options.beam_width};
+
   // Per-layer LBL costs, per-pair fused costs, per-triple fused costs. Every
   // layer/pair/triple is an independent tile search, so the whole estimator
   // pass fans out over the global pool: each worker writes only its own slot
@@ -134,43 +149,44 @@ Plan plan_model(const gpusim::DeviceSpec& dev, const ModelGraph& model,
   ThreadPool::global().parallel_for(n, [&](std::int64_t idx) {
     const int i = static_cast<int>(idx);
     const std::size_t s = static_cast<std::size_t>(i);
-    lbl[s] = lbl_choice_for(dev, model.layers[s], dt);
+    lbl[s] = lbl_choice_for(dev, model.layers[s], dt, ts);
     if (model_pair_fusable(model, i)) {
       FcmKind kind;
       fcm_kind_for(model.layers[s], model.layers[s + 1], kind);
       fused[s] = best_fcm_tiling(dev, kind, model.layers[s],
-                                 model.layers[s + 1], dt);
+                                 model.layers[s + 1], dt, ts);
     }
     if (options.enable_triple && model_triple_fusable(model, i)) {
       triple[s] = best_pwdwpw_tiling(dev, model.layers[s], model.layers[s + 1],
-                                     model.layers[s + 2], dt);
+                                     model.layers[s + 2], dt, ts);
     }
   });
 
-  // DP over the chain: dp[i] = min GMA for layers i..n-1; take[i] is the
-  // number of layers the winning step at i covers.
-  std::vector<std::int64_t> dp(static_cast<std::size_t>(n) + 3, 0);
+  // DP over the chain: dp[i] = min model score for layers i..n-1; take[i] is
+  // the number of layers the winning step at i covers. Under the analytical
+  // model the scores are GMA byte counts carried exactly in doubles (every
+  // partial sum < 2^53), so the DP reproduces the historical integer DP
+  // bit-for-bit.
+  std::vector<double> dp(static_cast<std::size_t>(n) + 3, 0.0);
   std::vector<int> take(static_cast<std::size_t>(n), 1);
   for (int i = n - 1; i >= 0; --i) {
-    dp[static_cast<std::size_t>(i)] =
-        lbl[static_cast<std::size_t>(i)].stats.gma_bytes() +
-        dp[static_cast<std::size_t>(i) + 1];
-    const auto& f = fused[static_cast<std::size_t>(i)];
+    const std::size_t s = static_cast<std::size_t>(i);
+    dp[s] = cm->score(dev, lbl[s].stats, lbl[s].ctx) + dp[s + 1];
+    const auto& f = fused[s];
     if (f.has_value()) {
-      const std::int64_t with_fuse =
-          f->stats.gma_bytes() + dp[static_cast<std::size_t>(i) + 2];
-      if (with_fuse < dp[static_cast<std::size_t>(i)]) {
-        dp[static_cast<std::size_t>(i)] = with_fuse;
-        take[static_cast<std::size_t>(i)] = 2;
+      const double with_fuse = cm->score(dev, f->stats, f->ctx) + dp[s + 2];
+      if (with_fuse < dp[s]) {
+        dp[s] = with_fuse;
+        take[s] = 2;
       }
     }
-    const auto& t3 = triple[static_cast<std::size_t>(i)];
+    const auto& t3 = triple[s];
     if (t3.has_value()) {
-      const std::int64_t with_triple =
-          t3->stats.gma_bytes() + dp[static_cast<std::size_t>(i) + 3];
-      if (with_triple < dp[static_cast<std::size_t>(i)]) {
-        dp[static_cast<std::size_t>(i)] = with_triple;
-        take[static_cast<std::size_t>(i)] = 3;
+      const double with_triple =
+          cm->score(dev, t3->stats, t3->ctx) + dp[s + 3];
+      if (with_triple < dp[s]) {
+        dp[s] = with_triple;
+        take[s] = 3;
       }
     }
   }

@@ -1,6 +1,8 @@
 #include "planner/tile_search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 
 #include "common/thread_pool.hpp"
 #include "planner/cost_model.hpp"
@@ -9,46 +11,78 @@ namespace fcm::planner {
 
 namespace {
 
-/// Candidate is better when it moves fewer bytes; ties go to fewer blocks
-/// (less launch pressure), then larger spatial tiles (more reuse headroom).
-bool better(const gpusim::KernelStats& a, const gpusim::KernelStats& b) {
-  if (a.gma_bytes() != b.gma_bytes()) return a.gma_bytes() < b.gma_bytes();
-  return a.num_blocks < b.num_blocks;
+std::atomic<std::int64_t> g_candidates_evaluated{0};
+
+std::int64_t lbl_l1(const LayerSpec& spec, const ConvTiling& t, DType dt) {
+  switch (spec.kind) {
+    case ConvKind::kPointwise: return pw_l1_bytes(spec, t, dt);
+    case ConvKind::kDepthwise: return dw_l1_bytes(spec, t, dt);
+    case ConvKind::kStandard: return std_l1_bytes(spec, t, dt);
+  }
+  throw Error("lbl_l1: bad kind");
 }
 
-bool lbl_feasible(const gpusim::DeviceSpec& dev, const LayerSpec& spec,
-                  const ConvTiling& t, DType dt,
-                  const gpusim::KernelStats& st) {
-  std::int64_t l1 = 0;
-  switch (spec.kind) {
-    case ConvKind::kPointwise: l1 = pw_l1_bytes(spec, t, dt); break;
-    case ConvKind::kDepthwise: l1 = dw_l1_bytes(spec, t, dt); break;
-    case ConvKind::kStandard: l1 = std_l1_bytes(spec, t, dt); break;
-  }
+/// Exact feasibility (paper Eq. 2–4 constraints) from already-computed
+/// stats. All three checks are O(1) and shared verbatim by the surrogate
+/// prescreen: the beam never admits a candidate the exact search would
+/// reject, only the *ranking* is approximated.
+bool feasible(const gpusim::DeviceSpec& dev, std::int64_t l1,
+              const gpusim::KernelStats& st) {
   if (l1 > dev.l1_bytes) return false;
   if (st.shared_bytes_per_block > dev.max_shared_bytes) return false;
   if (st.num_blocks < dev.num_sms) return false;
   return true;
 }
 
-/// Score `cands` on the global pool, one slot per candidate, then pick the
-/// winner by a serial scan after the join. The scan visits slots in candidate
-/// enumeration order and only replaces on strictly-better, so the result is
-/// bit-identical to the original sequential loop regardless of worker count
-/// or scheduling.
-template <typename Candidate, typename Choice, typename Score>
-std::optional<Choice> search_candidates(const std::vector<Candidate>& cands,
-                                        const Score& score) {
-  std::vector<std::optional<Choice>> slot(cands.size());
+/// Score `cands` and pick the winner by the model's order.
+///
+/// Exhaustive mode evaluates every candidate exactly on the global pool, one
+/// slot per candidate. Beam mode first runs `approx` serially over all
+/// candidates — exact feasibility plus a model score over O(1) surrogate
+/// stats — keeps the `beam_width` best by (score, enumeration index), and
+/// only evaluates those exactly. Either way the final serial scan visits
+/// slots in a deterministic order and replaces on strictly-better, so the
+/// result is bit-identical regardless of worker count or scheduling.
+template <typename Candidate, typename Choice, typename Exact, typename Approx>
+std::optional<Choice> search_candidates(const gpusim::DeviceSpec& dev,
+                                        const std::vector<Candidate>& cands,
+                                        const TileSearchOptions& opt,
+                                        const Exact& exact,
+                                        const Approx& approx) {
+  const CostModel& model = opt.model ? *opt.model : analytical_cost_model();
+
+  std::vector<std::size_t> order;
+  if (opt.beam_width > 0 &&
+      static_cast<std::size_t>(opt.beam_width) < cands.size()) {
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (auto score = approx(cands[i])) ranked.emplace_back(*score, i);
+    }
+    const std::size_t keep =
+        std::min(ranked.size(), static_cast<std::size_t>(opt.beam_width));
+    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end());
+    order.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) order.push_back(ranked[i].second);
+  } else {
+    order.resize(cands.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+  }
+
+  g_candidates_evaluated.fetch_add(static_cast<std::int64_t>(order.size()),
+                                   std::memory_order_relaxed);
+
+  std::vector<std::optional<Choice>> slot(order.size());
   ThreadPool::global().parallel_for(
-      static_cast<std::int64_t>(cands.size()),
-      [&](std::int64_t i) {
+      static_cast<std::int64_t>(order.size()), [&](std::int64_t i) {
         slot[static_cast<std::size_t>(i)] =
-            score(cands[static_cast<std::size_t>(i)]);
+            exact(cands[order[static_cast<std::size_t>(i)]]);
       });
   std::optional<Choice> best;
   for (auto& s : slot) {
-    if (s.has_value() && (!best || better(s->stats, best->stats))) {
+    if (s.has_value() &&
+        (!best || model.better(dev, s->stats, s->ctx, best->stats,
+                               best->ctx))) {
       best = std::move(*s);
     }
   }
@@ -56,6 +90,14 @@ std::optional<Choice> search_candidates(const std::vector<Candidate>& cands,
 }
 
 }  // namespace
+
+std::int64_t candidates_evaluated() {
+  return g_candidates_evaluated.load(std::memory_order_relaxed);
+}
+
+void reset_candidates_evaluated() {
+  g_candidates_evaluated.store(0, std::memory_order_relaxed);
+}
 
 std::vector<int> spatial_tile_candidates(int extent) {
   std::vector<int> out;
@@ -90,7 +132,8 @@ std::vector<int> channel_tile_candidates(int extent, bool warp_multiples_only) {
 }
 
 std::optional<LblChoice> best_lbl_tiling(const gpusim::DeviceSpec& dev,
-                                         const LayerSpec& spec, DType dt) {
+                                         const LayerSpec& spec, DType dt,
+                                         const TileSearchOptions& opt) {
   // Filter tiles: warp multiples for PW/standard (a warp computes one output
   // channel column), power-of-two channel groups for DW (channel count need
   // not be warp-aligned since each channel is independent).
@@ -105,11 +148,32 @@ std::optional<LblChoice> best_lbl_tiling(const gpusim::DeviceSpec& dev,
       for (int tw : w_cands) cands.push_back(ConvTiling{th, tw, tf});
     }
   }
+
+  const CostModel& model = opt.model ? *opt.model : analytical_cost_model();
+  const double pad_frac = layer_padding_fraction(spec);
+  const auto ctx_for = [&](const ConvTiling& t, std::int64_t l1) {
+    CandidateContext ctx;
+    ctx.l1_fraction = static_cast<double>(l1) / dev.l1_bytes;
+    ctx.padding_fraction = pad_frac;
+    ctx.boundary_fraction = partial_tile_fraction({{spec.out_c, t.tile_f},
+                                                   {spec.out_h(), t.tile_h},
+                                                   {spec.out_w(), t.tile_w}});
+    return ctx;
+  };
+
   return search_candidates<ConvTiling, LblChoice>(
-      cands, [&](const ConvTiling& t) -> std::optional<LblChoice> {
+      dev, cands, opt,
+      [&](const ConvTiling& t) -> std::optional<LblChoice> {
+        const std::int64_t l1 = lbl_l1(spec, t, dt);
         const auto st = lbl_stats(spec, t, dt);
-        if (!lbl_feasible(dev, spec, t, dt, st)) return std::nullopt;
-        return LblChoice{t, st};
+        if (!feasible(dev, l1, st)) return std::nullopt;
+        return LblChoice{t, st, ctx_for(t, l1)};
+      },
+      [&](const ConvTiling& t) -> std::optional<double> {
+        const std::int64_t l1 = lbl_l1(spec, t, dt);
+        const auto st = lbl_stats_approx(spec, t, dt);
+        if (!feasible(dev, l1, st)) return std::nullopt;
+        return model.score(dev, st, ctx_for(t, l1));
       });
 }
 
@@ -121,23 +185,12 @@ struct FcmCandidate {
   FcmTiling tiling;
 };
 
-std::optional<FcmChoice> score_fcm(const gpusim::DeviceSpec& dev,
-                                   const LayerSpec& first,
-                                   const LayerSpec& second,
-                                   const FcmCandidate& c, DType dt) {
-  const std::int64_t l1 = fcm_l1_bytes(c.kind, first, second, c.tiling, dt);
-  if (l1 > dev.l1_bytes) return std::nullopt;
-  const auto st = fcm_stats(c.kind, first, second, c.tiling, dt);
-  if (st.shared_bytes_per_block > dev.max_shared_bytes) return std::nullopt;
-  if (st.num_blocks < dev.num_sms) return std::nullopt;
-  return FcmChoice{c.kind, c.tiling, st};
-}
-
 }  // namespace
 
 std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
                                          FcmKind kind, const LayerSpec& first,
-                                         const LayerSpec& second, DType dt) {
+                                         const LayerSpec& second, DType dt,
+                                         const TileSearchOptions& opt) {
   const int H = second.out_h();
   const int W = second.out_w();
   const auto h_cands = spatial_tile_candidates(H);
@@ -191,16 +244,61 @@ std::optional<FcmChoice> best_fcm_tiling(const gpusim::DeviceSpec& dev,
       throw Error("best_fcm_tiling: use best_pwdwpw_tiling for triples");
   }
 
+  const CostModel& model = opt.model ? *opt.model : analytical_cost_model();
+  // The DW layer carries the padding in every fused kind that has one.
+  const double pad_first = layer_padding_fraction(first);
+  const double pad_second = layer_padding_fraction(second);
+  const auto ctx_for = [&](const FcmCandidate& c, std::int64_t l1) {
+    CandidateContext ctx;
+    ctx.l1_fraction = static_cast<double>(l1) / dev.l1_bytes;
+    switch (c.kind) {
+      case FcmKind::kDwPw:
+        ctx.padding_fraction = pad_first;
+        ctx.boundary_fraction = partial_tile_fraction(
+            {{H, c.tiling.tile_h}, {W, c.tiling.tile_w}});
+        break;
+      case FcmKind::kPwDw:
+      case FcmKind::kPwDwR:
+        ctx.padding_fraction = pad_second;
+        ctx.boundary_fraction =
+            partial_tile_fraction({{first.out_c, c.tiling.tile_c},
+                                   {H, c.tiling.tile_h},
+                                   {W, c.tiling.tile_w}});
+        break;
+      case FcmKind::kPwPw:
+        ctx.boundary_fraction = partial_tile_fraction(
+            {{H, c.tiling.tile_h}, {W, c.tiling.tile_w}});
+        break;
+      case FcmKind::kPwDwPw: break;  // unreachable
+    }
+    return ctx;
+  };
+
   return search_candidates<FcmCandidate, FcmChoice>(
-      cands, [&](const FcmCandidate& c) {
-        return score_fcm(dev, first, second, c, dt);
+      dev, cands, opt,
+      [&](const FcmCandidate& c) -> std::optional<FcmChoice> {
+        const std::int64_t l1 =
+            fcm_l1_bytes(c.kind, first, second, c.tiling, dt);
+        if (l1 > dev.l1_bytes) return std::nullopt;
+        const auto st = fcm_stats(c.kind, first, second, c.tiling, dt);
+        if (!feasible(dev, l1, st)) return std::nullopt;
+        return FcmChoice{c.kind, c.tiling, st, ctx_for(c, l1)};
+      },
+      [&](const FcmCandidate& c) -> std::optional<double> {
+        const std::int64_t l1 =
+            fcm_l1_bytes(c.kind, first, second, c.tiling, dt);
+        if (l1 > dev.l1_bytes) return std::nullopt;
+        const auto st = fcm_stats_approx(c.kind, first, second, c.tiling, dt);
+        if (!feasible(dev, l1, st)) return std::nullopt;
+        return model.score(dev, st, ctx_for(c, l1));
       });
 }
 
 std::optional<Fcm3Choice> best_pwdwpw_tiling(const gpusim::DeviceSpec& dev,
                                              const LayerSpec& pw1,
                                              const LayerSpec& dw,
-                                             const LayerSpec& pw2, DType dt) {
+                                             const LayerSpec& pw2, DType dt,
+                                             const TileSearchOptions& opt) {
   const int H = pw2.out_h();
   const int W = pw2.out_w();
   const auto f_cands =
@@ -211,17 +309,33 @@ std::optional<Fcm3Choice> best_pwdwpw_tiling(const gpusim::DeviceSpec& dev,
       for (int cf : f_cands) cands.push_back(FcmTiling{th, tw, 0, cf});
     }
   }
+
+  const CostModel& model = opt.model ? *opt.model : analytical_cost_model();
+  const double pad_frac = layer_padding_fraction(dw);
+  const auto ctx_for = [&](const FcmTiling& t, std::int64_t l1) {
+    CandidateContext ctx;
+    ctx.l1_fraction = static_cast<double>(l1) / dev.l1_bytes;
+    ctx.padding_fraction = pad_frac;
+    ctx.boundary_fraction =
+        partial_tile_fraction({{H, t.tile_h}, {W, t.tile_w}});
+    return ctx;
+  };
+
   return search_candidates<FcmTiling, Fcm3Choice>(
-      cands, [&](const FcmTiling& t) -> std::optional<Fcm3Choice> {
-        if (pwdwpw_l1_bytes(pw1, dw, pw2, t, dt) > dev.l1_bytes) {
-          return std::nullopt;
-        }
+      dev, cands, opt,
+      [&](const FcmTiling& t) -> std::optional<Fcm3Choice> {
+        const std::int64_t l1 = pwdwpw_l1_bytes(pw1, dw, pw2, t, dt);
+        if (l1 > dev.l1_bytes) return std::nullopt;
         const auto st = pwdwpw_stats(pw1, dw, pw2, t, dt);
-        if (st.shared_bytes_per_block > dev.max_shared_bytes) {
-          return std::nullopt;
-        }
-        if (st.num_blocks < dev.num_sms) return std::nullopt;
-        return Fcm3Choice{t, st};
+        if (!feasible(dev, l1, st)) return std::nullopt;
+        return Fcm3Choice{t, st, ctx_for(t, l1)};
+      },
+      [&](const FcmTiling& t) -> std::optional<double> {
+        const std::int64_t l1 = pwdwpw_l1_bytes(pw1, dw, pw2, t, dt);
+        if (l1 > dev.l1_bytes) return std::nullopt;
+        const auto st = pwdwpw_stats_approx(pw1, dw, pw2, t, dt);
+        if (!feasible(dev, l1, st)) return std::nullopt;
+        return model.score(dev, st, ctx_for(t, l1));
       });
 }
 

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "autotune/fit.hpp"
 #include "common/clock.hpp"
 #include "tools/cli_util.hpp"
 #include "common/table.hpp"
@@ -95,6 +96,19 @@ void usage() {
       "  --cache-dir <dir>            persistent plan-cache directory\n"
       "  --cache-capacity <n>         plan-cache LRU bound, default 32\n"
       "  --triple                     enable PWDWPW triple fusion in plans\n"
+      "  --cost-model <analytical|calibrated>\n"
+      "                               planner candidate-ranking model,\n"
+      "                               default analytical (calibrated needs\n"
+      "                               --cost-model-file)\n"
+      "  --cost-model-file <file>     fcmtune-fitted weights to install\n"
+      "                               (implies --cost-model calibrated)\n"
+      "  --beam-width <n>             beam tile search: exactly evaluate\n"
+      "                               only the top n surrogate-ranked\n"
+      "                               candidates, default 0 (exhaustive)\n"
+      "  --feature-log <file>         append autotuning feature records\n"
+      "                               (cold plans + executed requests) and\n"
+      "                               write the JSONL dataset on exit —\n"
+      "                               fcmtune fits on it\n"
       "  --seed <n>                   weight seed, default 2024\n"
       "  --plan-only                  cold/warm planning table only (no\n"
       "                               functional execution of requests)\n"
@@ -218,6 +232,8 @@ int main(int argc, char** argv) {
   double deadline_ms = 0.0, sim_dilation = 0.0;
   std::string metrics_out, trace_out, trace_in;
   std::int64_t metrics_interval_ms = 0;
+  std::string cost_model = "analytical", cost_model_file, feature_log_path;
+  unsigned beam_width = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -320,6 +336,13 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--trace-in") trace_in = next();
+    else if (arg == "--cost-model") cost_model = next();
+    else if (arg == "--cost-model-file") cost_model_file = next();
+    else if (arg == "--beam-width") {
+      beam_width = static_cast<unsigned>(
+          cli::parse_u64_or_usage_exit(next(), 1u << 20, usage));
+    }
+    else if (arg == "--feature-log") feature_log_path = next();
     else if (arg == "--metrics-interval-ms") {
       const std::string v = next();
       metrics_interval_ms = static_cast<std::int64_t>(
@@ -384,6 +407,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: --metrics-interval-ms requires --metrics-out\n";
     usage();
     return 2;
+  }
+  if (!cost_model_file.empty()) cost_model = "calibrated";
+  if (cost_model != "analytical" && cost_model != "calibrated") {
+    bad_value("--cost-model", cost_model, "analytical or calibrated");
   }
 
   // --trace-in: the replay mix comes from a recorded trace instead of the
@@ -478,11 +505,20 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!cost_model_file.empty()) {
+      planner::set_calibrated_cost_model(autotune::make_calibrated_cost_model(
+          autotune::load_cost_model_file(cost_model_file)));
+    }
+
     serving::EngineOptions opt;
     opt.plan_cache_capacity = cache_capacity;
     opt.cache_dir = cache_dir;
     opt.seed = seed;
     opt.plan_options.enable_triple = triple;
+    opt.plan_options.cost_model = cost_model == "calibrated"
+                                      ? planner::CostModelKind::kCalibrated
+                                      : planner::CostModelKind::kAnalytical;
+    opt.plan_options.beam_width = static_cast<int>(beam_width);
     opt.scheduler.queue_depth = queue_depth;
     opt.scheduler.policy = policy;
     opt.scheduler.discipline = discipline;
@@ -501,6 +537,22 @@ int main(int argc, char** argv) {
       tracer = std::make_shared<obs::Tracer>();
       opt.tracer = tracer;
     }
+
+    // --feature-log: one collector shared by every shard (cluster mode copies
+    // EngineOptions per shard, so all engines append to it); the dataset is
+    // written once the replay drains.
+    std::shared_ptr<autotune::FeatureCollector> feature_log;
+    if (!feature_log_path.empty()) {
+      feature_log = std::make_shared<autotune::FeatureCollector>();
+      opt.feature_log = feature_log;
+    }
+    auto flush_feature_log = [&]() {
+      if (!feature_log) return;
+      const autotune::FeatureLog snap = feature_log->snapshot();
+      autotune::save_feature_log_file(snap, feature_log_path);
+      std::cout << "feature log: " << snap.records.size() << " records -> "
+                << feature_log_path << "\n";
+    };
 
     std::unique_ptr<serving::ServingCluster> cluster;
     std::unique_ptr<serving::InferenceEngine> single;
@@ -575,6 +627,7 @@ int main(int argc, char** argv) {
     }
     if (plan_only) {
       dumper.reset();  // stop the periodic writer before the final dump
+      flush_feature_log();  // cold-plan records exist even with no requests
       if (!metrics_out.empty() && !dump_metrics(metrics_out)) return 1;
       return 0;
     }
@@ -643,6 +696,7 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+    flush_feature_log();
     if (!metrics_out.empty()) {
       if (!dump_metrics(metrics_out)) return 1;
       std::cout << "metrics: "

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "autotune/feature_log.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "gpusim/device_spec.hpp"
@@ -96,7 +97,11 @@ void usage() {
       "  --metrics-out <file>         dump the metrics registry on exit\n"
       "                               (Prometheus text, or JSON for .json)\n"
       "  --trace-out <file>           write per-request spans as a Chrome\n"
-      "                               trace_event JSON file\n";
+      "                               trace_event JSON file\n"
+      "  --feature-log <file>         append autotuning feature records\n"
+      "                               (cold plans + executed requests) and\n"
+      "                               write the JSONL dataset on exit —\n"
+      "                               fcmtune fits on it\n";
 }
 
 [[noreturn]] void bad_value(const std::string& flag, const std::string& value,
@@ -241,6 +246,7 @@ int run_generate(Args& args) {
 
 int run_replay(Args& args) {
   std::string trace_path, devices_csv = "RTX", metrics_out, trace_out;
+  std::string feature_log_path;
   serving::RouterPolicy router = serving::RouterPolicy::kRoundRobin;
   serving::QueueDiscipline discipline = serving::QueueDiscipline::kFifo;
   std::size_t queue_depth = 64;
@@ -306,6 +312,8 @@ int run_replay(Args& args) {
       metrics_out = args.next(arg);
     } else if (arg == "--trace-out") {
       trace_out = args.next(arg);
+    } else if (arg == "--feature-log") {
+      feature_log_path = args.next(arg);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       std::exit(0);
@@ -383,6 +391,15 @@ int run_replay(Args& args) {
       copt.engine.tracer = tracer;
     }
 
+    // --feature-log: one collector shared by every shard; dry replays record
+    // predicted == executed anchors, functional replays record real executed
+    // times — both feed fcmtune.
+    std::shared_ptr<autotune::FeatureCollector> feature_log;
+    if (!feature_log_path.empty()) {
+      feature_log = std::make_shared<autotune::FeatureCollector>();
+      copt.engine.feature_log = feature_log;
+    }
+
     serving::ServingCluster cluster(devices, copt);
 
     std::cout << "== replaying " << trace.requests.size() << " requests ('"
@@ -417,6 +434,12 @@ int run_replay(Args& args) {
       os << tracer->chrome_trace_json();
       std::cout << "trace: " << tracer->size() << " spans -> " << trace_out
                 << "\n";
+    }
+    if (feature_log) {
+      const autotune::FeatureLog snap = feature_log->snapshot();
+      autotune::save_feature_log_file(snap, feature_log_path);
+      std::cout << "feature log: " << snap.records.size() << " records -> "
+                << feature_log_path << "\n";
     }
     if (!metrics_out.empty()) {
       if (!dump_metrics(metrics_out)) return 1;
